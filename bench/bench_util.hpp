@@ -1,0 +1,19 @@
+// composim bench: shared helpers for the table/figure reproduction
+// binaries. Each binary prints the paper artifact it regenerates plus the
+// paper's reference values so the shape comparison is one glance.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace composim::bench {
+
+inline void banner(const std::string& artifact, const std::string& caption) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), caption.c_str());
+  std::printf("(composim reproduction of 'Performance Analysis of Deep Learning\n");
+  std::printf(" Workloads on a Composable System', IPPS 2021)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace composim::bench

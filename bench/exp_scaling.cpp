@@ -1,0 +1,64 @@
+// Extension study (paper §VI future work): throughput scaling with GPU
+// count, *past the fixed server's eight sockets* — the composable system's
+// raison d'etre. Trains ResNet-50 and BERT-large on 2/4/8 local GPUs and
+// on 12/16 GPUs composed from local + Falcon-attached parts.
+//
+// Expected shape: near-linear scaling for the compute-bound vision model
+// even across the PCIe fabric; BERT-large keeps scaling to 16 GPUs but
+// pays the fabric tax on the composed configurations.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/composable_system.hpp"
+#include "dl/trainer.hpp"
+#include "dl/zoo.hpp"
+#include "telemetry/report.hpp"
+
+using namespace composim;
+
+namespace {
+
+double throughput(const dl::ModelSpec& model, int gpuCount) {
+  core::ComposableSystem sys(core::SystemConfig::AllGpus16);
+  auto all = sys.trainingGpus();  // 8 local then 8 falcon
+  std::vector<devices::Gpu*> gpus(all.begin(), all.begin() + gpuCount);
+  dl::TrainerOptions opt;
+  opt.epochs = 1;
+  opt.max_iterations_per_epoch = 10;
+  dl::Trainer t(sys.sim(), sys.network(), sys.topology(), gpus, sys.cpu(),
+                sys.hostMemory(), sys.trainingStorage(), model,
+                dl::datasetFor(model), opt);
+  dl::TrainingResult r;
+  t.start([&](const dl::TrainingResult& rr) { r = rr; });
+  sys.sim().run();
+  return r.completed ? r.samples_per_second : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Scaling study",
+                "Throughput vs GPU count, composing past the 8-GPU host");
+
+  for (const auto& model : {dl::resNet50(), dl::bertLarge()}) {
+    std::printf("%s (samples/s, and efficiency vs perfect scaling from 2):\n",
+                model.name.c_str());
+    const double base = throughput(model, 2);
+    std::vector<std::pair<std::string, double>> bars;
+    for (const int n : {2, 4, 8, 12, 16}) {
+      const double sps = throughput(model, n);
+      const double eff = 100.0 * sps / (base / 2.0 * n);
+      const char* kind = (n <= 8) ? "local" : "local+falcon";
+      char label[64];
+      std::snprintf(label, sizeof(label), "%2d GPUs (%s)", n, kind);
+      bars.emplace_back(label, sps);
+      std::printf("  %-24s %8.0f samples/s   scaling efficiency %5.1f %%\n",
+                  label, sps, eff);
+    }
+    std::printf("%s\n", telemetry::barChart(bars, "samples/s").c_str());
+  }
+  std::printf("Shape: the composable fabric lets one host drive 16 GPUs; the\n");
+  std::printf("vision model scales near-linearly, BERT-large pays the PCIe tax\n");
+  std::printf("beyond 8 but still gains absolute throughput.\n");
+  return 0;
+}

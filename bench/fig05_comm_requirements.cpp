@@ -1,0 +1,88 @@
+// Reproduces Fig 5: the communications-requirements table motivating the
+// composability gap (latency grows ~5-100x from CPU-CPU to CPU-disk).
+// Here we *measure* the equivalent paths on the simulated test bed instead
+// of citing them: memory bus, NVLink peer, PCIe peer, host-adapter path,
+// and storage, each probed with a latency ping and a bandwidth transfer.
+//
+// Paper reference (cited from [1]):
+//   CPU - CPU     10 ns        200-320 Gbps/CPU
+//   CPU - Memory  10-50 ns     300-800 Gbps/CPU
+//   CPU - Disk    1-10 us      5-128 Gbps/device
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/composable_system.hpp"
+#include "telemetry/report.hpp"
+
+using namespace composim;
+
+namespace {
+
+struct Probe {
+  double latency_us = 0.0;
+  double bandwidth_gbps = 0.0;  // gigabits/s to match the paper's units
+};
+
+Probe measure(core::ComposableSystem& sys, fabric::NodeId a, fabric::NodeId b,
+              Bytes payload) {
+  Probe p;
+  fabric::FlowResult ping, bulk;
+  sys.network().startFlow(a, b, 0, [&](const fabric::FlowResult& r) { ping = r; });
+  sys.sim().run();
+  sys.network().startFlow(a, b, payload,
+                          [&](const fabric::FlowResult& r) { bulk = r; });
+  sys.sim().run();
+  p.latency_us = units::to_us(ping.duration());
+  p.bandwidth_gbps = bulk.throughput() * 8.0 / 1e9;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 5", "Communications Requirements (measured on the model)");
+  core::ComposableSystem sys(core::SystemConfig::FalconGpus);
+
+  const auto mem = measure(sys, sys.hostRoot(), sys.hostMemory(), units::GiB(1));
+  const auto nvl = measure(sys, sys.localGpus()[0]->node(),
+                           sys.localGpus()[1]->node(), units::GiB(1));
+  const auto pcie = measure(sys, sys.falconGpus()[0]->node(),
+                            sys.falconGpus()[1]->node(), units::GiB(1));
+  const auto adapter = measure(sys, sys.hostRoot(),
+                               sys.chassis().drawerSwitch(0), units::GiB(1));
+  // The disk probe goes through the device model so the media access
+  // latency (NAND read + controller) is included, as a real fio ping is.
+  Probe disk;
+  {
+    fabric::FlowResult ping, bulk;
+    sys.localNvme().read(units::KiB(4), sys.hostMemory(),
+                         devices::AccessPattern::Random,
+                         [&](const fabric::FlowResult& r) { ping = r; });
+    sys.sim().run();
+    sys.localNvme().read(units::GiB(1), sys.hostMemory(),
+                         devices::AccessPattern::Sequential,
+                         [&](const fabric::FlowResult& r) { bulk = r; });
+    sys.sim().run();
+    disk.latency_us = units::to_us(ping.duration());
+    disk.bandwidth_gbps = bulk.throughput() * 8.0 / 1e9;
+  }
+
+  telemetry::Table t({"Communication", "Latency (us)", "Bandwidth (Gbps)",
+                      "Paper row"});
+  t.addRow({"CPU - Memory (DDR bus)", telemetry::fmt(mem.latency_us),
+            telemetry::fmt(mem.bandwidth_gbps, 0), "CPU - Memory"});
+  t.addRow({"GPU - GPU (NVLink)", telemetry::fmt(nvl.latency_us),
+            telemetry::fmt(nvl.bandwidth_gbps, 0), "CPU - CPU class"});
+  t.addRow({"GPU - GPU (PCIe switch)", telemetry::fmt(pcie.latency_us),
+            telemetry::fmt(pcie.bandwidth_gbps, 0), "-"});
+  t.addRow({"Host - Falcon drawer", telemetry::fmt(adapter.latency_us),
+            telemetry::fmt(adapter.bandwidth_gbps, 0), "-"});
+  t.addRow({"CPU - Disk (NVMe link)", telemetry::fmt(disk.latency_us),
+            telemetry::fmt(disk.bandwidth_gbps, 0), "CPU - Disk"});
+  std::printf("%s", t.render().c_str());
+
+  std::printf("\nShape check (paper: latency rises ~5-100x from CPU tier to disk\n");
+  std::printf("tier): memory-bus %.2f us -> disk-path %.2f us = %.0fx.\n",
+              mem.latency_us, disk.latency_us, disk.latency_us / mem.latency_us);
+  return 0;
+}

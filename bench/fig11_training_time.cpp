@@ -1,0 +1,50 @@
+// Reproduces Fig 11: percentage change of training time from the
+// localGPUs configuration, for every benchmark on hybridGPUs and
+// falconGPUs.
+//
+// Paper shape to reproduce:
+//   * MobileNetV2 / ResNet-50: < 5% slower on Falcon configurations.
+//   * All vision workloads: < 7% slower when the Falcon is involved.
+//   * BERT-base: noticeable PCIe-switching overhead.
+//   * BERT-large: ~2x the localGPUs training time on falconGPUs
+//     (340M parameters; gradient all-reduce saturates the PCIe fabric).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "telemetry/report.hpp"
+
+using namespace composim;
+
+int main() {
+  bench::banner("Fig 11", "Percentage Change of Training Time vs localGPUs");
+
+  telemetry::Table t({"Benchmark", "localGPUs (s, extrapolated)",
+                      "hybridGPUs %", "falconGPUs %"});
+  std::vector<std::pair<std::string, double>> bars;
+
+  for (const auto& model : dl::benchmarkZoo()) {
+    core::ExperimentOptions opt;
+    const auto base =
+        core::Experiment::run(core::SystemConfig::LocalGpus, model, opt);
+    const auto hybrid =
+        core::Experiment::run(core::SystemConfig::HybridGpus, model, opt);
+    const auto falcon =
+        core::Experiment::run(core::SystemConfig::FalconGpus, model, opt);
+
+    const double dh = core::Experiment::trainingTimeChangePct(hybrid, base);
+    const double df = core::Experiment::trainingTimeChangePct(falcon, base);
+    t.addRow({model.name,
+              telemetry::fmt(base.training.extrapolated_total_time, 1),
+              telemetry::fmt(dh, 2), telemetry::fmt(df, 2)});
+    bars.emplace_back(model.name + " hybrid", dh);
+    bars.emplace_back(model.name + " falcon", df);
+  }
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf("%s\n", telemetry::barChart(bars, "%").c_str());
+  std::printf("Paper shape: vision < 7%% (MobileNet/ResNet < 5%%); BERT-large ~2x\n");
+  std::printf("on falconGPUs; overhead grows with parameter count.\n");
+  return 0;
+}

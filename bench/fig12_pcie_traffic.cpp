@@ -1,0 +1,36 @@
+// Reproduces Fig 12: PCIe data transfer rate (GB/s) through the
+// Falcon-GPU slot links (ingress + egress, aggregated over the attached
+// GPUs) for the hybridGPUs and falconGPUs configurations.
+//
+// Paper reference values (falconGPUs): MobileNetV2 ~4 GB/s, ResNet-50
+// 11.31 GB/s, BERT-large 76.43 GB/s (19x MobileNet, ~7x ResNet); traffic
+// grows with model size, and hybrid moves less than falcon.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "telemetry/report.hpp"
+
+using namespace composim;
+
+int main() {
+  bench::banner("Fig 12", "PCIe Data Transfer Rate for Falcon-attached GPUs");
+
+  telemetry::Table t({"Benchmark", "hybridGPUs GB/s", "falconGPUs GB/s"});
+  std::vector<std::pair<std::string, double>> bars;
+  for (const auto& model : dl::benchmarkZoo()) {
+    core::ExperimentOptions opt;
+    opt.iterations_per_epoch_cap = 15;
+    opt.trainer.epochs = 1;
+    const auto hybrid = core::Experiment::run(core::SystemConfig::HybridGpus, model, opt);
+    const auto falcon = core::Experiment::run(core::SystemConfig::FalconGpus, model, opt);
+    t.addRow({model.name, telemetry::fmt(hybrid.falcon_pcie_gbs),
+              telemetry::fmt(falcon.falcon_pcie_gbs)});
+    bars.emplace_back(model.name + " falcon", falcon.falcon_pcie_gbs);
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("%s\n", telemetry::barChart(bars, "GB/s").c_str());
+  std::printf("Paper reference (falconGPUs): MobileNetV2 ~4, ResNet-50 11.31,\n");
+  std::printf("BERT-large 76.43 GB/s.\n");
+  return 0;
+}

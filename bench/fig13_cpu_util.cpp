@@ -1,0 +1,40 @@
+// Reproduces Fig 13: host CPU utilization per benchmark and GPU
+// configuration.
+//
+// Paper shape: nothing stresses the CPU cores (far from saturation);
+// vision benchmarks use visibly more CPU than the NLP ones because of
+// data preprocessing (decode, crop, resize, normalize — YOLOv5's mosaic
+// on top); the configuration barely matters.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "telemetry/report.hpp"
+
+using namespace composim;
+
+int main() {
+  bench::banner("Fig 13", "CPU Utilization of the DL Benchmarks");
+
+  telemetry::Table t({"Benchmark", "localGPUs %", "hybridGPUs %", "falconGPUs %"});
+  std::vector<std::pair<std::string, double>> bars;
+  for (const auto& model : dl::benchmarkZoo()) {
+    std::vector<std::string> row{model.name};
+    for (const auto config : core::gpuConfigs()) {
+      core::ExperimentOptions opt;
+      opt.iterations_per_epoch_cap = 15;
+      opt.trainer.epochs = 1;
+      const auto r = core::Experiment::run(config, model, opt);
+      row.push_back(telemetry::fmt(r.cpu_util_pct, 1));
+      if (config == core::SystemConfig::LocalGpus) {
+        bars.emplace_back(model.name, r.cpu_util_pct);
+      }
+    }
+    t.addRow(std::move(row));
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("%s\n", telemetry::barChart(bars, "% (localGPUs)").c_str());
+  std::printf("Paper shape: vision >> NLP (preprocessing on CPU); all far from\n");
+  std::printf("saturating the 2x Xeon 6148 (80 hardware threads).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Fig 16: the impact of software-level optimizations on
+// BERT-large SQuAD fine-tuning, on both local and Falcon-attached GPUs:
+//
+//   DP  + FP32   (PyTorch one-node DataParallel baseline)
+//   DP  + FP16   (mixed precision)
+//   DDP + FP16   (DistributedDataParallel)
+//   DDP + FP16 + sharded optimizer (ZeRO-style; batch grows 6 -> 10)
+//
+// Each variant trains at its own maximum feasible per-GPU batch size
+// (memory decides: FP32 fits fewer samples, sharding fits more), exactly
+// how the paper's engineers would have run it.
+//
+// Paper shape: mixed precision > 50% speedup everywhere and > 70% on
+// Falcon GPUs; DDP adds a large gain (> 80% on local GPUs); sharding
+// raises the batch from 6 to 10 and adds a further speedup.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "telemetry/report.hpp"
+
+using namespace composim;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  dl::Strategy strategy;
+  devices::Precision precision;
+  bool sharded;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 16", "Software-level DL Optimizations on BERT-large");
+
+  const Variant variants[] = {
+      {"DP + FP32", dl::Strategy::DataParallel, devices::Precision::FP32, false},
+      {"DP + FP16", dl::Strategy::DataParallel, devices::Precision::FP16, false},
+      {"DDP + FP16", dl::Strategy::DistributedDataParallel,
+       devices::Precision::FP16, false},
+      {"DDP + FP16 + sharded", dl::Strategy::DistributedDataParallel,
+       devices::Precision::FP16, true},
+  };
+
+  for (const auto config :
+       {core::SystemConfig::LocalGpus, core::SystemConfig::FalconGpus}) {
+    std::printf("--- %s ---\n", core::toString(config));
+    telemetry::Table t({"Variant", "batch/GPU", "samples/s",
+                        "iter time", "speedup vs DP+FP32 %"});
+    double baseline_sps = 0.0;
+    for (const auto& v : variants) {
+      core::ExperimentOptions opt;
+      opt.iterations_per_epoch_cap = 12;
+      opt.trainer.epochs = 1;
+      opt.trainer.strategy = v.strategy;
+      opt.trainer.precision = v.precision;
+      opt.trainer.sharded = v.sharded;
+      // Probe the memory-feasible batch for this variant.
+      core::ComposableSystem probe(config);
+      auto gpus = probe.trainingGpus();
+      const auto model = dl::bertLarge();
+      dl::Trainer planner(probe.sim(), probe.network(), probe.topology(), gpus,
+                          probe.cpu(), probe.hostMemory(),
+                          probe.trainingStorage(), model, dl::datasetFor(model),
+                          opt.trainer);
+      opt.trainer.batch_per_gpu = planner.maxFeasibleBatchPerGpu();
+
+      const auto r = core::Experiment::run(config, model, opt);
+      if (baseline_sps == 0.0) baseline_sps = r.training.samples_per_second;
+      const double speedup =
+          100.0 * (r.training.samples_per_second - baseline_sps) / baseline_sps;
+      t.addRow({v.label, std::to_string(opt.trainer.batch_per_gpu),
+                telemetry::fmt(r.training.samples_per_second, 1),
+                formatTime(r.training.mean_iteration_time),
+                telemetry::fmt(speedup, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf("Paper shape: FP16 > 50%% gain (more than 70%% on falcon); DDP adds\n");
+  std::printf("a large further gain; sharding lifts batch 6 -> 10 and throughput.\n");
+  return 0;
+}

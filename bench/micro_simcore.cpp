@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// event-queue throughput, routing, max-min rate recomputation, collective
+// simulation cost, and a full capped training iteration. These bound how
+// much wall-clock each figure reproduction costs.
+#include <benchmark/benchmark.h>
+
+#include "collectives/communicator.hpp"
+#include "core/composable_system.hpp"
+#include "dl/trainer.hpp"
+#include "dl/zoo.hpp"
+#include "fabric/link_catalog.hpp"
+#include "fabric/nvlink_mesh.hpp"
+
+using namespace composim;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_TopologyRouting(benchmark::State& state) {
+  core::ComposableSystem sys(core::SystemConfig::FalconGpus);
+  auto& topo = sys.topology();
+  const auto a = sys.falconGpus()[0]->node();
+  const auto b = sys.localGpus()[7]->node();
+  for (auto _ : state) {
+    // Invalidate the cache each round to measure Dijkstra, not the map.
+    topo.setLinkUp(0, true);
+    auto r = topo.route(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TopologyRouting);
+
+void BM_MaxMinRecompute(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    fabric::Topology topo;
+    fabric::FlowNetwork net(sim, topo);
+    const auto hub = topo.addNode("hub", fabric::NodeKind::PcieSwitch);
+    std::vector<fabric::NodeId> leaves;
+    for (int i = 0; i < 8; ++i) {
+      leaves.push_back(topo.addNode("l" + std::to_string(i), fabric::NodeKind::Gpu));
+      topo.addDuplexLink(leaves.back(), hub, units::GBps(10), 0.0,
+                         fabric::LinkKind::PCIe4);
+    }
+    state.ResumeTiming();
+    for (int f = 0; f < flows; ++f) {
+      net.startFlow(leaves[static_cast<std::size_t>(f % 8)],
+                    leaves[static_cast<std::size_t>((f + 3) % 8)],
+                    units::MiB(8), [](const fabric::FlowResult&) {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_MaxMinRecompute)->Arg(16)->Arg(64);
+
+void BM_RingAllReduceSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    fabric::Topology topo;
+    fabric::FlowNetwork net(sim, topo);
+    std::vector<fabric::NodeId> gpus;
+    for (int i = 0; i < 8; ++i) {
+      gpus.push_back(topo.addNode("g" + std::to_string(i), fabric::NodeKind::Gpu));
+    }
+    fabric::buildHybridCubeMesh(topo, gpus);
+    collectives::Communicator comm(sim, net, topo, gpus);
+    comm.allReduce(units::MiB(256), [](const collectives::CollectiveResult&) {});
+    sim.run();
+  }
+}
+BENCHMARK(BM_RingAllReduceSimulation);
+
+void BM_TrainingIterationSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ComposableSystem sys(core::SystemConfig::LocalGpus);
+    const auto model = dl::resNet50();
+    dl::TrainerOptions opt;
+    opt.epochs = 1;
+    opt.max_iterations_per_epoch = 3;
+    auto gpus = sys.trainingGpus();
+    dl::Trainer t(sys.sim(), sys.network(), sys.topology(), gpus, sys.cpu(),
+                  sys.hostMemory(), sys.trainingStorage(), model,
+                  dl::datasetFor(model), opt);
+    t.start([](const dl::TrainingResult&) {});
+    sys.sim().run();
+  }
+}
+BENCHMARK(BM_TrainingIterationSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Reproduces Table IV: GPU-GPU bandwidth, latency, and protocol for the
+// three placement pairs — Local-Local (NVLink), Falcon-Local (PCIe 4.0
+// through the host adapter), Falcon-Falcon (PCIe 4.0 through one drawer
+// switch). Methodology mirrors CUDA's p2pBandwidthLatencyTest: large
+// transfers for bandwidth, empty transfers for the write latency.
+//
+// Paper reference values:
+//   Bidirectional Bandwidth (GB/s):  L-L 72.37   F-L 19.64   F-F 24.47
+//   P2P Write Latency (us):          L-L 1.85    F-L 2.66    F-F 2.08
+//   Link protocol:                   NVLink      PCI-e 4.0   PCI-e 4.0
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/composable_system.hpp"
+#include "fabric/bandwidth_probe.hpp"
+#include "telemetry/report.hpp"
+
+using namespace composim;
+
+namespace {
+
+struct P2pResult {
+  double unidir_gbs = 0.0;
+  double bidir_gbs = 0.0;
+  double latency_us = 0.0;
+};
+
+P2pResult measurePair(core::ComposableSystem& sys, fabric::NodeId a,
+                      fabric::NodeId b) {
+  const auto m = fabric::measureP2p(sys.sim(), sys.network(), a, b);
+  return {units::to_GBps(m.unidirectional), units::to_GBps(m.bidirectional),
+          units::to_us(m.write_latency)};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table IV", "GPU-GPU Bandwidth, Latency, and Protocol");
+
+  core::ComposableSystem sys(core::SystemConfig::FalconGpus);
+  const fabric::NodeId local0 = sys.localGpus()[0]->node();
+  const fabric::NodeId local1 = sys.localGpus()[1]->node();
+  const fabric::NodeId falcon0 = sys.falconGpus()[0]->node();
+  const fabric::NodeId falcon1 = sys.falconGpus()[1]->node();
+
+  const P2pResult ll = measurePair(sys, local0, local1);
+  const P2pResult fl = measurePair(sys, falcon0, local0);
+  const P2pResult ff = measurePair(sys, falcon0, falcon1);
+
+  telemetry::Table t({"", "L-L", "F-L", "F-F"});
+  t.addRow({"Bidirectional Bandwidth (GB/s)", telemetry::fmt(ll.bidir_gbs),
+            telemetry::fmt(fl.bidir_gbs), telemetry::fmt(ff.bidir_gbs)});
+  t.addRow({"Unidirectional Bandwidth (GB/s)", telemetry::fmt(ll.unidir_gbs),
+            telemetry::fmt(fl.unidir_gbs), telemetry::fmt(ff.unidir_gbs)});
+  t.addRow({"P2P Write Latency (us)", telemetry::fmt(ll.latency_us),
+            telemetry::fmt(fl.latency_us), telemetry::fmt(ff.latency_us)});
+  t.addRow({"Link Protocol", "NVLink", "PCI-e 4.0", "PCI-e 4.0"});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Paper reference:\n");
+  std::printf("  Bidirectional Bandwidth (GB/s)   72.37    19.64    24.47\n");
+  std::printf("  P2P Write Latency (us)            1.85     2.66     2.08\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// composim quickstart: compose a system, train a benchmark, read the
+// numbers.
+//
+// Builds the paper's test bed in the `localGPUs` configuration (8 NVLink
+// V100s), fine-tunes ResNet-50 for a capped slice of one epoch, and prints
+// the throughput plus the system-level metrics the paper tracks.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "telemetry/report.hpp"
+
+using namespace composim;
+
+int main() {
+  const dl::ModelSpec model = dl::resNet50();
+
+  core::ExperimentOptions opt;
+  opt.trainer.epochs = 1;
+  opt.iterations_per_epoch_cap = 25;
+
+  std::printf("composim quickstart: training %s (%lld params, %d layers) on "
+              "the localGPUs configuration...\n\n",
+              model.name.c_str(),
+              static_cast<long long>(model.totalParams()), model.layerCount());
+
+  const auto result =
+      core::Experiment::run(core::SystemConfig::LocalGpus, model, opt);
+
+  std::printf("iterations simulated      : %lld\n",
+              static_cast<long long>(result.training.iterations_run));
+  std::printf("mean iteration time       : %s\n",
+              formatTime(result.training.mean_iteration_time).c_str());
+  std::printf("aggregate throughput      : %.0f samples/s\n",
+              result.training.samples_per_second);
+  std::printf("extrapolated 1-epoch time : %s\n",
+              formatTime(result.training.extrapolated_total_time).c_str());
+  std::printf("GPU utilization           : %.1f %%\n", result.gpu_util_pct);
+  std::printf("GPU memory utilization    : %.1f %%\n", result.gpu_mem_util_pct);
+  std::printf("CPU utilization           : %.1f %%\n", result.cpu_util_pct);
+  std::printf("host memory utilization   : %.1f %%\n", result.host_mem_util_pct);
+  std::printf("data-loader stall time    : %s\n",
+              formatTime(result.training.data_stall_time).c_str());
+  return 0;
+}

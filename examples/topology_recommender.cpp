@@ -1,0 +1,57 @@
+// composim example: topology recommendation from measured runs (§VI).
+//
+// The paper's stated future work: "build a system framework that can take
+// the input of various configured runs, and recommend the optimal system
+// level topology for AI and HPC workloads." This example measures two
+// contrasting benchmarks across the GPU-placement configurations, then
+// asks the recommender about (a) the measured workloads and (b) an unseen
+// 175M-parameter transformer it has never run, which matches by model
+// characteristics.
+//
+//   $ ./examples/topology_recommender
+#include <cstdio>
+
+#include "core/recommender.hpp"
+#include "telemetry/report.hpp"
+
+using namespace composim;
+
+int main() {
+  core::Recommender rec;
+
+  std::printf("Measuring MobileNetV2 and BERT-large on the three GPU\n");
+  std::printf("placements (capped runs, extrapolated totals)...\n\n");
+
+  const std::vector<dl::ModelSpec> measured = {dl::mobileNetV2(), dl::bertLarge()};
+  for (const auto& model : measured) {
+    for (const auto config : core::gpuConfigs()) {
+      core::ExperimentOptions opt;
+      opt.iterations_per_epoch_cap = 20;
+      const auto r = core::Experiment::run(config, model, opt);
+      rec.addRun(r, model);
+      std::printf("  %-12s %-11s %8s/iter\n", model.name.c_str(),
+                  core::toString(config),
+                  formatTime(r.training.mean_iteration_time).c_str());
+    }
+  }
+
+  std::printf("\nRecommendations:\n");
+  for (const auto& model : measured) {
+    if (auto best = rec.recommendFor(model.name)) {
+      std::printf("  %-12s -> %-11s (falcon overhead %+.1f%%)  [%s]\n",
+                  model.name.c_str(), core::toString(best->config),
+                  best->composability_overhead_pct, best->rationale.c_str());
+    }
+  }
+
+  // An unseen workload: GPT-2-medium-scale decoder (355M params), closer
+  // to BERT-large than to the vision models — the recommender should warn
+  // that composing its GPUs through the Falcon is expensive.
+  dl::ModelSpec unseen = dl::bertLarge();
+  unseen.name = "GPT-2-medium (unseen)";
+  if (auto best = rec.recommendFor(unseen)) {
+    std::printf("  %-21s -> %-11s  [%s]\n", unseen.name.c_str(),
+                core::toString(best->config), best->rationale.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,480 @@
+#include "collectives/communicator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fabric/link_catalog.hpp"
+
+namespace composim::collectives {
+
+const char* toString(Algorithm a) {
+  switch (a) {
+    case Algorithm::Auto: return "auto";
+    case Algorithm::Ring: return "ring";
+    case Algorithm::Tree: return "tree";
+    case Algorithm::Hierarchical: return "hierarchical";
+    case Algorithm::Naive: return "naive";
+  }
+  return "?";
+}
+
+Bandwidth CollectiveResult::busBandwidth(int ranks) const {
+  const SimTime t = duration();
+  if (t <= 0.0 || ranks <= 1) return 0.0;
+  const double factor = 2.0 * (ranks - 1) / static_cast<double>(ranks);
+  return factor * static_cast<double>(payload) / t;
+}
+
+struct Communicator::Op {
+  SimTime start = 0.0;
+  Bytes payload = 0;
+  Bytes bytes_on_fabric = 0;
+  Algorithm algorithm = Algorithm::Ring;
+};
+
+Communicator::Communicator(Simulator& sim, fabric::FlowNetwork& net,
+                           fabric::Topology& topo,
+                           std::vector<fabric::NodeId> ranks,
+                           CommunicatorOptions options)
+    : sim_(sim), net_(net), topo_(topo), ranks_(std::move(ranks)),
+      options_(options) {
+  if (ranks_.empty()) {
+    throw std::invalid_argument("Communicator: empty rank set");
+  }
+}
+
+Bandwidth Communicator::protocolRate(fabric::NodeId a, fabric::NodeId b) const {
+  auto route = topo_.route(a, b);
+  if (!route || route->links.empty()) {
+    return std::numeric_limits<Bandwidth>::infinity();
+  }
+  double eff = options_.nvlink_protocol_efficiency;
+  for (fabric::LinkId l : route->links) {
+    if (topo_.link(l).kind != fabric::LinkKind::NVLink) {
+      eff = options_.pcie_protocol_efficiency;
+      break;
+    }
+  }
+  return eff * route->bottleneck;
+}
+
+std::vector<std::vector<int>> Communicator::nvlinkIslands() const {
+  const int n = size();
+  auto pureNvlink = [this](int i, int j) {
+    auto route = topo_.route(ranks_[static_cast<std::size_t>(i)],
+                             ranks_[static_cast<std::size_t>(j)]);
+    if (!route || route->links.empty()) return false;
+    for (fabric::LinkId l : route->links) {
+      if (topo_.link(l).kind != fabric::LinkKind::NVLink) return false;
+    }
+    return true;
+  };
+  std::vector<int> island_of(static_cast<std::size_t>(n), -1);
+  std::vector<std::vector<int>> islands;
+  for (int i = 0; i < n; ++i) {
+    if (island_of[static_cast<std::size_t>(i)] >= 0) continue;
+    const int id = static_cast<int>(islands.size());
+    islands.push_back({i});
+    island_of[static_cast<std::size_t>(i)] = id;
+    for (int j = i + 1; j < n; ++j) {
+      if (island_of[static_cast<std::size_t>(j)] < 0 && pureNvlink(i, j)) {
+        islands[static_cast<std::size_t>(id)].push_back(j);
+        island_of[static_cast<std::size_t>(j)] = id;
+      }
+    }
+  }
+  return islands;
+}
+
+Algorithm Communicator::chooseAlgorithm() const {
+  const auto islands = nvlinkIslands();
+  if (islands.size() <= 1) return Algorithm::Ring;
+  // Hierarchical pays off when the islands are substantial: aggregating
+  // inside each island shrinks slow-fabric steps. With mostly-singleton
+  // islands (e.g. 4 NVLink GPUs + 4 individually-attached Falcon GPUs) a
+  // crossing-minimizing flat ring crosses the slow fabric just as often
+  // but skips the extra phases, so NCCL stays with the ring.
+  std::size_t multi = 0;
+  for (const auto& island : islands) {
+    if (island.size() > 1) ++multi;
+  }
+  if (multi >= 2) return Algorithm::Hierarchical;
+  return Algorithm::Ring;
+}
+
+std::vector<int> Communicator::ringOrder(std::vector<int> members) const {
+  if (members.size() <= 2) return members;
+  std::vector<int> order;
+  order.reserve(members.size());
+  std::vector<bool> used(members.size(), false);
+  order.push_back(members[0]);
+  used[0] = true;
+  for (std::size_t step = 1; step < members.size(); ++step) {
+    const fabric::NodeId cur =
+        ranks_[static_cast<std::size_t>(order.back())];
+    double best = -1.0;
+    std::size_t best_idx = 0;
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if (used[j]) continue;
+      const double rate = protocolRate(
+          cur, ranks_[static_cast<std::size_t>(members[j])]);
+      if (rate > best) {
+        best = rate;
+        best_idx = j;
+      }
+    }
+    used[best_idx] = true;
+    order.push_back(members[best_idx]);
+  }
+  return order;
+}
+
+void Communicator::enqueue(std::function<void()> opBody) {
+  op_queue_.push_back(std::move(opBody));
+  if (!op_active_) {
+    op_active_ = true;
+    auto body = std::move(op_queue_.front());
+    op_queue_.pop_front();
+    body();
+  }
+}
+
+void Communicator::opFinished() {
+  op_active_ = false;
+  if (!op_queue_.empty()) {
+    op_active_ = true;
+    auto body = std::move(op_queue_.front());
+    op_queue_.pop_front();
+    // Defer to a fresh event so completion callbacks unwind first.
+    sim_.schedule(0.0, std::move(body));
+  }
+}
+
+void Communicator::sendChunk(std::shared_ptr<Op> op, int fromRank, int toRank,
+                             Bytes bytes, std::function<void()> done) {
+  const fabric::NodeId src = ranks_[static_cast<std::size_t>(fromRank)];
+  const fabric::NodeId dst = ranks_[static_cast<std::size_t>(toRank)];
+  op->bytes_on_fabric += bytes;
+  fabric::FlowOptions fo;
+  fo.maxRate = protocolRate(src, dst);
+  fo.extraLatency = fabric::catalog::dmaEndpointOverhead();
+  fo.tag = "nccl";
+  net_.startFlow(src, dst, bytes,
+                 [cb = std::move(done)](const fabric::FlowResult&) { cb(); },
+                 std::move(fo));
+}
+
+void Communicator::runRing(std::shared_ptr<Op> op,
+                           const std::vector<int>& unordered, Bytes chunkBytes,
+                           int steps_total, std::function<void()> done) {
+  const std::vector<int> members = ringOrder(unordered);
+  const int n = static_cast<int>(members.size());
+  if (n <= 1 || steps_total <= 0 || chunkBytes <= 0) {
+    sim_.schedule(0.0, done);
+    return;
+  }
+  // One step: every member forwards a chunk to its ring successor; the
+  // step completes when the slowest transfer lands (NCCL's pipeline is
+  // modelled at chunk granularity).
+  auto step = std::make_shared<std::function<void(int)>>();
+  *step = [this, op, members, chunkBytes, steps_total, done, step, n](int s) {
+    if (s == steps_total) {
+      sim_.schedule(0.0, done);
+      return;
+    }
+    auto remaining = std::make_shared<int>(n);
+    for (int i = 0; i < n; ++i) {
+      const int from = members[static_cast<std::size_t>(i)];
+      const int to = members[static_cast<std::size_t>((i + 1) % n)];
+      sendChunk(op, from, to, chunkBytes, [this, remaining, step, s] {
+        if (--*remaining == 0) {
+          sim_.schedule(options_.step_overhead, [step, s] { (*step)(s + 1); });
+        }
+      });
+    }
+  };
+  (*step)(0);
+}
+
+namespace {
+
+/// Binomial-tree rounds for a broadcast from members[0]. Round r has
+/// senders members[k] (k < 2^r) transmitting to members[k + 2^r].
+int binomialRounds(int n) {
+  int rounds = 0;
+  while ((1 << rounds) < n) ++rounds;
+  return rounds;
+}
+
+}  // namespace
+
+void Communicator::runFanSequential(std::shared_ptr<Op> op, int root,
+                                    Bytes bytes, bool toRoot,
+                                    std::function<void()> done) {
+  // Binomial tree with the root swapped into position 0.
+  std::vector<int> members(static_cast<std::size_t>(size()));
+  for (int i = 0; i < size(); ++i) members[static_cast<std::size_t>(i)] = i;
+  std::swap(members[0], members[static_cast<std::size_t>(root)]);
+  const int n = size();
+  const int rounds = binomialRounds(n);
+  if (n <= 1 || bytes <= 0) {
+    sim_.schedule(0.0, done);
+    return;
+  }
+
+  auto round = std::make_shared<std::function<void(int)>>();
+  *round = [this, op, members, bytes, toRoot, done, round, n, rounds](int r) {
+    if (r == rounds) {
+      sim_.schedule(0.0, done);
+      return;
+    }
+    // For a broadcast rounds ascend (1, 2, 4 ... senders); for a reduce
+    // the same schedule runs in reverse with flow direction flipped.
+    const int level = toRoot ? (rounds - 1 - r) : r;
+    const int span = 1 << level;
+    std::vector<std::pair<int, int>> pairs;
+    for (int k = 0; k < span && k + span < n; ++k) {
+      const int a = members[static_cast<std::size_t>(k)];
+      const int b = members[static_cast<std::size_t>(k + span)];
+      pairs.emplace_back(toRoot ? b : a, toRoot ? a : b);
+    }
+    if (pairs.empty()) {
+      (*round)(r + 1);
+      return;
+    }
+    auto remaining = std::make_shared<int>(static_cast<int>(pairs.size()));
+    for (const auto& [from, to] : pairs) {
+      sendChunk(op, from, to, bytes, [this, remaining, round, r] {
+        if (--*remaining == 0) {
+          sim_.schedule(options_.step_overhead, [round, r] { (*round)(r + 1); });
+        }
+      });
+    }
+  };
+  (*round)(0);
+}
+
+void Communicator::runHierarchical(std::shared_ptr<Op> op, Bytes bytes,
+                                   std::function<void()> done) {
+  const auto islands = nvlinkIslands();
+  std::vector<int> leaders;
+  leaders.reserve(islands.size());
+  for (const auto& island : islands) leaders.push_back(island.front());
+
+  // Phase 1: ring all-reduce inside every island concurrently.
+  auto phase1_remaining = std::make_shared<int>(static_cast<int>(islands.size()));
+  auto phase3 = [this, op, islands, bytes, done] {
+    // Phase 3: broadcast the result from each leader inside its island.
+    auto remaining = std::make_shared<int>(static_cast<int>(islands.size()));
+    for (const auto& island : islands) {
+      if (island.size() <= 1) {
+        if (--*remaining == 0) sim_.schedule(0.0, done);
+        continue;
+      }
+      auto broadcast_done = [this, remaining, done] {
+        if (--*remaining == 0) sim_.schedule(0.0, done);
+      };
+      // Distribute the reduced buffer inside the island: one ring
+      // all-gather pass over the fast fabric.
+      const Bytes chunk = std::max<Bytes>(1, bytes / static_cast<Bytes>(island.size()));
+      runRing(op, island, chunk, static_cast<int>(island.size()) - 1,
+              broadcast_done);
+    }
+  };
+  auto phase2 = [this, op, leaders, bytes, phase3] {
+    // Phase 2: ring all-reduce among island leaders over the slow fabric.
+    if (leaders.size() <= 1) {
+      sim_.schedule(0.0, phase3);
+      return;
+    }
+    const Bytes chunk = std::max<Bytes>(1, bytes / static_cast<Bytes>(leaders.size()));
+    runRing(op, leaders, chunk, 2 * (static_cast<int>(leaders.size()) - 1),
+            phase3);
+  };
+
+  for (const auto& island : islands) {
+    if (island.size() <= 1) {
+      if (--*phase1_remaining == 0) sim_.schedule(0.0, phase2);
+      continue;
+    }
+    const Bytes chunk = std::max<Bytes>(1, bytes / static_cast<Bytes>(island.size()));
+    runRing(op, island, chunk, 2 * (static_cast<int>(island.size()) - 1),
+            [phase1_remaining, phase2, this] {
+              if (--*phase1_remaining == 0) sim_.schedule(0.0, phase2);
+            });
+  }
+}
+
+void Communicator::finish(std::shared_ptr<Op> op, CollectiveCallback done) {
+  ++completed_;
+  CollectiveResult r;
+  r.start = op->start;
+  r.end = sim_.now();
+  r.payload = op->payload;
+  r.bytes_on_fabric = op->bytes_on_fabric;
+  r.algorithm = op->algorithm;
+  if (done) done(r);
+  opFinished();
+}
+
+void Communicator::allReduce(Bytes bytes, CollectiveCallback done,
+                             Algorithm algorithm) {
+  if (algorithm == Algorithm::Auto) algorithm = chooseAlgorithm();
+  auto op = std::make_shared<Op>();
+  op->payload = bytes;
+  op->algorithm = algorithm;
+  enqueue([this, op, bytes, done, algorithm] {
+    op->start = sim_.now();
+    runAllReduce(op, bytes, done, algorithm);
+  });
+}
+
+void Communicator::runAllReduce(std::shared_ptr<Op> op, Bytes bytes,
+                                CollectiveCallback done, Algorithm algorithm) {
+  const int n = size();
+
+  if (n <= 1 || bytes <= 0) {
+    sim_.schedule(0.0, [this, op, done] { finish(op, done); });
+    return;
+  }
+
+  std::vector<int> everyone(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) everyone[static_cast<std::size_t>(i)] = i;
+
+  switch (algorithm) {
+    case Algorithm::Ring: {
+      // Parallel channels when every ring edge is pure NVLink.
+      int channels = 1;
+      const auto islands = nvlinkIslands();
+      if (islands.size() == 1 && n > 1) channels = options_.nvlink_channels;
+      auto remaining = std::make_shared<int>(channels);
+      const Bytes perChannel = std::max<Bytes>(1, bytes / channels);
+      for (int c = 0; c < channels; ++c) {
+        const Bytes chunk = std::max<Bytes>(1, perChannel / static_cast<Bytes>(n));
+        runRing(op, everyone, chunk, 2 * (n - 1), [this, remaining, op, done] {
+          if (--*remaining == 0) finish(op, done);
+        });
+      }
+      break;
+    }
+    case Algorithm::Tree: {
+      runFanSequential(op, 0, bytes, /*toRoot=*/true, [this, op, bytes, done] {
+        runFanSequential(op, 0, bytes, /*toRoot=*/false,
+                         [this, op, done] { finish(op, done); });
+      });
+      break;
+    }
+    case Algorithm::Hierarchical: {
+      runHierarchical(op, bytes, [this, op, done] { finish(op, done); });
+      break;
+    }
+    case Algorithm::Naive: {
+      // Everyone sends to rank 0, rank 0 replies to everyone (PyTorch DP's
+      // master-centric pattern; also the ablation baseline).
+      auto gathered = std::make_shared<int>(n - 1);
+      for (int i = 1; i < n; ++i) {
+        sendChunk(op, i, 0, bytes, [this, op, gathered, bytes, done, n] {
+          if (--*gathered != 0) return;
+          auto scattered = std::make_shared<int>(n - 1);
+          for (int j = 1; j < n; ++j) {
+            sendChunk(op, 0, j, bytes, [this, op, scattered, done] {
+              if (--*scattered == 0) finish(op, done);
+            });
+          }
+        });
+      }
+      break;
+    }
+    case Algorithm::Auto:
+      break;  // unreachable: resolved above
+  }
+}
+
+void Communicator::broadcast(Bytes bytes, int root, CollectiveCallback done) {
+  auto op = std::make_shared<Op>();
+  op->payload = bytes;
+  op->algorithm = Algorithm::Tree;
+  enqueue([this, op, bytes, root, done] {
+    op->start = sim_.now();
+    runFanSequential(op, root, bytes, /*toRoot=*/false,
+                     [this, op, done] { finish(op, done); });
+  });
+}
+
+void Communicator::reduce(Bytes bytes, int root, CollectiveCallback done) {
+  auto op = std::make_shared<Op>();
+  op->payload = bytes;
+  op->algorithm = Algorithm::Tree;
+  enqueue([this, op, bytes, root, done] {
+    op->start = sim_.now();
+    runFanSequential(op, root, bytes, /*toRoot=*/true,
+                     [this, op, done] { finish(op, done); });
+  });
+}
+
+void Communicator::allGather(Bytes shardBytes, CollectiveCallback done) {
+  auto op = std::make_shared<Op>();
+  op->payload = shardBytes * size();
+  op->algorithm = Algorithm::Ring;
+  enqueue([this, op, shardBytes, done] {
+    op->start = sim_.now();
+    std::vector<int> everyone(static_cast<std::size_t>(size()));
+    for (int i = 0; i < size(); ++i) everyone[static_cast<std::size_t>(i)] = i;
+    runRing(op, everyone, shardBytes, size() - 1,
+            [this, op, done] { finish(op, done); });
+  });
+}
+
+void Communicator::allToAll(Bytes shardBytes, CollectiveCallback done) {
+  auto op = std::make_shared<Op>();
+  op->payload = shardBytes * (size() - 1);
+  op->algorithm = Algorithm::Ring;
+  enqueue([this, op, shardBytes, done] {
+    op->start = sim_.now();
+    const int n = size();
+    if (n <= 1 || shardBytes <= 0) {
+      sim_.schedule(0.0, [this, op, done] { finish(op, done); });
+      return;
+    }
+    auto remaining = std::make_shared<int>(n * (n - 1));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        sendChunk(op, i, j, shardBytes, [this, remaining, op, done] {
+          if (--*remaining == 0) finish(op, done);
+        });
+      }
+    }
+  });
+}
+
+void Communicator::barrier(CollectiveCallback done) {
+  auto op = std::make_shared<Op>();
+  op->payload = 0;
+  op->algorithm = Algorithm::Ring;
+  enqueue([this, op, done] {
+    op->start = sim_.now();
+    std::vector<int> everyone(static_cast<std::size_t>(size()));
+    for (int i = 0; i < size(); ++i) everyone[static_cast<std::size_t>(i)] = i;
+    // Two latency-only ring passes propagate "everyone arrived".
+    runRing(op, everyone, 1, 2 * (size() - 1),
+            [this, op, done] { finish(op, done); });
+  });
+}
+
+void Communicator::reduceScatter(Bytes bytes, CollectiveCallback done) {
+  auto op = std::make_shared<Op>();
+  op->payload = bytes;
+  op->algorithm = Algorithm::Ring;
+  enqueue([this, op, bytes, done] {
+    op->start = sim_.now();
+    std::vector<int> everyone(static_cast<std::size_t>(size()));
+    for (int i = 0; i < size(); ++i) everyone[static_cast<std::size_t>(i)] = i;
+    const Bytes chunk = std::max<Bytes>(1, bytes / size());
+    runRing(op, everyone, chunk, size() - 1,
+            [this, op, done] { finish(op, done); });
+  });
+}
+
+}  // namespace composim::collectives

@@ -1,0 +1,112 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace composim::core {
+
+ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model,
+                                 ExperimentOptions options) {
+  ComposableSystem system(config);
+  auto gpus = system.trainingGpus();
+
+  dl::TrainerOptions topt = options.trainer;
+  if (topt.max_iterations_per_epoch == 0) {
+    topt.max_iterations_per_epoch = options.iterations_per_epoch_cap;
+  }
+  dl::Trainer trainer(system.sim(), system.network(), system.topology(), gpus,
+                      system.cpu(), system.hostMemory(),
+                      system.trainingStorage(), model, dl::datasetFor(model),
+                      topt);
+
+  auto sampler = std::make_shared<telemetry::MetricsSampler>(
+      system.sim(), options.sample_interval);
+
+  // GPU utilization / memory-access %: rate of cumulative busy seconds
+  // across the training GPUs, scaled to percent.
+  // Communication-kernel busy time is credited at collective completion,
+  // which can land a whole window's worth of busy seconds in one sample;
+  // clamp like nvidia-smi (utilization never reads above 100%).
+  const double per_gpu_pct = 100.0 / static_cast<double>(gpus.size());
+  auto busy_probe = std::make_shared<telemetry::RateProbe>(
+      system.sim(),
+      [gpus] {
+        double total = 0.0;
+        for (const auto* g : gpus) total += g->busyTime();
+        return total;
+      },
+      per_gpu_pct);
+  sampler->addProbe("gpu_util_pct",
+                    [busy_probe] { return std::min(100.0, (*busy_probe)()); });
+  sampler->addRateProbe("gpu_mem_access_pct", [gpus] {
+    double total = 0.0;
+    for (const auto* g : gpus) total += g->memBusyTime();
+    return total;
+  }, per_gpu_pct);
+  sampler->addProbe("gpu_mem_util_pct", [gpus] {
+    double total = 0.0;
+    for (const auto* g : gpus) total += g->memoryUtilization();
+    return 100.0 * total / static_cast<double>(gpus.size());
+  });
+  devices::HostCpu* cpu = &system.cpu();
+  sampler->addRateProbe("cpu_util_pct", [cpu] { return cpu->busyThreadTime(); },
+                        100.0 / cpu->totalThreads());
+  sampler->addProbe("host_mem_util_pct",
+                    [cpu] { return 100.0 * cpu->memoryUtilization(); });
+  ComposableSystem* sys = &system;
+  sampler->addRateProbe("falcon_pcie_gbs",
+                        [sys] { return static_cast<double>(sys->falconGpuPortBytes()); },
+                        1e-9);
+
+  sampler->start();
+  system.bmc().startPeriodicSampling(units::seconds(5.0));
+
+  dl::TrainingResult training;
+  bool finished = false;
+  trainer.start([&](const dl::TrainingResult& r) {
+    training = r;
+    finished = true;
+    // Periodic activities would otherwise keep the event queue alive
+    // forever; training completion ends the measurement.
+    sampler->sampleOnce();
+    sampler->stop();
+    system.bmc().stopPeriodicSampling();
+  });
+  system.sim().run();
+  if (!finished) {
+    throw std::runtime_error("Experiment: simulation drained without finishing");
+  }
+
+  ExperimentResult result;
+  result.config = config;
+  result.benchmark = model.name;
+  result.training = training;
+  result.sampler = sampler;
+
+  // Steady-state window: skip the priming phase and exclude checkpoint
+  // time (the final checkpoint's idle tail would otherwise dominate the
+  // means of short capped runs).
+  const SimTime end =
+      std::max(0.0, training.simulated_time - training.checkpoint_time);
+  const SimTime from = end * 0.15;
+  result.gpu_util_pct = sampler->series("gpu_util_pct").meanInWindow(from, end);
+  result.gpu_mem_access_pct =
+      sampler->series("gpu_mem_access_pct").meanInWindow(from, end);
+  result.gpu_mem_util_pct =
+      sampler->series("gpu_mem_util_pct").meanInWindow(from, end);
+  result.cpu_util_pct = sampler->series("cpu_util_pct").meanInWindow(from, end);
+  result.host_mem_util_pct =
+      sampler->series("host_mem_util_pct").meanInWindow(from, end);
+  result.falcon_pcie_gbs =
+      sampler->series("falcon_pcie_gbs").meanInWindow(from, end);
+  return result;
+}
+
+double Experiment::trainingTimeChangePct(const ExperimentResult& result,
+                                         const ExperimentResult& baseline) {
+  const double base = baseline.training.extrapolated_total_time;
+  if (base <= 0.0) return 0.0;
+  return 100.0 * (result.training.extrapolated_total_time - base) / base;
+}
+
+}  // namespace composim::core

@@ -1,0 +1,58 @@
+// composim: one benchmark x configuration measurement run.
+//
+// Reproduces the paper's experiment harness: build the system for a
+// Table III configuration, train the benchmark with the requested
+// software options, sample the system-level metrics the paper plots
+// (GPU util, GPU memory util, memory-access time, CPU util, host memory,
+// Falcon PCIe traffic), and summarize.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/composable_system.hpp"
+#include "dl/trainer.hpp"
+#include "dl/zoo.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace composim::core {
+
+struct ExperimentOptions {
+  dl::TrainerOptions trainer;
+  SimTime sample_interval = 0.25;  // telemetry cadence (simulated seconds)
+  /// Default iteration cap per epoch keeps runs fast; totals are
+  /// extrapolated from steady-state iteration time (see DESIGN.md).
+  int iterations_per_epoch_cap = 30;
+};
+
+struct ExperimentResult {
+  SystemConfig config = SystemConfig::LocalGpus;
+  std::string benchmark;
+  dl::TrainingResult training;
+
+  // Means over the steady-state window, in the paper's units.
+  double gpu_util_pct = 0.0;
+  double gpu_mem_util_pct = 0.0;
+  double gpu_mem_access_pct = 0.0;
+  double cpu_util_pct = 0.0;
+  double host_mem_util_pct = 0.0;
+  double falcon_pcie_gbs = 0.0;  // aggregate over falcon GPU ports
+
+  /// Full sampled series (kept alive for the Fig 9 strip charts / CSV).
+  std::shared_ptr<telemetry::MetricsSampler> sampler;
+};
+
+class Experiment {
+ public:
+  /// Run `model` on `config`. Blocking: advances the simulation to
+  /// completion.
+  static ExperimentResult run(SystemConfig config, const dl::ModelSpec& model,
+                              ExperimentOptions options = {});
+
+  /// Convenience: percentage change of extrapolated training time versus a
+  /// baseline result (positive = slower than baseline).
+  static double trainingTimeChangePct(const ExperimentResult& result,
+                                      const ExperimentResult& baseline);
+};
+
+}  // namespace composim::core

@@ -1,0 +1,80 @@
+#include "core/experiment_config.hpp"
+
+#include <stdexcept>
+
+namespace composim::core {
+
+SystemConfig configFromName(const std::string& name) {
+  for (const auto c : allConfigs()) {
+    if (name == toString(c)) return c;
+  }
+  if (name == toString(SystemConfig::AllGpus16)) return SystemConfig::AllGpus16;
+  throw std::invalid_argument("unknown configuration '" + name + "'");
+}
+
+dl::ModelSpec benchmarkFromName(const std::string& name) {
+  for (const auto& m : dl::benchmarkZoo()) {
+    if (m.name == name) return m;
+  }
+  throw std::invalid_argument("unknown benchmark '" + name + "'");
+}
+
+namespace {
+
+dl::Strategy strategyFromName(const std::string& name) {
+  if (name == "ddp" || name == "DDP") return dl::Strategy::DistributedDataParallel;
+  if (name == "dp" || name == "DP") return dl::Strategy::DataParallel;
+  throw std::invalid_argument("unknown strategy '" + name + "'");
+}
+
+devices::Precision precisionFromName(const std::string& name) {
+  if (name == "fp16" || name == "FP16") return devices::Precision::FP16;
+  if (name == "fp32" || name == "FP32") return devices::Precision::FP32;
+  throw std::invalid_argument("unknown precision '" + name + "'");
+}
+
+}  // namespace
+
+std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
+  std::vector<ExperimentSpec> specs;
+  for (const auto& e : doc.at("experiments").asArray()) {
+    ExperimentSpec s;
+    s.name = e.at("name").asString();
+    s.benchmark = e.at("benchmark").asString();
+    benchmarkFromName(s.benchmark);  // validate early
+    s.config = configFromName(e.at("config").asString());
+    if (const auto* v = e.find("epochs")) {
+      s.options.trainer.epochs = static_cast<int>(v->asInt());
+    }
+    if (const auto* v = e.find("iterations_cap")) {
+      s.options.iterations_per_epoch_cap = static_cast<int>(v->asInt());
+    }
+    if (const auto* v = e.find("batch_per_gpu")) {
+      s.options.trainer.batch_per_gpu = static_cast<int>(v->asInt());
+    }
+    if (const auto* v = e.find("strategy")) {
+      s.options.trainer.strategy = strategyFromName(v->asString());
+    }
+    if (const auto* v = e.find("precision")) {
+      s.options.trainer.precision = precisionFromName(v->asString());
+    }
+    if (const auto* v = e.find("sharded")) {
+      s.options.trainer.sharded = v->asBool();
+    }
+    if (const auto* v = e.find("accumulation")) {
+      s.options.trainer.gradient_accumulation_steps = static_cast<int>(v->asInt());
+    }
+    if (const auto* v = e.find("sample_interval")) {
+      s.options.sample_interval = v->asDouble();
+    }
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+ExperimentResult runExperimentSpec(const ExperimentSpec& spec) {
+  return Experiment::run(spec.config, benchmarkFromName(spec.benchmark),
+                         spec.options);
+}
+
+}  // namespace composim::core

@@ -1,0 +1,48 @@
+// composim: JSON-driven experiment suites.
+//
+// The appliance's workflow is configuration files (import/export, §II-B);
+// experiments get the same treatment: a JSON document describes a list of
+// (benchmark, configuration, trainer options) runs, so a measurement
+// campaign is a reviewable artifact instead of a shell history.
+//
+//   {
+//     "suite": "pcie-overhead",
+//     "experiments": [
+//       {"name": "bertL-local",  "benchmark": "BERT-L", "config": "localGPUs"},
+//       {"name": "bertL-falcon", "benchmark": "BERT-L", "config": "falconGPUs",
+//        "epochs": 1, "iterations_cap": 20, "precision": "fp16",
+//        "strategy": "ddp", "sharded": false, "batch_per_gpu": 6,
+//        "accumulation": 1}
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "falcon/json.hpp"
+
+namespace composim::core {
+
+struct ExperimentSpec {
+  std::string name;
+  std::string benchmark;  // Table II model name
+  SystemConfig config = SystemConfig::LocalGpus;
+  ExperimentOptions options;
+};
+
+/// Parse a suite document; throws falcon::JsonError / std::invalid_argument
+/// on unknown benchmarks, configurations or option values.
+std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc);
+
+/// Resolve a Table III label ("localGPUs", ... , "allGPUs16").
+SystemConfig configFromName(const std::string& name);
+
+/// Resolve a Table II benchmark name to its model spec.
+dl::ModelSpec benchmarkFromName(const std::string& name);
+
+/// Run one parsed spec.
+ExperimentResult runExperimentSpec(const ExperimentSpec& spec);
+
+}  // namespace composim::core

@@ -1,0 +1,85 @@
+#include "core/recommender.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace composim::core {
+
+void Recommender::addRun(const ExperimentResult& result,
+                         const dl::ModelSpec& model) {
+  RunRecord r;
+  r.benchmark = result.benchmark;
+  r.config = result.config;
+  r.time_seconds = result.training.extrapolated_total_time;
+  r.samples_per_second = result.training.samples_per_second;
+  r.param_bytes =
+      static_cast<double>(model.paramBytes(devices::Precision::FP16));
+  r.flops_per_sample = model.forwardFlopsPerSample();
+  addRun(std::move(r));
+}
+
+void Recommender::addRun(RunRecord record) { runs_.push_back(std::move(record)); }
+
+std::optional<Recommendation> Recommender::recommendAmong(
+    const std::vector<const RunRecord*>& candidates) const {
+  if (candidates.empty()) return std::nullopt;
+  const RunRecord* best = candidates.front();
+  const RunRecord* best_falcon = nullptr;
+  for (const RunRecord* r : candidates) {
+    if (r->time_seconds < best->time_seconds) best = r;
+    const bool involves_falcon = r->config == SystemConfig::FalconGpus ||
+                                 r->config == SystemConfig::HybridGpus ||
+                                 r->config == SystemConfig::FalconNvme;
+    if (involves_falcon &&
+        (best_falcon == nullptr || r->time_seconds < best_falcon->time_seconds)) {
+      best_falcon = r;
+    }
+  }
+  Recommendation rec;
+  rec.config = best->config;
+  rec.expected_time_seconds = best->time_seconds;
+  if (best_falcon != nullptr && best->time_seconds > 0.0) {
+    rec.composability_overhead_pct =
+        100.0 * (best_falcon->time_seconds - best->time_seconds) /
+        best->time_seconds;
+  }
+  rec.rationale = "fastest of " + std::to_string(candidates.size()) +
+                  " measured configurations for '" + best->benchmark + "'";
+  return rec;
+}
+
+std::optional<Recommendation> Recommender::recommendFor(
+    const std::string& benchmark) const {
+  std::vector<const RunRecord*> candidates;
+  for (const auto& r : runs_) {
+    if (r.benchmark == benchmark) candidates.push_back(&r);
+  }
+  return recommendAmong(candidates);
+}
+
+std::optional<Recommendation> Recommender::recommendFor(
+    const dl::ModelSpec& model) const {
+  if (runs_.empty()) return std::nullopt;
+  // Find the most similar measured benchmark in log space.
+  const double pb = std::log(
+      std::max(1.0, static_cast<double>(model.paramBytes(devices::Precision::FP16))));
+  const double fl = std::log(std::max(1.0, model.forwardFlopsPerSample()));
+  double best_dist = std::numeric_limits<double>::infinity();
+  std::string best_name;
+  for (const auto& r : runs_) {
+    const double d = std::hypot(std::log(std::max(1.0, r.param_bytes)) - pb,
+                                std::log(std::max(1.0, r.flops_per_sample)) - fl);
+    if (d < best_dist) {
+      best_dist = d;
+      best_name = r.benchmark;
+    }
+  }
+  auto rec = recommendFor(best_name);
+  if (rec) {
+    rec->rationale += " (nearest measured workload to '" + model.name + "')";
+  }
+  return rec;
+}
+
+}  // namespace composim::core

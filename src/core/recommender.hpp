@@ -1,0 +1,63 @@
+// composim: configuration recommender (the paper's §VI future work:
+// "build a system framework that can take the input of various configured
+// runs, and recommend the optimal system level topology").
+//
+// Measured runs are recorded per (benchmark, configuration); a query asks
+// for the best configuration for a workload, either by direct lookup or —
+// for an unseen workload — by nearest-neighbour matching on the model
+// characteristics that drive the composability trade-off (parameter bytes
+// to synchronize per step vs compute per step).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "dl/model.hpp"
+
+namespace composim::core {
+
+struct RunRecord {
+  std::string benchmark;
+  SystemConfig config = SystemConfig::LocalGpus;
+  double time_seconds = 0.0;          // extrapolated full-run time
+  double samples_per_second = 0.0;
+  // Workload descriptor used for similarity on unseen models.
+  double param_bytes = 0.0;
+  double flops_per_sample = 0.0;
+};
+
+struct Recommendation {
+  SystemConfig config = SystemConfig::LocalGpus;
+  double expected_time_seconds = 0.0;
+  /// Relative slowdown of the best Falcon-involving configuration vs the
+  /// best overall — the price of full composability for this workload.
+  double composability_overhead_pct = 0.0;
+  std::string rationale;
+};
+
+class Recommender {
+ public:
+  void addRun(const ExperimentResult& result, const dl::ModelSpec& model);
+  void addRun(RunRecord record);
+
+  std::size_t runCount() const { return runs_.size(); }
+
+  /// Best configuration among recorded runs of `benchmark`.
+  std::optional<Recommendation> recommendFor(const std::string& benchmark) const;
+
+  /// Best configuration for an unseen model, using the most similar
+  /// recorded benchmark (log-space distance over the descriptor).
+  std::optional<Recommendation> recommendFor(const dl::ModelSpec& model) const;
+
+  const std::vector<RunRecord>& runs() const { return runs_; }
+
+ private:
+  std::optional<Recommendation> recommendAmong(
+      const std::vector<const RunRecord*>& candidates) const;
+
+  std::vector<RunRecord> runs_;
+};
+
+}  // namespace composim::core

@@ -1,0 +1,32 @@
+// composim: the modelled software stack (paper Table I).
+//
+// The simulator's calibration corresponds to this exact stack; the table
+// is reproduced verbatim so EXPERIMENTS.md and the Table I bench can print
+// the provenance of every constant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace composim::core {
+
+struct StackRow {
+  std::string component;
+  std::string version;
+};
+
+inline std::vector<StackRow> softwareStack() {
+  return {
+      {"Operating system", "Ubuntu 18.04"},
+      {"DL Framework", "PyTorch 1.7.1"},
+      {"CUDA", "10.2.89"},
+      {"CUDA Driver", "450.102.04"},
+      {"CUDNN", "cudnn7.6.5"},
+      {"NCCL", "NCCL 2.8.4"},
+      {"Profilers", "wandb 0.10.14"},
+      {"", "NVIDIA Nsight Systems 2020.4.3.7"},
+      {"", "NVIDIA Nsight Compute 2020.3.0.0"},
+  };
+}
+
+}  // namespace composim::core

@@ -1,0 +1,71 @@
+#include "devices/gpu.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace composim::devices {
+
+SimTime Gpu::kernelDuration(const KernelDesc& k) const {
+  const double peak =
+      (k.precision == Precision::FP16) ? spec_.fp16_flops : spec_.fp32_flops;
+  const double rate = std::max(1.0, peak * std::clamp(k.efficiency, 1e-4, 1.0));
+  const double t_compute = k.flops / rate;
+  const double t_memory =
+      static_cast<double>(k.mem_bytes) / spec_.mem_bandwidth;
+  return spec_.kernel_launch_overhead + std::max(t_compute, t_memory);
+}
+
+void Gpu::launchKernel(const KernelDesc& k, std::function<void()> done) {
+  ++kernels_launched_;
+  queue_.push_back(Pending{k, std::move(done)});
+  if (!busy_) startNext();
+}
+
+void Gpu::startNext() {
+  if (queue_.empty()) return;
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+
+  const SimTime d = kernelDuration(p.desc);
+  const SimTime t_memory =
+      static_cast<double>(p.desc.mem_bytes) / spec_.mem_bandwidth;
+  busy_ = true;
+  busy_since_ = sim_.now();
+  current_mem_busy_ = std::min(t_memory, d);
+
+  sim_.schedule(d, [this, d, cb = std::move(p.done)]() mutable {
+    busy_ = false;
+    busy_accum_ += d;
+    mem_busy_accum_ += current_mem_busy_;
+    current_mem_busy_ = 0.0;
+    ++kernels_retired_;
+    if (cb) cb();
+    startNext();
+  });
+}
+
+void Gpu::allocate(Bytes bytes) {
+  if (allocated_ + bytes > spec_.mem_capacity) {
+    throw GpuOutOfMemory(name_ + ": allocation of " + formatBytes(bytes) +
+                         " exceeds " + formatBytes(spec_.mem_capacity) +
+                         " (in use: " + formatBytes(allocated_) + ")");
+  }
+  allocated_ += bytes;
+}
+
+void Gpu::free(Bytes bytes) {
+  allocated_ = std::max<Bytes>(0, allocated_ - bytes);
+}
+
+SimTime Gpu::busyTime() const {
+  return busy_accum_ + (busy_ ? sim_.now() - busy_since_ : 0.0);
+}
+
+SimTime Gpu::memBusyTime() const {
+  if (!busy_) return mem_busy_accum_;
+  // Attribute the in-flight kernel's memory time proportionally.
+  const SimTime elapsed = sim_.now() - busy_since_;
+  return mem_busy_accum_ + std::min(current_mem_busy_, elapsed);
+}
+
+}  // namespace composim::devices

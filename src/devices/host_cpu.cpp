@@ -1,0 +1,46 @@
+#include "devices/host_cpu.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace composim::devices {
+
+void HostCpu::touchAccounting() {
+  const SimTime now = sim_.now();
+  busy_accum_ += busy_threads_ * (now - last_change_);
+  last_change_ = now;
+}
+
+void HostCpu::submit(SimTime duration, std::function<void()> done) {
+  Task t{std::max(0.0, duration), std::move(done)};
+  if (busy_threads_ < totalThreads()) {
+    dispatch(std::move(t));
+  } else {
+    queue_.push_back(std::move(t));
+  }
+}
+
+void HostCpu::dispatch(Task task) {
+  touchAccounting();
+  ++busy_threads_;
+  sim_.schedule(task.duration, [this, cb = std::move(task.done)]() mutable {
+    touchAccounting();
+    --busy_threads_;
+    if (cb) cb();
+    if (!queue_.empty() && busy_threads_ < totalThreads()) {
+      Task next = std::move(queue_.front());
+      queue_.pop_front();
+      dispatch(std::move(next));
+    }
+  });
+}
+
+SimTime HostCpu::busyThreadTime() const {
+  return busy_accum_ + busy_threads_ * (sim_.now() - last_change_);
+}
+
+void HostCpu::freeMemory(Bytes bytes) {
+  host_mem_used_ = std::max<Bytes>(0, host_mem_used_ - bytes);
+}
+
+}  // namespace composim::devices

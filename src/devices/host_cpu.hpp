@@ -1,0 +1,67 @@
+// composim: host CPU model.
+//
+// A pool of hardware threads executing submitted tasks FIFO across the
+// earliest-available thread (how a PyTorch DataLoader worker pool behaves
+// when workers outnumber cores is irrelevant here: we schedule onto
+// hardware threads directly). Utilization accounting feeds Fig 13.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "devices/specs.hpp"
+#include "sim/simulator.hpp"
+
+namespace composim::devices {
+
+class HostCpu {
+ public:
+  HostCpu(Simulator& sim, CpuSpec spec) : sim_(sim), spec_(spec) {}
+
+  HostCpu(const HostCpu&) = delete;
+  HostCpu& operator=(const HostCpu&) = delete;
+
+  const CpuSpec& spec() const { return spec_; }
+
+  /// Submit a task consuming `duration` seconds of one hardware thread;
+  /// `done` fires at completion. Tasks queue when all threads are busy.
+  void submit(SimTime duration, std::function<void()> done);
+
+  int busyThreads() const { return busy_threads_; }
+  int totalThreads() const { return spec_.totalThreads(); }
+  std::size_t queuedTasks() const { return queue_.size(); }
+
+  /// Cumulative busy thread-seconds (telemetry diffs this for Fig 13).
+  SimTime busyThreadTime() const;
+
+  /// --- host memory accounting (Fig 14) ---
+  void allocateMemory(Bytes bytes) { host_mem_used_ += bytes; }
+  void freeMemory(Bytes bytes);
+  Bytes memoryUsed() const { return host_mem_used_; }
+  Bytes memoryCapacity() const { return spec_.system_memory; }
+  double memoryUtilization() const {
+    return static_cast<double>(host_mem_used_) /
+           static_cast<double>(spec_.system_memory);
+  }
+
+ private:
+  struct Task {
+    SimTime duration;
+    std::function<void()> done;
+  };
+
+  void dispatch(Task task);
+
+  void touchAccounting();
+
+  Simulator& sim_;
+  CpuSpec spec_;
+  std::deque<Task> queue_;
+  int busy_threads_ = 0;
+  SimTime busy_accum_ = 0.0;      // integral of busy_threads_ over time
+  SimTime last_change_ = 0.0;
+  Bytes host_mem_used_ = 0;
+};
+
+}  // namespace composim::devices

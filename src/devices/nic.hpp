@@ -1,0 +1,65 @@
+// composim: network interface card model.
+//
+// The hosts carry two Intel X540-AT2 10 GbE controllers (paper §II-A);
+// in the reproduction they matter as the path to NAS-style shared storage
+// and as a composable device class the Falcon can hold. A Nic wires the
+// host root complex to an external network node through an Ethernet-class
+// link; traffic accounting comes from the link counters.
+#pragma once
+
+#include <string>
+
+#include "fabric/link_catalog.hpp"
+#include "fabric/topology.hpp"
+
+namespace composim::devices {
+
+struct NicSpec {
+  std::string name;
+  Bandwidth rate;       // per direction
+  SimTime latency;
+};
+
+namespace specs {
+
+inline NicSpec x540_10gbe() {
+  return {"Intel X540-AT2 10GbE", units::Gbps(9.4), units::microseconds(25.0)};
+}
+
+}  // namespace specs
+
+class Nic {
+ public:
+  /// Creates the NIC's external port node and wires `attachPoint` (host
+  /// root complex or Falcon slot endpoint) to it.
+  Nic(fabric::Topology& topo, fabric::NodeId attachPoint, NicSpec spec,
+      std::string name)
+      : topo_(topo), spec_(std::move(spec)), name_(std::move(name)) {
+    port_ = topo_.addNode(name_ + ".port", fabric::NodeKind::Nic);
+    auto [tx, rx] = topo_.addDuplexLink(attachPoint, port_, spec_.rate,
+                                        spec_.latency, fabric::LinkKind::Ethernet);
+    tx_link_ = tx;
+    rx_link_ = rx;
+  }
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  const std::string& name() const { return name_; }
+  const NicSpec& spec() const { return spec_; }
+  /// The far side of the wire: connect switches/NAS nodes here.
+  fabric::NodeId externalPort() const { return port_; }
+
+  Bytes bytesTransmitted() const { return topo_.link(tx_link_).counters.bytes; }
+  Bytes bytesReceived() const { return topo_.link(rx_link_).counters.bytes; }
+
+ private:
+  fabric::Topology& topo_;
+  NicSpec spec_;
+  std::string name_;
+  fabric::NodeId port_ = fabric::kInvalidNode;
+  fabric::LinkId tx_link_ = fabric::kInvalidLink;
+  fabric::LinkId rx_link_ = fabric::kInvalidLink;
+};
+
+}  // namespace composim::devices

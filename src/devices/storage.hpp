@@ -1,0 +1,71 @@
+// composim: storage device model (NVMe, NAS baseline).
+//
+// Reads and writes are issued as fabric flows from/to the storage node, so
+// a Falcon-attached NVMe naturally pays the drawer-switch + host-adapter
+// path while a local NVMe rides PCIe3 to the root complex. The device's
+// own media rate is applied as a flow rate cap; small random reads (the
+// many-small-files pattern of vision datasets) are derated by the spec's
+// random_read_efficiency. Operations on one device serialize — the media
+// is the shared resource, so N concurrent readers share one media rate
+// rather than each getting it.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "devices/specs.hpp"
+#include "fabric/flow_network.hpp"
+
+namespace composim::devices {
+
+enum class AccessPattern { Sequential, Random };
+
+class StorageDevice {
+ public:
+  StorageDevice(fabric::FlowNetwork& net, fabric::NodeId node, StorageSpec spec,
+                std::string name)
+      : net_(net), node_(node), spec_(std::move(spec)), name_(std::move(name)) {}
+
+  StorageDevice(const StorageDevice&) = delete;
+  StorageDevice& operator=(const StorageDevice&) = delete;
+
+  const std::string& name() const { return name_; }
+  fabric::NodeId node() const { return node_; }
+  const StorageSpec& spec() const { return spec_; }
+
+  /// Read `bytes` into the memory at `destination` (a fabric node).
+  void read(Bytes bytes, fabric::NodeId destination, AccessPattern pattern,
+            std::function<void(const fabric::FlowResult&)> done);
+
+  /// Write `bytes` from `source` onto the device.
+  void write(Bytes bytes, fabric::NodeId source,
+             std::function<void(const fabric::FlowResult&)> done);
+
+  Bytes bytesRead() const { return bytes_read_; }
+  Bytes bytesWritten() const { return bytes_written_; }
+  std::size_t queuedOps() const { return queue_.size(); }
+
+ private:
+  struct PendingOp {
+    bool is_read = true;
+    Bytes bytes = 0;
+    fabric::NodeId peer = fabric::kInvalidNode;
+    AccessPattern pattern = AccessPattern::Sequential;
+    std::function<void(const fabric::FlowResult&)> done;
+  };
+
+  void submit(PendingOp op);
+  void dispatch(PendingOp op);
+
+  fabric::FlowNetwork& net_;
+  fabric::NodeId node_;
+  StorageSpec spec_;
+  std::string name_;
+  Bytes bytes_read_ = 0;
+  Bytes bytes_written_ = 0;
+  bool busy_ = false;
+  std::deque<PendingOp> queue_;
+};
+
+}  // namespace composim::devices

@@ -1,0 +1,72 @@
+#include "dl/model.hpp"
+
+#include <algorithm>
+
+namespace composim::dl {
+
+const char* toString(Domain d) {
+  switch (d) {
+    case Domain::ComputerVision: return "Computer Vision";
+    case Domain::NLP: return "NLP";
+  }
+  return "?";
+}
+
+std::int64_t ModelSpec::totalParams() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.params;
+  return total;
+}
+
+Flops ModelSpec::forwardFlopsPerSample() const {
+  Flops total = 0.0;
+  for (const auto& l : layers) total += l.forward_flops;
+  return total;
+}
+
+Bytes ModelSpec::activationBytesPerSample() const {
+  Bytes total = 0;
+  for (const auto& l : layers) total += l.activation_bytes;
+  return total;
+}
+
+Bytes ModelSpec::trainingActivationBytesPerSample() const {
+  return static_cast<Bytes>(static_cast<double>(activationBytesPerSample()) *
+                            activation_overhead_factor);
+}
+
+Bytes ModelSpec::paramBytes(devices::Precision p) const {
+  const Bytes elem = (p == devices::Precision::FP16) ? 2 : 4;
+  return totalParams() * elem;
+}
+
+Bytes ModelSpec::gradientBytes(devices::Precision p) const {
+  return paramBytes(p);
+}
+
+std::vector<ModelSpec::MacroGroup> ModelSpec::partition(int groups) const {
+  std::vector<MacroGroup> out;
+  if (layers.empty() || groups <= 0) return out;
+  groups = std::min(groups, static_cast<int>(layers.size()));
+  const Flops total = forwardFlopsPerSample();
+  const Flops per_group = total / groups;
+
+  MacroGroup current;
+  for (const auto& l : layers) {
+    current.params += l.params;
+    current.forward_flops += l.forward_flops;
+    current.activation_bytes += l.activation_bytes;
+    if (current.forward_flops >= per_group &&
+        static_cast<int>(out.size()) < groups - 1) {
+      out.push_back(current);
+      current = MacroGroup{};
+    }
+  }
+  if (current.params > 0 || current.forward_flops > 0.0 ||
+      current.activation_bytes > 0) {
+    out.push_back(current);
+  }
+  return out;
+}
+
+}  // namespace composim::dl

@@ -1,0 +1,88 @@
+// composim: layer-level deep-learning model description.
+//
+// Each benchmark is described layer by layer (parameters, forward FLOPs,
+// activation bytes). The trainer aggregates layers into macro-groups for
+// execution, so the zoo can be faithful to the architectures (ResNet-50's
+// 25.6M parameters come out of the actual conv arithmetic, not a constant)
+// without the simulator paying one event per layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "devices/gpu.hpp"
+#include "sim/units.hpp"
+
+namespace composim::dl {
+
+enum class Domain { ComputerVision, NLP };
+
+const char* toString(Domain d);
+
+enum class LayerKind {
+  Conv,
+  DepthwiseConv,
+  Linear,
+  Attention,
+  Norm,
+  Pool,
+  Embedding,
+  Head,
+};
+
+struct LayerSpec {
+  std::string name;
+  LayerKind kind = LayerKind::Conv;
+  std::int64_t params = 0;
+  Flops forward_flops = 0.0;       // per sample
+  Bytes activation_bytes = 0;      // per sample, FP16 element size
+};
+
+struct ModelSpec {
+  std::string name;
+  Domain domain = Domain::ComputerVision;
+  std::string dataset;             // Table II dataset column
+  std::vector<LayerSpec> layers;
+  int reported_depth = 0;          // the depth convention used in Table II
+
+  /// Sustained fraction of peak FLOPs this model achieves end to end
+  /// (operator mix: depthwise convs are terrible, big GEMMs are good).
+  double fp16_efficiency = 0.25;
+  double fp32_efficiency = 0.40;
+
+  /// On-device input bytes per sample after preprocessing (FP16).
+  Bytes input_bytes_per_sample = 0;
+
+  /// Training-time activation memory is a multiple of the layer-output
+  /// bytes (attention probabilities, dropout masks, autograd buffers);
+  /// fitted so the paper's batch sizes are exactly the feasible ones.
+  double activation_overhead_factor = 2.0;
+
+  /// Paper batch size (Section V-C) and epochs used in the evaluation.
+  int paper_batch_per_gpu = 1;
+  int paper_epochs = 1;
+
+  std::int64_t totalParams() const;
+  Flops forwardFlopsPerSample() const;
+  Bytes activationBytesPerSample() const;
+  /// Layer-output bytes times the training-time overhead factor.
+  Bytes trainingActivationBytesPerSample() const;
+  int layerCount() const { return static_cast<int>(layers.size()); }
+
+  /// Parameter bytes at the given element size (FP16=2, FP32=4).
+  Bytes paramBytes(devices::Precision p) const;
+  /// Gradient bytes exchanged per iteration (same sizing as params).
+  Bytes gradientBytes(devices::Precision p) const;
+
+  /// Partition layers into `groups` contiguous macro-groups of roughly
+  /// equal forward FLOPs (execution granularity for the trainer).
+  struct MacroGroup {
+    std::int64_t params = 0;
+    Flops forward_flops = 0.0;
+    Bytes activation_bytes = 0;
+  };
+  std::vector<MacroGroup> partition(int groups) const;
+};
+
+}  // namespace composim::dl

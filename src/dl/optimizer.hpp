@@ -1,0 +1,73 @@
+// composim: optimizer models.
+//
+// The optimizer choice decides (a) the per-parameter state bytes that the
+// ZeRO/FSDP sharding trades against batch size (the Fig 16 "6 -> 10"
+// effect) and (b) the element-wise update kernel cost. All constants are
+// per parameter; `mixed` selects mixed-precision training (FP16 working
+// copy + FP32 master weights).
+#pragma once
+
+#include <string>
+
+#include "devices/gpu.hpp"
+#include "sim/units.hpp"
+
+namespace composim::dl {
+
+enum class OptimizerKind { Sgd, SgdMomentum, Adam, Lamb };
+
+const char* toString(OptimizerKind k);
+
+struct OptimizerModel {
+  OptimizerKind kind = OptimizerKind::Adam;
+
+  /// Optimizer-state bytes per parameter, excluding the working copy and
+  /// gradient (those are precision-dependent and counted by the trainer).
+  Bytes statePerParam(devices::Precision precision) const;
+
+  /// FLOPs per parameter for one update step.
+  double flopsPerParam() const;
+
+  /// HBM bytes touched per parameter per step (read states + write).
+  Bytes memBytesPerParam(devices::Precision precision) const;
+};
+
+inline const char* toString(OptimizerKind k) {
+  switch (k) {
+    case OptimizerKind::Sgd: return "SGD";
+    case OptimizerKind::SgdMomentum: return "SGD+momentum";
+    case OptimizerKind::Adam: return "Adam";
+    case OptimizerKind::Lamb: return "LAMB";
+  }
+  return "?";
+}
+
+inline Bytes OptimizerModel::statePerParam(devices::Precision precision) const {
+  // Mixed precision keeps an FP32 master copy on top of the moments.
+  const Bytes master = (precision == devices::Precision::FP16) ? 4 : 0;
+  switch (kind) {
+    case OptimizerKind::Sgd: return master;
+    case OptimizerKind::SgdMomentum: return master + 4;       // momentum
+    case OptimizerKind::Adam: return master + 8;              // m + v
+    case OptimizerKind::Lamb: return master + 8;              // m + v
+  }
+  return master + 8;
+}
+
+inline double OptimizerModel::flopsPerParam() const {
+  switch (kind) {
+    case OptimizerKind::Sgd: return 2.0;
+    case OptimizerKind::SgdMomentum: return 4.0;
+    case OptimizerKind::Adam: return 8.0;
+    case OptimizerKind::Lamb: return 12.0;  // adds the trust-ratio norms
+  }
+  return 8.0;
+}
+
+inline Bytes OptimizerModel::memBytesPerParam(devices::Precision precision) const {
+  const Bytes elem = (precision == devices::Precision::FP16) ? 2 : 4;
+  // Read param + grad + states, write param + states.
+  return 2 * elem + statePerParam(precision) * 2;
+}
+
+}  // namespace composim::dl

@@ -1,0 +1,509 @@
+#include "dl/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "fabric/link_catalog.hpp"
+
+namespace composim::dl {
+
+namespace {
+constexpr Bytes kWorkspaceBytes = units::GiB(1.5);  // CUDA context + cuDNN
+constexpr int kWarmupIterations = 3;                // excluded from means
+}  // namespace
+
+const char* toString(Strategy s) {
+  switch (s) {
+    case Strategy::DataParallel: return "DP";
+    case Strategy::DistributedDataParallel: return "DDP";
+  }
+  return "?";
+}
+
+Trainer::Trainer(Simulator& sim, fabric::FlowNetwork& net,
+                 fabric::Topology& topo, std::vector<devices::Gpu*> gpus,
+                 devices::HostCpu& cpu, fabric::NodeId hostMemory,
+                 devices::StorageDevice& storage, ModelSpec model,
+                 DatasetSpec dataset, TrainerOptions options)
+    : sim_(sim), net_(net), topo_(topo), gpus_(std::move(gpus)), cpu_(cpu),
+      host_memory_(hostMemory), storage_(storage), model_(std::move(model)),
+      dataset_(std::move(dataset)), options_(options), rng_(options.seed) {
+  if (gpus_.empty()) throw std::invalid_argument("Trainer: no GPUs");
+  batch_per_gpu_ = options_.batch_per_gpu > 0 ? options_.batch_per_gpu
+                                              : model_.paper_batch_per_gpu;
+  epochs_ = options_.epochs > 0 ? options_.epochs : model_.paper_epochs;
+
+  std::vector<fabric::NodeId> ranks;
+  ranks.reserve(gpus_.size());
+  for (const auto* g : gpus_) ranks.push_back(g->node());
+  comm_ = std::make_unique<collectives::Communicator>(sim_, net_, topo_, ranks);
+
+  groups_ = model_.partition(options_.macro_groups);
+
+  // Bucket plan: coalesce macro-group gradients into ~equal-size buckets,
+  // each launched when its last backward group retires (groups run in
+  // reverse order during backward).
+  const int nbuckets = std::max(1, std::min<int>(options_.gradient_buckets,
+                                                 static_cast<int>(groups_.size())));
+  const Bytes elem = (options_.precision == devices::Precision::FP16) ? 2 : 4;
+  const Bytes total = model_.totalParams() * elem;
+  const Bytes per_bucket = std::max<Bytes>(1, total / nbuckets);
+  BucketPlan current;
+  for (int g = static_cast<int>(groups_.size()) - 1; g >= 0; --g) {
+    current.bytes += groups_[static_cast<std::size_t>(g)].params * elem;
+    current.last_group = g;
+    if (current.bytes >= per_bucket &&
+        static_cast<int>(buckets_.size()) < nbuckets - 1) {
+      buckets_.push_back(current);
+      current = BucketPlan{};
+    }
+  }
+  if (current.bytes > 0) buckets_.push_back(current);
+
+  const int global_batch = batch_per_gpu_ * static_cast<int>(gpus_.size());
+  pipeline_ = std::make_unique<DataPipeline>(sim_, cpu_, storage_, host_memory_,
+                                             dataset_, global_batch,
+                                             options_.pipeline);
+}
+
+Trainer::~Trainer() {
+  for (auto* g : gpus_) {
+    if (allocated_per_gpu_ > 0) g->free(allocated_per_gpu_);
+  }
+}
+
+Bytes Trainer::h2dBytesPerGpu() const {
+  return dataset_.device_bytes_per_sample * batch_per_gpu_;
+}
+
+Bytes Trainer::perGpuMemoryNeeded(int batchPerGpu) const {
+  const Bytes elem = (options_.precision == devices::Precision::FP16) ? 2 : 4;
+  const std::int64_t params = model_.totalParams();
+  const Bytes opt_per_param = options_.optimizer.statePerParam(options_.precision);
+  Bytes states = params * (2 * elem + opt_per_param);  // params + grads + opt
+  if (options_.sharded) states /= static_cast<Bytes>(gpus_.size());
+  Bytes act = model_.trainingActivationBytesPerSample();
+  if (options_.precision == devices::Precision::FP32) act *= 2;
+  return states + act * batchPerGpu + kWorkspaceBytes +
+         dataset_.device_bytes_per_sample * batchPerGpu;
+}
+
+int Trainer::maxFeasibleBatchPerGpu() const {
+  const Bytes cap = gpus_.front()->capacity();
+  int feasible = 0;
+  for (int b = 1; b <= 4096; ++b) {
+    if (perGpuMemoryNeeded(b) > cap) break;
+    feasible = b;
+  }
+  return feasible;
+}
+
+std::int64_t Trainer::iterationsPerEpochFull() const {
+  const std::int64_t global_batch =
+      static_cast<std::int64_t>(batch_per_gpu_) *
+      static_cast<std::int64_t>(gpus_.size()) *
+      std::max(1, options_.gradient_accumulation_steps);
+  return (dataset_.train_samples + global_batch - 1) / global_batch;
+}
+
+void Trainer::start(std::function<void(const TrainingResult&)> done) {
+  done_ = std::move(done);
+  run_start_ = sim_.now();
+
+  const Bytes need = perGpuMemoryNeeded(batch_per_gpu_);
+  try {
+    for (auto* g : gpus_) g->allocate(need);
+    allocated_per_gpu_ = need;
+  } catch (const devices::GpuOutOfMemory& oom) {
+    for (auto* g : gpus_) g->free(need);  // free() clamps, safe for partial
+    allocated_per_gpu_ = 0;
+    finish(false, oom.what());
+    return;
+  }
+
+  // Framework footprint on the host: PyTorch + CUDA contexts + pinned
+  // buffers per GPU (Fig 14's baseline system-memory usage).
+  host_base_memory_ = units::GiB(10) + units::GiB(1.5) * static_cast<Bytes>(gpus_.size());
+  cpu_.allocateMemory(host_base_memory_);
+
+  iters_per_epoch_sim_ = iterationsPerEpochFull();
+  if (options_.max_iterations_per_epoch > 0) {
+    iters_per_epoch_sim_ =
+        std::min<std::int64_t>(iters_per_epoch_sim_, options_.max_iterations_per_epoch);
+  }
+
+  pipeline_->start();
+  prefetchNextInput();
+  beginIteration();
+}
+
+void Trainer::prefetchNextInput() {
+  pipeline_->requestBatch([this] {
+    // Batch is staged in host memory: copy each rank's shard to its GPU.
+    auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
+    for (auto* g : gpus_) {
+      fabric::FlowOptions fo;
+      fo.tag = "h2d";
+      fo.extraLatency = fabric::catalog::dmaEndpointOverhead();
+      net_.startFlow(host_memory_, g->node(), h2dBytesPerGpu(),
+                     [this, remaining](const fabric::FlowResult&) {
+                       if (--*remaining > 0) return;
+                       input_ready_ = true;
+                       if (input_waiter_) {
+                         auto w = std::move(input_waiter_);
+                         input_waiter_ = nullptr;
+                         w();
+                       }
+                     },
+                     std::move(fo));
+    }
+  });
+}
+
+void Trainer::beginIteration() {
+  // The clock starts before any wait on the input pipeline: a data-bound
+  // iteration is a long iteration.
+  iteration_start_ = sim_.now();
+  micro_step_ = 0;
+  backward_done_ = false;
+  pending_allreduce_ = 0;
+  startMicroStep();
+}
+
+void Trainer::startMicroStep() {
+  auto proceed = [this] {
+    input_ready_ = false;
+    // Double buffering: fetch + upload the next micro-batch under this
+    // one's compute.
+    prefetchNextInput();
+    if (options_.strategy == Strategy::DataParallel) {
+      runDataParallelIteration();
+    } else {
+      runForward(0);
+    }
+  };
+  if (input_ready_) {
+    proceed();
+  } else {
+    input_waiter_ = proceed;
+  }
+}
+
+void Trainer::runForward(int group) {
+  if (group == static_cast<int>(groups_.size())) {
+    runBackwardDdp(static_cast<int>(groups_.size()) - 1);
+    return;
+  }
+  const auto& g = groups_[static_cast<std::size_t>(group)];
+  devices::KernelDesc k;
+  k.flops = g.forward_flops * batch_per_gpu_;
+  k.mem_bytes = g.activation_bytes * batch_per_gpu_;
+  k.precision = options_.precision;
+  k.efficiency = (options_.precision == devices::Precision::FP16)
+                     ? model_.fp16_efficiency
+                     : model_.fp32_efficiency;
+  auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
+  for (auto* gpu : gpus_) {
+    gpu->launchKernel(k, [this, remaining, group] {
+      if (--*remaining == 0) runForward(group + 1);
+    });
+  }
+}
+
+void Trainer::runBackwardDdp(int group) {
+  if (group < 0) {
+    const int accum = std::max(1, options_.gradient_accumulation_steps);
+    if (micro_step_ < accum - 1) {
+      ++micro_step_;
+      startMicroStep();
+      return;
+    }
+    backward_done_ = true;
+    backward_done_time_ = sim_.now();
+    if (pending_allreduce_ == 0) onComputeAndCommDone();
+    return;
+  }
+  const auto& g = groups_[static_cast<std::size_t>(group)];
+  devices::KernelDesc k;
+  k.flops = 2.0 * g.forward_flops * batch_per_gpu_;
+  k.mem_bytes = 2 * g.activation_bytes * batch_per_gpu_;
+  k.precision = options_.precision;
+  k.efficiency = (options_.precision == devices::Precision::FP16)
+                     ? model_.fp16_efficiency
+                     : model_.fp32_efficiency;
+  // Gradient sync happens only on the final accumulation micro-step
+  // (DDP's no_sync context for the earlier ones).
+  const bool sync_step =
+      micro_step_ >= std::max(1, options_.gradient_accumulation_steps) - 1;
+  auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
+  for (auto* gpu : gpus_) {
+    gpu->launchKernel(k, [this, remaining, group, sync_step] {
+      if (--*remaining > 0) return;
+      // DDP hook: buckets whose last group just finished its backward pass
+      // start their all-reduce, overlapping the remaining backward work.
+      if (sync_step) {
+        for (const auto& bucket : buckets_) {
+          if (bucket.last_group == group && bucket.bytes > 0) {
+            ++pending_allreduce_;
+            comm_->allReduce(bucket.bytes,
+                             [this](const collectives::CollectiveResult&) {
+                               if (--pending_allreduce_ == 0 && backward_done_) {
+                                 onComputeAndCommDone();
+                               }
+                             },
+                             options_.allreduce_algorithm);
+          }
+        }
+      }
+      runBackwardDdp(group - 1);
+    });
+  }
+}
+
+void Trainer::runDataParallelIteration() {
+  // DP: scatter the replica parameters from the master GPU, run the whole
+  // forward+backward with no overlap, gather gradients to the master.
+  const Bytes param_bytes = model_.paramBytes(options_.precision);
+  comm_->broadcast(param_bytes, 0, [this](const collectives::CollectiveResult&) {
+    // Forward+backward as one fused pass per GPU (no hooks in DP).
+    devices::KernelDesc k;
+    k.flops = 3.0 * model_.forwardFlopsPerSample() * batch_per_gpu_;
+    k.mem_bytes = 3 * model_.activationBytesPerSample() * batch_per_gpu_;
+    k.precision = options_.precision;
+    k.efficiency = (options_.precision == devices::Precision::FP16)
+                       ? model_.fp16_efficiency
+                       : model_.fp32_efficiency;
+    auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
+    for (auto* gpu : gpus_) {
+      gpu->launchKernel(k, [this, remaining] {
+        if (--*remaining > 0) return;
+        comm_->reduce(gradBytes(), 0,
+                      [this](const collectives::CollectiveResult&) {
+                        onComputeAndCommDone();
+                      });
+      });
+    }
+  });
+}
+
+void Trainer::onComputeAndCommDone() {
+  if (options_.strategy == Strategy::DistributedDataParallel) {
+    // Gradient all-reduce time not hidden under backward ran as NCCL
+    // kernels: nvidia-smi counts it as GPU utilization.
+    const SimTime exposed = sim_.now() - backward_done_time_;
+    for (auto* gpu : gpus_) gpu->creditCommBusy(exposed);
+  }
+  optimizerStep([this] { endIteration(); });
+}
+
+void Trainer::optimizerStep(std::function<void()> then) {
+  // Element-wise optimizer update: memory bound over all state bytes.
+  const std::int64_t params = model_.totalParams();
+  devices::KernelDesc k;
+  k.flops = static_cast<double>(params) * options_.optimizer.flopsPerParam();
+  k.mem_bytes = params * options_.optimizer.memBytesPerParam(options_.precision);
+  k.precision = devices::Precision::FP32;
+  k.efficiency = 0.5;
+  const bool master_only = options_.strategy == Strategy::DataParallel;
+  if (options_.sharded) k.mem_bytes /= static_cast<Bytes>(gpus_.size());
+
+  auto counter = std::make_shared<int>(master_only ? 1 : static_cast<int>(gpus_.size()));
+  auto cont = std::make_shared<std::function<void()>>(std::move(then));
+  if (master_only) {
+    gpus_.front()->launchKernel(k, [counter, cont] {
+      if (--*counter == 0) (*cont)();
+    });
+  } else {
+    for (auto* gpu : gpus_) {
+      gpu->launchKernel(k, [counter, cont] {
+        if (--*counter == 0) (*cont)();
+      });
+    }
+  }
+}
+
+void Trainer::endIteration() {
+  // Host-side fixed cost between iterations (Python, launch latency,
+  // LR-schedule bookkeeping): GPUs sit idle for it; the training process
+  // threads show up in the Fig 13 CPU-utilization trace.
+  cpu_.submit(options_.step_overhead, nullptr);
+  cpu_.submit(options_.step_overhead, nullptr);
+  sim_.schedule(options_.step_overhead, [this] {
+    const SimTime dt = sim_.now() - iteration_start_;
+    iteration_times_.push_back(dt);
+    ++iterations_done_;
+    ++iter_in_epoch_;
+
+    // Synthetic but realistic loss trajectory for the tracker.
+    const double total =
+        static_cast<double>(iters_per_epoch_sim_) * std::max(1, epochs_);
+    const double progress = static_cast<double>(iterations_done_) / total;
+    const double base = (model_.domain == Domain::NLP) ? 3.2 : 6.2;
+    const double floor = (model_.domain == Domain::NLP) ? 0.9 : 1.6;
+    result_.loss_curve.push_back(floor + (base - floor) * std::exp(-3.0 * progress) +
+                                 rng_.normal(0.0, 0.02));
+
+    if (iter_in_epoch_ >= iters_per_epoch_sim_) {
+      iter_in_epoch_ = 0;
+      ++epoch_;
+      auto resume = [this] {
+        if (epoch_ >= epochs_) {
+          finish(true, {});
+          return;
+        }
+        if (resize_requested_) {
+          applyPendingResize();
+          if (finished_) return;  // resize hit GPU OOM
+        }
+        beginIteration();
+      };
+      if (options_.checkpoint_each_epoch) {
+        checkpoint(std::move(resume));
+      } else {
+        sim_.schedule(0.0, std::move(resume));
+      }
+    } else if (options_.checkpoint_every_iters > 0 &&
+               iterations_done_ % options_.checkpoint_every_iters == 0) {
+      checkpoint([this] { beginIteration(); });
+    } else {
+      beginIteration();
+    }
+  });
+}
+
+void Trainer::checkpoint(std::function<void()> then) {
+  checkpointing_ = true;
+  const SimTime started = sim_.now();
+  // FP32 model state_dict (what save_pretrained-style checkpoints write).
+  const Bytes ckpt = model_.totalParams() * 4;
+  auto cont = std::make_shared<std::function<void()>>(std::move(then));
+  // D2H from the master GPU, then the write to (possibly Falcon-attached)
+  // storage. Training is paused: this is the Fig 9 utilization dip.
+  fabric::FlowOptions fo;
+  fo.tag = "checkpoint-d2h";
+  net_.startFlow(gpus_.front()->node(), host_memory_, ckpt,
+                 [this, ckpt, started, cont](const fabric::FlowResult&) {
+                   storage_.write(ckpt, host_memory_,
+                                  [this, ckpt, started, cont](const fabric::FlowResult&) {
+                                    checkpointing_ = false;
+                                    result_.checkpoint_bytes += ckpt;
+                                    result_.checkpoint_time += sim_.now() - started;
+                                    (*cont)();
+                                  });
+                 },
+                 std::move(fo));
+}
+
+bool Trainer::requestResize(std::vector<devices::Gpu*> gpus) {
+  if (finished_ || gpus.empty()) return false;
+  pending_resize_ = std::move(gpus);
+  resize_requested_ = true;
+  return true;
+}
+
+void Trainer::applyPendingResize() {
+  resize_requested_ = false;
+  ++resize_count_;
+
+  // Release the outgoing composition.
+  for (auto* g : gpus_) g->free(allocated_per_gpu_);
+  allocated_per_gpu_ = 0;
+  gpus_ = std::move(pending_resize_);
+  pending_resize_.clear();
+
+  // The model state was just checkpointed; the incoming GPUs load it and
+  // training resumes at the same per-GPU batch.
+  const Bytes need = perGpuMemoryNeeded(batch_per_gpu_);
+  try {
+    for (auto* g : gpus_) g->allocate(need);
+    allocated_per_gpu_ = need;
+  } catch (const devices::GpuOutOfMemory& oom) {
+    for (auto* g : gpus_) g->free(need);
+    allocated_per_gpu_ = 0;
+    finish(false, std::string("resize failed: ") + oom.what());
+    return;
+  }
+
+  std::vector<fabric::NodeId> ranks;
+  ranks.reserve(gpus_.size());
+  for (const auto* g : gpus_) ranks.push_back(g->node());
+  comm_ = std::make_unique<collectives::Communicator>(sim_, net_, topo_, ranks);
+
+  // New global batch -> new pipeline; the old one is retired (it may
+  // still hold in-flight storage callbacks) and any batch it delivers
+  // late simply tops up the input queue.
+  pipeline_->stop();
+  const int global_batch = batch_per_gpu_ * static_cast<int>(gpus_.size());
+  retired_pipelines_.push_back(std::move(pipeline_));
+  pipeline_ = std::make_unique<DataPipeline>(sim_, cpu_, storage_, host_memory_,
+                                             dataset_, global_batch,
+                                             options_.pipeline);
+  pipeline_->start();
+
+  input_ready_ = false;
+  input_waiter_ = nullptr;
+  iters_per_epoch_sim_ = iterationsPerEpochFull();
+  if (options_.max_iterations_per_epoch > 0) {
+    iters_per_epoch_sim_ = std::min<std::int64_t>(
+        iters_per_epoch_sim_, options_.max_iterations_per_epoch);
+  }
+  prefetchNextInput();
+}
+
+void Trainer::finish(bool completed, const std::string& error) {
+  finished_ = true;
+  pipeline_->stop();
+  if (host_base_memory_ > 0) {
+    cpu_.freeMemory(host_base_memory_);
+    host_base_memory_ = 0;
+  }
+  result_.completed = completed;
+  result_.error = error;
+  result_.epochs = epoch_;
+  result_.iterations_run = iterations_done_;
+  result_.iterations_full = iterationsPerEpochFull() * epochs_;
+  result_.simulated_time = sim_.now() - run_start_;
+  result_.data_stall_time = pipeline_->stallTime();
+
+  // Steady-state statistics (skip warmup; pipeline priming distorts the
+  // first iterations).
+  if (!iteration_times_.empty()) {
+    const std::size_t skip =
+        iteration_times_.size() > kWarmupIterations * 2 ? kWarmupIterations : 0;
+    double sum = 0.0;
+    for (std::size_t i = skip; i < iteration_times_.size(); ++i) {
+      sum += iteration_times_[i];
+    }
+    const auto n = static_cast<double>(iteration_times_.size() - skip);
+    result_.mean_iteration_time = sum / n;
+    const double global_batch =
+        static_cast<double>(batch_per_gpu_) * static_cast<double>(gpus_.size()) *
+        std::max(1, options_.gradient_accumulation_steps);
+    result_.samples_per_second = global_batch / result_.mean_iteration_time;
+  }
+  // A full run checkpoints at every epoch boundary plus every
+  // checkpoint_every_iters steps; capped simulations measured at least
+  // the epoch-boundary ones, whose mean prices the rest.
+  std::int64_t ckpts_simulated = epoch_;
+  if (options_.checkpoint_every_iters > 0) {
+    ckpts_simulated += iterations_done_ / options_.checkpoint_every_iters;
+  }
+  std::int64_t ckpts_full = options_.checkpoint_each_epoch ? epochs_ : 0;
+  if (options_.checkpoint_every_iters > 0) {
+    ckpts_full += result_.iterations_full / options_.checkpoint_every_iters;
+  }
+  const SimTime per_ckpt =
+      result_.checkpoint_time / std::max<std::int64_t>(1, ckpts_simulated);
+  result_.extrapolated_total_time =
+      result_.mean_iteration_time * static_cast<double>(result_.iterations_full) +
+      per_ckpt * static_cast<double>(ckpts_full);
+
+  if (done_) {
+    auto d = std::move(done_);
+    done_ = nullptr;
+    d(result_);
+  }
+}
+
+}  // namespace composim::dl

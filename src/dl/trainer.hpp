@@ -1,0 +1,203 @@
+// composim: distributed training execution engine.
+//
+// Simulates the paper's training loop (Section V-B / Fig 8): prefetched
+// input batches are copied host-to-device, each GPU executes forward and
+// backward macro-kernels, gradients synchronize through the collectives
+// library, and the optimizer steps. Supported software-level knobs match
+// Section V-C.4:
+//
+//   * Strategy::DataParallel        - PyTorch DP: master GPU broadcasts
+//     parameters every iteration, gradients reduce back to the master,
+//     which also runs the optimizer. No compute/comm overlap.
+//   * Strategy::DistributedDataParallel - PyTorch DDP: bucketed gradient
+//     all-reduce overlapping backward, per-rank optimizer.
+//   * Precision::FP16 / FP32        - mixed precision halves gradient and
+//     activation bytes and uses the tensor-core rate.
+//   * options.sharded               - ZeRO/FSDP-style state sharding:
+//     optimizer+gradient+parameter state divided across ranks, enabling
+//     larger batch sizes (BERT-large: 6 -> 10 in the paper).
+//
+// Checkpoints write the FP32 model through host memory to storage at every
+// epoch boundary, producing the periodic GPU-utilization dips of Fig 9.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "collectives/communicator.hpp"
+#include "devices/gpu.hpp"
+#include "devices/host_cpu.hpp"
+#include "devices/storage.hpp"
+#include "dl/dataset.hpp"
+#include "dl/model.hpp"
+#include "dl/optimizer.hpp"
+#include "dl/pipeline.hpp"
+#include "sim/random.hpp"
+
+namespace composim::dl {
+
+enum class Strategy { DataParallel, DistributedDataParallel };
+
+const char* toString(Strategy s);
+
+struct TrainerOptions {
+  Strategy strategy = Strategy::DistributedDataParallel;
+  devices::Precision precision = devices::Precision::FP16;
+  bool sharded = false;
+  OptimizerModel optimizer{};  // Adam, as all the paper's benchmarks use
+  int batch_per_gpu = 0;             // 0 = model.paper_batch_per_gpu
+  int epochs = 0;                    // 0 = model.paper_epochs
+  /// DDP gradient accumulation (no_sync micro-steps): each iteration runs
+  /// this many forward+backward passes and synchronizes once, multiplying
+  /// the effective batch without extra GPU memory.
+  int gradient_accumulation_steps = 1;
+  /// Cap simulated iterations per epoch (0 = full). Totals are
+  /// extrapolated from the measured steady-state iteration time.
+  int max_iterations_per_epoch = 0;
+  int macro_groups = 12;             // execution granularity
+  int gradient_buckets = 6;          // DDP all-reduce coalescing
+  /// Fixed per-iteration host-side cost (Python, launches, optimizer
+  /// bookkeeping). Shows up as the GPU idle gap between iterations.
+  SimTime step_overhead = units::milliseconds(10.0);
+  bool checkpoint_each_epoch = true;
+  /// Also checkpoint every N iterations (HuggingFace-style save_steps);
+  /// 0 disables. Counted in the full-run extrapolation even when the
+  /// simulated epoch is capped below N iterations.
+  std::int64_t checkpoint_every_iters = 500;
+  collectives::Algorithm allreduce_algorithm = collectives::Algorithm::Auto;
+  PipelineOptions pipeline;
+  std::uint64_t seed = 42;
+};
+
+struct TrainingResult {
+  bool completed = false;
+  std::string error;                  // set when aborted (e.g. GPU OOM)
+  int epochs = 0;
+  std::int64_t iterations_run = 0;     // simulated iterations
+  std::int64_t iterations_full = 0;    // a full training run's iterations
+  SimTime simulated_time = 0.0;        // for the simulated iterations
+  SimTime extrapolated_total_time = 0.0;  // scaled to the full run
+  SimTime mean_iteration_time = 0.0;   // steady state (warmup skipped)
+  double samples_per_second = 0.0;     // aggregate, steady state
+  SimTime data_stall_time = 0.0;
+  SimTime checkpoint_time = 0.0;
+  Bytes checkpoint_bytes = 0;
+  std::vector<double> loss_curve;      // one entry per simulated iteration
+};
+
+class Trainer {
+ public:
+  Trainer(Simulator& sim, fabric::FlowNetwork& net, fabric::Topology& topo,
+          std::vector<devices::Gpu*> gpus, devices::HostCpu& cpu,
+          fabric::NodeId hostMemory, devices::StorageDevice& storage,
+          ModelSpec model, DatasetSpec dataset, TrainerOptions options = {});
+  ~Trainer();
+
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  /// Bytes of GPU memory one rank needs at the given per-GPU batch size.
+  Bytes perGpuMemoryNeeded(int batchPerGpu) const;
+  /// Largest per-GPU batch that fits in GPU memory (0 if even batch 1
+  /// does not fit).
+  int maxFeasibleBatchPerGpu() const;
+
+  /// Start training; `done` fires with the result. GPU memory is
+  /// allocated up front — infeasible batch sizes abort with an error
+  /// result rather than throwing.
+  void start(std::function<void(const TrainingResult&)> done);
+
+  /// Elastic re-composition (§III-B.3, devices re-allocated on the fly):
+  /// request that training continue on `gpus` from the next epoch
+  /// boundary. The swap happens after that epoch's checkpoint — model
+  /// state travels through storage exactly as a real resize would. Keeps
+  /// the per-GPU batch; the global batch (and iterations per epoch)
+  /// change with the group size. Fails (returns false) if the new group
+  /// is empty or training already finished.
+  bool requestResize(std::vector<devices::Gpu*> gpus);
+
+  int batchPerGpu() const { return batch_per_gpu_; }
+  int epochs() const { return epochs_; }
+  std::int64_t iterationsPerEpochFull() const;
+  std::int64_t iterationsCompleted() const { return iterations_done_; }
+  int currentEpoch() const { return epoch_; }
+  bool checkpointing() const { return checkpointing_; }
+  int resizeCount() const { return resize_count_; }
+  std::size_t groupSize() const { return gpus_.size(); }
+  const ModelSpec& model() const { return model_; }
+  collectives::Communicator& communicator() { return *comm_; }
+  DataPipeline& pipeline() { return *pipeline_; }
+
+ private:
+  struct BucketPlan {
+    Bytes bytes = 0;
+    int last_group = 0;  // backward group index that completes the bucket
+  };
+
+  void beginIteration();
+  void startMicroStep();
+  void prefetchNextInput();
+  void runForward(int group);
+  void runBackwardDdp(int group);
+  void runDataParallelIteration();
+  void onComputeAndCommDone();
+  void optimizerStep(std::function<void()> then);
+  void endIteration();
+  void checkpoint(std::function<void()> then);
+  void applyPendingResize();
+  void finish(bool completed, const std::string& error);
+
+  Bytes gradBytes() const { return model_.gradientBytes(options_.precision); }
+  Bytes h2dBytesPerGpu() const;
+
+  Simulator& sim_;
+  fabric::FlowNetwork& net_;
+  fabric::Topology& topo_;
+  std::vector<devices::Gpu*> gpus_;
+  devices::HostCpu& cpu_;
+  fabric::NodeId host_memory_;
+  devices::StorageDevice& storage_;
+  ModelSpec model_;
+  DatasetSpec dataset_;
+  TrainerOptions options_;
+
+  std::unique_ptr<collectives::Communicator> comm_;
+  std::unique_ptr<DataPipeline> pipeline_;
+  std::vector<ModelSpec::MacroGroup> groups_;
+  std::vector<BucketPlan> buckets_;
+  Rng rng_;
+
+  int batch_per_gpu_ = 0;
+  int epochs_ = 0;
+  std::int64_t iters_per_epoch_sim_ = 0;
+
+  // run state
+  std::function<void(const TrainingResult&)> done_;
+  TrainingResult result_;
+  int micro_step_ = 0;
+  int epoch_ = 0;
+  std::vector<devices::Gpu*> pending_resize_;
+  bool resize_requested_ = false;
+  int resize_count_ = 0;
+  bool finished_ = false;
+  /// Stopped pipelines from before a resize; kept alive until the trainer
+  /// dies because their in-flight storage callbacks reference them.
+  std::vector<std::unique_ptr<DataPipeline>> retired_pipelines_;
+  std::int64_t iter_in_epoch_ = 0;
+  std::int64_t iterations_done_ = 0;
+  bool checkpointing_ = false;
+  bool input_ready_ = false;               // H2D for current iteration done
+  std::function<void()> input_waiter_;
+  int pending_compute_ = 0;                // outstanding kernels/collectives
+  bool backward_done_ = false;
+  SimTime backward_done_time_ = 0.0;
+  int pending_allreduce_ = 0;
+  Bytes host_base_memory_ = 0;
+  SimTime iteration_start_ = 0.0;
+  std::vector<SimTime> iteration_times_;
+  Bytes allocated_per_gpu_ = 0;
+  SimTime run_start_ = 0.0;
+};
+
+}  // namespace composim::dl

@@ -1,0 +1,83 @@
+#include "fabric/bandwidth_probe.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "fabric/link_catalog.hpp"
+
+namespace composim::fabric {
+
+P2pMeasurement measureP2p(Simulator& sim, FlowNetwork& net, NodeId a, NodeId b,
+                          Bytes payload) {
+  P2pMeasurement out;
+  FlowOptions opt;
+  opt.extraLatency = catalog::dmaEndpointOverhead();
+
+  {
+    FlowResult r;
+    net.startFlow(a, b, payload, [&](const FlowResult& fr) { r = fr; }, opt);
+    sim.run();
+    out.unidirectional = r.throughput();
+  }
+  {
+    const SimTime start = sim.now();
+    SimTime end_ab = start;
+    SimTime end_ba = start;
+    net.startFlow(a, b, payload, [&](const FlowResult& fr) { end_ab = fr.end; }, opt);
+    net.startFlow(b, a, payload, [&](const FlowResult& fr) { end_ba = fr.end; }, opt);
+    sim.run();
+    const SimTime elapsed = std::max(end_ab, end_ba) - start;
+    if (elapsed > 0.0) {
+      out.bidirectional = 2.0 * static_cast<double>(payload) / elapsed;
+    }
+  }
+  {
+    FlowResult r;
+    net.startFlow(a, b, 0, [&](const FlowResult& fr) { r = fr; }, opt);
+    sim.run();
+    out.write_latency = r.duration();
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> bandwidthMatrix(Simulator& sim,
+                                                 FlowNetwork& net,
+                                                 const std::vector<NodeId>& nodes,
+                                                 Bytes payload) {
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  FlowOptions opt;
+  opt.extraLatency = catalog::dmaEndpointOverhead();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      FlowResult r;
+      net.startFlow(nodes[i], nodes[j], payload,
+                    [&](const FlowResult& fr) { r = fr; }, opt);
+      sim.run();
+      matrix[i][j] = units::to_GBps(r.throughput());
+    }
+  }
+  return matrix;
+}
+
+std::string describeRoute(const Topology& topo, NodeId src, NodeId dst) {
+  const auto route = topo.route(src, dst);
+  if (!route) return "(no route)";
+  std::string out = topo.node(src).name;
+  for (LinkId lid : route->links) {
+    const Link& l = topo.link(lid);
+    char seg[128];
+    std::snprintf(seg, sizeof(seg), " -[%s %.1f GB/s]-> %s", toString(l.kind),
+                  units::to_GBps(l.capacity), topo.node(l.dst).name.c_str());
+    out += seg;
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail), " (%zu hop%s, %.2f us, bottleneck %.1f GB/s)",
+                route->links.size(), route->links.size() == 1 ? "" : "s",
+                units::to_us(route->latency), units::to_GBps(route->bottleneck));
+  out += tail;
+  return out;
+}
+
+}  // namespace composim::fabric

@@ -1,0 +1,37 @@
+// composim: p2pBandwidthLatencyTest-style measurement utility.
+//
+// Runs the same probes the CUDA sample (and Table IV of the paper) uses:
+// a large unidirectional transfer, a pair of simultaneous opposite
+// transfers for bidirectional bandwidth, and an empty transfer for the
+// write latency. Library form so benches, tests and user tools share one
+// methodology.
+#pragma once
+
+#include "fabric/flow_network.hpp"
+
+namespace composim::fabric {
+
+struct P2pMeasurement {
+  Bandwidth unidirectional = 0.0;  // bytes/s
+  Bandwidth bidirectional = 0.0;   // aggregate of both directions
+  SimTime write_latency = 0.0;
+};
+
+/// Measure the pair (a, b). Runs the simulator to completion between
+/// probes, so call it on an otherwise-idle system.
+P2pMeasurement measureP2p(Simulator& sim, FlowNetwork& net, NodeId a, NodeId b,
+                          Bytes payload = units::GiB(1));
+
+/// All-pairs bandwidth matrix over `nodes` (unidirectional), in GB/s.
+std::vector<std::vector<double>> bandwidthMatrix(Simulator& sim,
+                                                 FlowNetwork& net,
+                                                 const std::vector<NodeId>& nodes,
+                                                 Bytes payload = units::MiB(256));
+
+/// Human-readable description of the route a transfer would take:
+///   "gpu.local0 -[NVLink 36.2 GB/s]-> gpu.local1 (1 hop, 0.55 us,
+///    bottleneck 36.2 GB/s)"
+/// Returns "(no route)" when the endpoints are disconnected.
+std::string describeRoute(const Topology& topo, NodeId src, NodeId dst);
+
+}  // namespace composim::fabric

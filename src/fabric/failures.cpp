@@ -1,0 +1,52 @@
+#include "fabric/failures.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace composim::fabric {
+
+void FaultInjector::scheduleLinkFlap(LinkId link, SimTime at, SimTime downtime) {
+  if (downtime <= 0.0) throw std::invalid_argument("flap downtime must be > 0");
+  sim_.schedule(at, [this, link, downtime] {
+    history_.push_back({sim_.now(), link, FaultRecord::Kind::Flap});
+    net_.failLink(link);
+    sim_.schedule(downtime, [this, link] {
+      history_.push_back({sim_.now(), link, FaultRecord::Kind::Restore});
+      topo_.setLinkUp(link, true);
+    });
+  });
+}
+
+void FaultInjector::scheduleErrorBurst(LinkId link, SimTime at,
+                                       std::uint64_t errors) {
+  sim_.schedule(at, [this, link, errors] {
+    history_.push_back({sim_.now(), link, FaultRecord::Kind::ErrorBurst});
+    topo_.counters(link).errors += errors;
+  });
+}
+
+void FaultInjector::scheduleDegrade(LinkId link, SimTime at, double factor) {
+  if (factor <= 0.0 || factor > 1.0) {
+    throw std::invalid_argument("degrade factor must be in (0, 1]");
+  }
+  sim_.schedule(at, [this, link, factor] {
+    history_.push_back({sim_.now(), link, FaultRecord::Kind::Degrade});
+    auto& l = topo_.mutableLink(link);
+    l.capacity *= factor;
+    ++l.counters.errors;
+    net_.notifyTopologyChanged();
+  });
+}
+
+void FaultInjector::scheduleRandomErrorNoise(LinkId link, SimTime meanInterval,
+                                             SimTime until) {
+  const SimTime next = rng_.exponential(1.0 / meanInterval);
+  if (sim_.now() + next > until) return;
+  sim_.schedule(next, [this, link, meanInterval, until] {
+    history_.push_back({sim_.now(), link, FaultRecord::Kind::ErrorBurst});
+    topo_.counters(link).errors += 1;
+    scheduleRandomErrorNoise(link, meanInterval, until);
+  });
+}
+
+}  // namespace composim::fabric

@@ -1,0 +1,60 @@
+// composim: fault injection for the fabric (link health experiments).
+//
+// The Falcon management interface reports accumulated PCIe error counts
+// and link health (paper §II-B); this module generates the faults those
+// views exist for: scheduled link flaps (down for a duration, killing
+// in-flight flows), transient error bursts that only bump the error
+// counters, and permanent degradation (renegotiated width/speed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/flow_network.hpp"
+#include "sim/random.hpp"
+
+namespace composim::fabric {
+
+struct FaultRecord {
+  SimTime time = 0.0;
+  LinkId link = kInvalidLink;
+  enum class Kind { Flap, ErrorBurst, Degrade, Restore } kind = Kind::Flap;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, Topology& topo, FlowNetwork& net,
+                std::uint64_t seed = 1234)
+      : sim_(sim), topo_(topo), net_(net), rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Take `link` down at `at`, failing flows that cross it, and bring it
+  /// back up `downtime` later.
+  void scheduleLinkFlap(LinkId link, SimTime at, SimTime downtime);
+
+  /// Add `errors` to the link's accumulated error counter at `at`
+  /// (correctable errors: traffic keeps flowing, health view degrades).
+  void scheduleErrorBurst(LinkId link, SimTime at, std::uint64_t errors);
+
+  /// Permanently reduce the link's capacity by `factor` (0,1] at `at`,
+  /// modelling a PCIe width/speed renegotiation after faults.
+  void scheduleDegrade(LinkId link, SimTime at, double factor);
+
+  /// Poisson-arrival error bursts on `link` with the given mean interval,
+  /// until `until`.
+  void scheduleRandomErrorNoise(LinkId link, SimTime meanInterval,
+                                SimTime until);
+
+  const std::vector<FaultRecord>& history() const { return history_; }
+
+ private:
+  Simulator& sim_;
+  Topology& topo_;
+  FlowNetwork& net_;
+  Rng rng_;
+  std::vector<FaultRecord> history_;
+};
+
+}  // namespace composim::fabric

@@ -1,0 +1,266 @@
+#include "fabric/flow_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace composim::fabric {
+
+namespace {
+// Flows within half a byte of done are done: avoids infinite rescheduling
+// on floating-point residue.
+constexpr double kByteEpsilon = 0.5;
+}  // namespace
+
+FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
+                              FlowCallback done, FlowOptions options) {
+  auto route = topo_.route(src, dst);
+  if (!route) {
+    ++flows_started_;
+    ++flows_failed_;
+    FlowResult r{FlowStatus::Failed, 0, sim_.now(), sim_.now()};
+    sim_.schedule(0.0, [cb = std::move(done), r] {
+      if (cb) cb(r);
+    });
+    return kInvalidFlow;
+  }
+  const SimTime latency = route->latency + options.extraLatency;
+  const FlowId id = next_id_++;
+  ++flows_started_;
+
+  if (bytes <= 0 || route->links.empty()) {
+    // Control message or same-node transfer: latency only.
+    FlowResult r{FlowStatus::Completed, bytes, sim_.now(), sim_.now() + latency};
+    sim_.schedule(latency, [cb = std::move(done), r]() {
+      if (cb) cb(r);
+    });
+    return id;
+  }
+
+  advanceProgress();
+
+  ActiveFlow f;
+  f.id = id;
+  f.links = route->links;
+  f.remaining = static_cast<double>(bytes);
+  f.max_rate = options.maxRate;
+  f.total = bytes;
+  f.start = sim_.now();
+  f.arrival_latency = latency;
+  f.done = std::move(done);
+  f.tag = std::move(options.tag);
+  for (LinkId l : f.links) ++topo_.counters(l).flows;
+  flows_.emplace(id, std::move(f));
+
+  recomputeRates();
+  scheduleNextCompletion();
+  return id;
+}
+
+bool FlowNetwork::cancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advanceProgress();
+  finishFlow(it, FlowStatus::Failed);
+  recomputeRates();
+  scheduleNextCompletion();
+  return true;
+}
+
+void FlowNetwork::failLink(LinkId link) {
+  advanceProgress();
+  topo_.setLinkUp(link, false);
+  ++topo_.counters(link).errors;
+  std::vector<FlowId> victims;
+  for (const auto& [id, f] : flows_) {
+    if (std::find(f.links.begin(), f.links.end(), link) != f.links.end()) {
+      victims.push_back(id);
+    }
+  }
+  for (FlowId id : victims) {
+    auto it = flows_.find(id);
+    if (it != flows_.end()) finishFlow(it, FlowStatus::Failed);
+  }
+  recomputeRates();
+  scheduleNextCompletion();
+}
+
+void FlowNetwork::notifyTopologyChanged() {
+  advanceProgress();
+  recomputeRates();
+  scheduleNextCompletion();
+}
+
+Bandwidth FlowNetwork::flowRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNetwork::advanceProgress() {
+  const SimTime now = sim_.now();
+  const SimTime elapsed = now - last_update_;
+  last_update_ = now;
+  if (elapsed <= 0.0) return;
+  for (auto& [id, f] : flows_) {
+    if (f.rate <= 0.0) continue;
+    const double delta = std::min(f.remaining, f.rate * elapsed);
+    f.remaining -= delta;
+    const Bytes b = static_cast<Bytes>(std::llround(delta));
+    for (LinkId l : f.links) topo_.counters(l).bytes += b;
+  }
+}
+
+void FlowNetwork::recomputeRates() {
+  ++recomputations_;
+  if (flows_.empty()) return;
+
+  // Collect the participating links and the flows crossing each.
+  std::unordered_map<LinkId, std::vector<ActiveFlow*>> by_link;
+  std::vector<ActiveFlow*> order;
+  order.reserve(flows_.size());
+  for (auto& [id, f] : flows_) order.push_back(&f);
+  // Deterministic iteration regardless of hash layout.
+  std::sort(order.begin(), order.end(),
+            [](const ActiveFlow* a, const ActiveFlow* b) { return a->id < b->id; });
+  for (ActiveFlow* f : order) {
+    f->rate = 0.0;
+    for (LinkId l : f->links) by_link[l].push_back(f);
+  }
+
+  if (naive_sharing_) {
+    // Ablation mode: every flow gets min over links of capacity/<flows on
+    // link>, ignoring that other flows may be bottlenecked elsewhere.
+    for (ActiveFlow* f : order) {
+      double r = f->max_rate;
+      for (LinkId l : f->links) {
+        const auto& share_set = by_link[l];
+        r = std::min(r, topo_.link(l).capacity /
+                            static_cast<double>(share_set.size()));
+      }
+      f->rate = r;
+    }
+    return;
+  }
+
+  // Progressive filling (max-min fairness). Rate caps are modelled as a
+  // per-flow pseudo-link of capacity max_rate carrying exactly that flow.
+  struct LinkState {
+    double residual;
+    int unfixed;
+  };
+  std::unordered_map<LinkId, LinkState> state;
+  for (const auto& [l, fs] : by_link) {
+    state[l] = LinkState{topo_.link(l).capacity, static_cast<int>(fs.size())};
+  }
+  std::unordered_map<FlowId, bool> fixed;
+  for (ActiveFlow* f : order) fixed[f->id] = false;
+
+  int remaining = static_cast<int>(order.size());
+  while (remaining > 0) {
+    // Find the tightest constraint: a real link's fair share, or a flow cap.
+    double best = std::numeric_limits<double>::infinity();
+    LinkId best_link = kInvalidLink;
+    ActiveFlow* best_capped = nullptr;
+    for (const auto& [l, st] : state) {
+      if (st.unfixed <= 0) continue;
+      const double share = std::max(0.0, st.residual) / st.unfixed;
+      if (share < best) {
+        best = share;
+        best_link = l;
+        best_capped = nullptr;
+      }
+    }
+    for (ActiveFlow* f : order) {
+      if (fixed[f->id]) continue;
+      if (f->max_rate < best) {
+        best = f->max_rate;
+        best_link = kInvalidLink;
+        best_capped = f;
+      }
+    }
+
+    // Fix the constrained flows at `best` and charge their links.
+    std::vector<ActiveFlow*> to_fix;
+    if (best_capped != nullptr) {
+      to_fix.push_back(best_capped);
+    } else if (best_link != kInvalidLink) {
+      for (ActiveFlow* f : by_link[best_link]) {
+        if (!fixed[f->id]) to_fix.push_back(f);
+      }
+    } else {
+      break;  // defensive: no constraint found (should not happen)
+    }
+    for (ActiveFlow* f : to_fix) {
+      f->rate = best;
+      fixed[f->id] = true;
+      --remaining;
+      for (LinkId l : f->links) {
+        auto& st = state[l];
+        st.residual -= best;
+        --st.unfixed;
+      }
+    }
+  }
+}
+
+void FlowNetwork::scheduleNextCompletion() {
+  if (completion_event_ != kInvalidEvent) {
+    sim_.cancel(completion_event_);
+    completion_event_ = kInvalidEvent;
+  }
+  if (flows_.empty()) return;
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : flows_) {
+    if (f.rate <= 0.0) continue;
+    soonest = std::min(soonest, f.remaining / f.rate);
+  }
+  if (!std::isfinite(soonest)) return;  // all flows stalled (e.g. link down)
+  completion_event_ = sim_.schedule(soonest, [this] {
+    completion_event_ = kInvalidEvent;
+    onCompletionEvent();
+  });
+}
+
+void FlowNetwork::onCompletionEvent() {
+  advanceProgress();
+  // Finish every flow that has drained; callbacks run inside finishFlow and
+  // may add flows, so collect ids first.
+  std::vector<FlowId> done;
+  for (const auto& [id, f] : flows_) {
+    if (f.remaining <= kByteEpsilon) done.push_back(id);
+  }
+  std::sort(done.begin(), done.end());
+  for (FlowId id : done) {
+    auto it = flows_.find(id);
+    if (it != flows_.end()) finishFlow(it, FlowStatus::Completed);
+  }
+  recomputeRates();
+  scheduleNextCompletion();
+}
+
+void FlowNetwork::finishFlow(std::unordered_map<FlowId, ActiveFlow>::iterator it,
+                             FlowStatus status) {
+  ActiveFlow f = std::move(it->second);
+  flows_.erase(it);
+  if (status == FlowStatus::Completed) {
+    ++flows_completed_;
+  } else {
+    ++flows_failed_;
+  }
+  const Bytes carried = (status == FlowStatus::Completed)
+                            ? f.total
+                            : f.total - static_cast<Bytes>(std::llround(f.remaining));
+  FlowResult result{status, carried, f.start, sim_.now() + f.arrival_latency};
+  if (f.done) {
+    if (status == FlowStatus::Completed) {
+      // Delivery completes one propagation latency after the last byte is
+      // injected; the callback observes arrival time.
+      sim_.schedule(f.arrival_latency, [cb = std::move(f.done), result] { cb(result); });
+    } else {
+      f.done(result);
+    }
+  }
+}
+
+}  // namespace composim::fabric

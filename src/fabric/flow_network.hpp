@@ -1,0 +1,134 @@
+// composim: fluid flow model over the topology.
+//
+// Concurrent transfers share links under max-min fairness (progressive
+// filling), the standard fluid approximation used by network simulators
+// such as SimGrid. Rates are recomputed whenever a flow starts or finishes
+// and the next completion event is rescheduled. Per-link byte counters are
+// advanced continuously so telemetry can sample instantaneous PCIe traffic
+// exactly the way the Falcon management interface reports port throughput.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace composim::fabric {
+
+using FlowId = std::uint64_t;
+constexpr FlowId kInvalidFlow = 0;
+
+enum class FlowStatus { Completed, Failed };
+
+struct FlowResult {
+  FlowStatus status = FlowStatus::Completed;
+  Bytes bytes = 0;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  SimTime duration() const { return end - start; }
+  /// Achieved goodput (bytes / duration); zero for instantaneous flows.
+  Bandwidth throughput() const {
+    const SimTime d = duration();
+    return d > 0.0 ? static_cast<Bandwidth>(bytes) / d : 0.0;
+  }
+};
+
+using FlowCallback = std::function<void(const FlowResult&)>;
+
+struct FlowOptions {
+  /// Cap on this flow's rate regardless of link shares (e.g. a DMA copy
+  /// engine limit). Infinity = no cap.
+  Bandwidth maxRate = std::numeric_limits<Bandwidth>::infinity();
+  /// Extra fixed latency added before data starts moving (software stack,
+  /// doorbell, DMA setup).
+  SimTime extraLatency = 0.0;
+  /// Label recorded in per-flow accounting (for tests/traces).
+  std::string tag;
+};
+
+class FlowNetwork {
+ public:
+  FlowNetwork(Simulator& sim, Topology& topo) : sim_(sim), topo_(topo) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Start a transfer of `bytes` from node `src` to node `dst`. The
+  /// callback fires when the last byte arrives (or on failure). Transfers
+  /// between the same node complete after latency only. When no route
+  /// exists (device detached, link down), the transfer fails soft: the
+  /// callback fires with Failed status — like a DMA engine reporting an
+  /// unreachable endpoint — and kInvalidFlow is returned.
+  FlowId startFlow(NodeId src, NodeId dst, Bytes bytes, FlowCallback done,
+                   FlowOptions options = {});
+
+  /// Abort an in-flight flow; its callback fires with Failed status.
+  /// Returns false if the flow is unknown (already finished).
+  bool cancelFlow(FlowId id);
+
+  /// Fail every flow crossing `link` (used for link-down injection) and
+  /// mark the link down in the topology.
+  void failLink(LinkId link);
+
+  /// Re-derive flow rates after an external topology mutation (capacity
+  /// change, link restored). Routes of in-flight flows are not changed —
+  /// like real DMA transfers, they finish on the path they started on.
+  void notifyTopologyChanged();
+
+  std::size_t activeFlows() const { return flows_.size(); }
+
+  /// Instantaneous rate of a flow (bytes/s); 0 if unknown.
+  Bandwidth flowRate(FlowId id) const;
+
+  /// Total payload bytes carried so far in the given link direction.
+  Bytes linkBytes(LinkId l) const { return topo_.link(l).counters.bytes; }
+
+  std::uint64_t flowsStarted() const { return flows_started_; }
+  std::uint64_t flowsCompleted() const { return flows_completed_; }
+  std::uint64_t flowsFailed() const { return flows_failed_; }
+
+  /// Number of max-min rate recomputations (exposed for the ablation bench).
+  std::uint64_t rateRecomputations() const { return recomputations_; }
+
+  /// Use naive equal-split instead of max-min fairness (ablation only).
+  void setNaiveSharing(bool naive) { naive_sharing_ = naive; }
+
+ private:
+  struct ActiveFlow {
+    FlowId id = kInvalidFlow;
+    std::vector<LinkId> links;
+    double remaining = 0.0;  // bytes still to transfer
+    Bandwidth rate = 0.0;
+    Bandwidth max_rate = std::numeric_limits<Bandwidth>::infinity();
+    Bytes total = 0;
+    SimTime start = 0.0;
+    SimTime arrival_latency = 0.0;  // applied at completion
+    FlowCallback done;
+    std::string tag;
+  };
+
+  void advanceProgress();
+  void recomputeRates();
+  void scheduleNextCompletion();
+  void onCompletionEvent();
+  void finishFlow(std::unordered_map<FlowId, ActiveFlow>::iterator it,
+                  FlowStatus status);
+
+  Simulator& sim_;
+  Topology& topo_;
+  std::unordered_map<FlowId, ActiveFlow> flows_;
+  FlowId next_id_ = 1;
+  SimTime last_update_ = 0.0;
+  EventId completion_event_ = kInvalidEvent;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  std::uint64_t flows_failed_ = 0;
+  std::uint64_t recomputations_ = 0;
+  bool naive_sharing_ = false;
+};
+
+}  // namespace composim::fabric

@@ -1,0 +1,54 @@
+#include "fabric/nvlink_mesh.hpp"
+
+#include <stdexcept>
+
+#include "fabric/link_catalog.hpp"
+
+namespace composim::fabric {
+
+std::vector<NvlinkEdge> hybridCubeMesh(int gpuCount) {
+  if (gpuCount == 4) {
+    // Fully-connected quad; the ring edges are double-width.
+    return {{0, 1, 2}, {1, 2, 2}, {2, 3, 2}, {3, 0, 2}, {0, 2, 1}, {1, 3, 1}};
+  }
+  if (gpuCount != 8) {
+    throw std::invalid_argument("hybridCubeMesh: gpuCount must be 4 or 8");
+  }
+  std::vector<NvlinkEdge> edges;
+  // Each quad {q, q+1, q+2, q+3}: full mesh with a doubled "partner" edge
+  // chosen so the 8-GPU ring 0-1-2-3-7-6-5-4-0 runs on wide edges.
+  for (int q = 0; q < 8; q += 4) {
+    edges.push_back({q + 0, q + 1, 2});
+    edges.push_back({q + 1, q + 2, 2});
+    edges.push_back({q + 2, q + 3, 2});
+    edges.push_back({q + 3, q + 0, 1});
+    edges.push_back({q + 0, q + 2, 1});
+    edges.push_back({q + 1, q + 3, 1});
+  }
+  // Cube edges between the quads: i <-> i+4, double width for 0/3 pairs so
+  // the inter-quad ring hops (3-7 and 4-0) are wide.
+  edges.push_back({0, 4, 2});
+  edges.push_back({3, 7, 2});
+  edges.push_back({1, 5, 1});
+  edges.push_back({2, 6, 1});
+  return edges;
+}
+
+std::vector<LinkId> buildHybridCubeMesh(Topology& topo,
+                                        const std::vector<NodeId>& gpus) {
+  const auto edges = hybridCubeMesh(static_cast<int>(gpus.size()));
+  std::vector<LinkId> links;
+  links.reserve(edges.size());
+  for (const auto& e : edges) {
+    const auto spec = catalog::nvlink(e.bricks);
+    auto [fwd, rev] =
+        topo.addDuplexLink(gpus[static_cast<std::size_t>(e.a)],
+                           gpus[static_cast<std::size_t>(e.b)],
+                           spec.capacityPerDirection, spec.latency, spec.kind);
+    (void)rev;
+    links.push_back(fwd);
+  }
+  return links;
+}
+
+}  // namespace composim::fabric

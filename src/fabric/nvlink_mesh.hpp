@@ -1,0 +1,31 @@
+// composim: NVLink hybrid cube-mesh builder (paper Fig 7).
+//
+// The 8 SXM2 sockets of the host form two quads {0..3} and {4..7}. Each
+// GPU spends its six NVLink bricks as: three edges inside its quad (one of
+// them double-width) and one double-width edge to its cube neighbour in
+// the other quad. This mirrors the DGX-1V wiring closely enough that every
+// GPU has exactly 6 bricks and quad-local traffic never crosses PCIe.
+#pragma once
+
+#include <vector>
+
+#include "fabric/topology.hpp"
+
+namespace composim::fabric {
+
+struct NvlinkEdge {
+  int a;       // GPU index 0..7
+  int b;       // GPU index 0..7
+  int bricks;  // number of NVLink bricks on this edge
+};
+
+/// Edge list of the hybrid cube mesh for `gpuCount` GPUs (4 or 8).
+/// For 4 GPUs, returns a single fully-connected quad.
+std::vector<NvlinkEdge> hybridCubeMesh(int gpuCount);
+
+/// Wire the mesh into `topo` between the given GPU nodes (size 4 or 8).
+/// Returns the created duplex link ids (forward direction only).
+std::vector<LinkId> buildHybridCubeMesh(Topology& topo,
+                                        const std::vector<NodeId>& gpus);
+
+}  // namespace composim::fabric

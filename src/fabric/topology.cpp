@@ -1,0 +1,161 @@
+#include "fabric/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace composim::fabric {
+
+const char* toString(NodeKind k) {
+  switch (k) {
+    case NodeKind::Gpu: return "GPU";
+    case NodeKind::CpuRootComplex: return "RootComplex";
+    case NodeKind::PcieSwitch: return "PCIeSwitch";
+    case NodeKind::HostMemory: return "HostMemory";
+    case NodeKind::Storage: return "Storage";
+    case NodeKind::Nic: return "NIC";
+    case NodeKind::Other: return "Other";
+  }
+  return "?";
+}
+
+const char* toString(LinkKind k) {
+  switch (k) {
+    case LinkKind::NVLink: return "NVLink";
+    case LinkKind::PCIe3: return "PCI-e 3.0";
+    case LinkKind::PCIe4: return "PCI-e 4.0";
+    case LinkKind::HostAdapter: return "HostAdapter";
+    case LinkKind::RootComplex: return "RootComplex";
+    case LinkKind::MemoryBus: return "MemoryBus";
+    case LinkKind::Ethernet: return "Ethernet";
+    case LinkKind::Internal: return "Internal";
+  }
+  return "?";
+}
+
+NodeId Topology::addNode(std::string name, NodeKind kind) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), kind});
+  adjacency_.emplace_back();
+  ++generation_;
+  return id;
+}
+
+LinkId Topology::addLink(NodeId src, NodeId dst, Bandwidth capacity,
+                         SimTime latency, LinkKind kind) {
+  if (src < 0 || dst < 0 || static_cast<std::size_t>(src) >= nodes_.size() ||
+      static_cast<std::size_t>(dst) >= nodes_.size()) {
+    throw std::out_of_range("Topology::addLink: bad node id");
+  }
+  if (src == dst) throw std::invalid_argument("Topology::addLink: self-loop");
+  if (capacity <= 0.0) throw std::invalid_argument("Topology::addLink: capacity must be > 0");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{src, dst, capacity, latency, kind, true, {}});
+  adjacency_[static_cast<std::size_t>(src)].push_back(id);
+  ++generation_;
+  return id;
+}
+
+std::pair<LinkId, LinkId> Topology::addDuplexLink(NodeId a, NodeId b,
+                                                  Bandwidth capacityPerDirection,
+                                                  SimTime latency, LinkKind kind) {
+  const LinkId fwd = addLink(a, b, capacityPerDirection, latency, kind);
+  const LinkId rev = addLink(b, a, capacityPerDirection, latency, kind);
+  return {fwd, rev};
+}
+
+void Topology::isolateNode(NodeId n) {
+  for (auto& link : links_) {
+    if (link.src == n || link.dst == n) link.up = false;
+  }
+  ++generation_;
+}
+
+void Topology::setLinkUp(LinkId l, bool up) {
+  links_.at(static_cast<std::size_t>(l)).up = up;
+  ++generation_;
+}
+
+NodeId Topology::findNode(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+std::vector<LinkId> Topology::linksFrom(NodeId n) const {
+  return adjacency_.at(static_cast<std::size_t>(n));
+}
+
+std::vector<LinkId> Topology::linksInto(NodeId n) const {
+  std::vector<LinkId> out;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].dst == n) out.push_back(static_cast<LinkId>(i));
+  }
+  return out;
+}
+
+std::optional<Route> Topology::route(NodeId src, NodeId dst) const {
+  if (src < 0 || dst < 0 || static_cast<std::size_t>(src) >= nodes_.size() ||
+      static_cast<std::size_t>(dst) >= nodes_.size()) {
+    return std::nullopt;
+  }
+  if (cache_generation_ != generation_) {
+    route_cache_.clear();
+    cache_generation_ = generation_;
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  if (auto it = route_cache_.find(key); it != route_cache_.end()) return it->second;
+
+  // Dijkstra weighted by latency; ties broken deterministically by node id.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodes_.size(), kInf);
+  std::vector<LinkId> via(nodes_.size(), kInvalidLink);
+  using QE = std::pair<double, NodeId>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (LinkId lid : adjacency_[static_cast<std::size_t>(u)]) {
+      const Link& l = links_[static_cast<std::size_t>(lid)];
+      if (!l.up) continue;
+      const double nd = d + l.latency;
+      if (nd < dist[static_cast<std::size_t>(l.dst)]) {
+        dist[static_cast<std::size_t>(l.dst)] = nd;
+        via[static_cast<std::size_t>(l.dst)] = lid;
+        pq.push({nd, l.dst});
+      }
+    }
+  }
+
+  std::optional<Route> result;
+  if (src == dst) {
+    result = Route{};  // empty route: same endpoint
+  } else if (via[static_cast<std::size_t>(dst)] != kInvalidLink) {
+    Route r;
+    for (NodeId cur = dst; cur != src;) {
+      const LinkId lid = via[static_cast<std::size_t>(cur)];
+      r.links.push_back(lid);
+      cur = links_[static_cast<std::size_t>(lid)].src;
+    }
+    std::reverse(r.links.begin(), r.links.end());
+    r.latency = 0.0;
+    r.bottleneck = kInf;
+    for (LinkId lid : r.links) {
+      const Link& l = links_[static_cast<std::size_t>(lid)];
+      r.latency += l.latency;
+      r.bottleneck = std::min(r.bottleneck, l.capacity);
+    }
+    result = std::move(r);
+  }
+  route_cache_.emplace(key, result);
+  return result;
+}
+
+}  // namespace composim::fabric

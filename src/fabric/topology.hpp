@@ -1,0 +1,131 @@
+// composim: interconnect topology graph.
+//
+// Nodes are endpoints or forwarding elements (GPU, CPU root complex, PCIe
+// switch, memory, storage, NIC). Links are *directed* with per-direction
+// capacity; addDuplexLink creates the usual full-duplex pair. Routing is
+// latency-weighted Dijkstra with a cache invalidated on any mutation, so
+// dynamic attach/detach (the composable part) recomputes paths lazily.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace composim::fabric {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind {
+  Gpu,
+  CpuRootComplex,
+  PcieSwitch,
+  HostMemory,
+  Storage,
+  Nic,
+  Other,
+};
+
+enum class LinkKind {
+  NVLink,
+  PCIe3,
+  PCIe4,
+  HostAdapter,     // CDFP cable between host adapter and Falcon drawer
+  RootComplex,     // traversal across the CPU root complex (P2P via host)
+  MemoryBus,       // CPU <-> DRAM
+  Ethernet,
+  Internal,        // switch-internal crossbar hop
+};
+
+const char* toString(NodeKind k);
+const char* toString(LinkKind k);
+
+struct Node {
+  std::string name;
+  NodeKind kind = NodeKind::Other;
+};
+
+struct LinkCounters {
+  Bytes bytes = 0;          // cumulative payload carried in this direction
+  std::uint64_t flows = 0;  // flows that used this link
+  std::uint64_t errors = 0; // injected link errors (BMC health view)
+};
+
+struct Link {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bandwidth capacity = 0.0;  // bytes/second in this direction
+  SimTime latency = 0.0;     // propagation + serialization setup
+  LinkKind kind = LinkKind::Internal;
+  bool up = true;
+  LinkCounters counters;
+};
+
+/// A resolved route: ordered directed links from src to dst.
+struct Route {
+  std::vector<LinkId> links;
+  SimTime latency = 0.0;        // sum of link latencies
+  Bandwidth bottleneck = 0.0;   // min capacity along the route
+};
+
+class Topology {
+ public:
+  NodeId addNode(std::string name, NodeKind kind);
+
+  /// One directed link.
+  LinkId addLink(NodeId src, NodeId dst, Bandwidth capacity, SimTime latency,
+                 LinkKind kind);
+
+  /// Full-duplex pair; returns {forward, reverse}.
+  std::pair<LinkId, LinkId> addDuplexLink(NodeId a, NodeId b,
+                                          Bandwidth capacityPerDirection,
+                                          SimTime latency, LinkKind kind);
+
+  /// Remove every link touching `n` in either direction (device detach).
+  /// The node itself stays (ids remain stable); it simply becomes isolated.
+  void isolateNode(NodeId n);
+
+  void setLinkUp(LinkId l, bool up);
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  std::size_t linkCount() const { return links_.size(); }
+
+  const Node& node(NodeId n) const { return nodes_.at(static_cast<std::size_t>(n)); }
+  const Link& link(LinkId l) const { return links_.at(static_cast<std::size_t>(l)); }
+  Link& mutableLink(LinkId l) { ++generation_; return links_.at(static_cast<std::size_t>(l)); }
+
+  /// Counter access that does NOT invalidate the route cache.
+  LinkCounters& counters(LinkId l) { return links_.at(static_cast<std::size_t>(l)).counters; }
+
+  NodeId findNode(const std::string& name) const;
+
+  /// Shortest path by cumulative latency over up-links. Returns nullopt if
+  /// unreachable. Results are cached until the topology changes.
+  std::optional<Route> route(NodeId src, NodeId dst) const;
+
+  /// All directed links leaving `n` (includes down links).
+  std::vector<LinkId> linksFrom(NodeId n) const;
+  /// All directed links arriving at `n`.
+  std::vector<LinkId> linksInto(NodeId n) const;
+
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;  // per node: outgoing links
+  std::uint64_t generation_ = 0;
+
+  mutable std::uint64_t cache_generation_ = ~0ULL;
+  mutable std::unordered_map<std::uint64_t, std::optional<Route>> route_cache_;
+};
+
+}  // namespace composim::fabric

@@ -1,0 +1,161 @@
+#include "falcon/allocation_planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace composim::falcon {
+
+namespace {
+
+struct DrawerState {
+  std::vector<SlotId> free_gpus;
+  std::vector<SlotId> free_nvme;
+  std::set<int> ports_in_use;  // ports with existing or planned assignments
+};
+
+/// Try to satisfy the drawer's requests under Standard-mode half rules.
+/// Requests are (port -> wanted slots); Standard allows at most two ports,
+/// the lower-numbered one restricted to slots 0-3, the higher to 4-7.
+bool tryStandard(const DrawerState& st,
+                 const std::vector<std::pair<int, std::pair<int, int>>>& wants,
+                 std::vector<PlannedAttach>& out) {
+  std::set<int> ports = st.ports_in_use;
+  for (const auto& [port, counts] : wants) ports.insert(port);
+  if (ports.size() > FalconChassis::kMaxHostsPerDrawerStandard) return false;
+
+  const bool split = ports.size() == 2;
+  const int lo = ports.empty() ? -1 : *ports.begin();
+  auto allowed = [&](int port, const SlotId& slot) {
+    if (!split) return true;
+    const bool lowerHalf = slot.index < FalconChassis::kSlotsPerDrawer / 2;
+    return lowerHalf == (port == lo);
+  };
+
+  std::vector<PlannedAttach> planned;
+  std::set<std::pair<int, int>> taken;
+  for (const auto& [port, counts] : wants) {
+    auto pick = [&](const std::vector<SlotId>& pool, int n) {
+      int found = 0;
+      for (const auto& slot : pool) {
+        if (found == n) break;
+        if (taken.count({slot.drawer, slot.index})) continue;
+        if (!allowed(port, slot)) continue;
+        taken.insert({slot.drawer, slot.index});
+        planned.push_back({slot, port});
+        ++found;
+      }
+      return found == n;
+    };
+    if (!pick(st.free_gpus, counts.first)) return false;
+    if (!pick(st.free_nvme, counts.second)) return false;
+  }
+  out.insert(out.end(), planned.begin(), planned.end());
+  return true;
+}
+
+/// Advanced mode: up to three ports, any slots.
+bool tryAdvanced(const DrawerState& st,
+                 const std::vector<std::pair<int, std::pair<int, int>>>& wants,
+                 std::vector<PlannedAttach>& out) {
+  std::set<int> ports = st.ports_in_use;
+  for (const auto& [port, counts] : wants) ports.insert(port);
+  if (ports.size() > FalconChassis::kMaxHostsPerDrawerAdvanced) return false;
+
+  std::vector<PlannedAttach> planned;
+  std::set<std::pair<int, int>> taken;
+  for (const auto& [port, counts] : wants) {
+    auto pick = [&](const std::vector<SlotId>& pool, int n) {
+      int found = 0;
+      for (const auto& slot : pool) {
+        if (found == n) break;
+        if (taken.count({slot.drawer, slot.index})) continue;
+        taken.insert({slot.drawer, slot.index});
+        planned.push_back({slot, port});
+        ++found;
+      }
+      return found == n;
+    };
+    if (!pick(st.free_gpus, counts.first)) return false;
+    if (!pick(st.free_nvme, counts.second)) return false;
+  }
+  out.insert(out.end(), planned.begin(), planned.end());
+  return true;
+}
+
+}  // namespace
+
+AllocationPlan planAllocation(const FalconChassis& chassis,
+                              const std::vector<ResourceRequest>& requests) {
+  AllocationPlan plan;
+
+  // Validate ports and group requests per drawer.
+  std::map<int, std::vector<std::pair<int, std::pair<int, int>>>> perDrawer;
+  for (const auto& req : requests) {
+    if (req.port < 0 || req.port >= FalconChassis::kHostPorts) {
+      plan.reason = "invalid port index " + std::to_string(req.port);
+      return plan;
+    }
+    const auto& port = chassis.hostPort(req.port);
+    if (!port.connected) {
+      plan.reason = "port " + port.label + " has no host connected";
+      return plan;
+    }
+    if (req.gpus < 0 || req.nvme < 0) {
+      plan.reason = "negative resource count";
+      return plan;
+    }
+    if (req.gpus + req.nvme > 0) {
+      perDrawer[port.drawer].push_back({req.port, {req.gpus, req.nvme}});
+    }
+  }
+
+  for (const auto& [drawer, wants] : perDrawer) {
+    DrawerState st;
+    for (int s = 0; s < FalconChassis::kSlotsPerDrawer; ++s) {
+      const SlotId id{drawer, s};
+      const auto& info = chassis.slot(id);
+      if (!info.occupied) continue;
+      if (info.assigned_port >= 0) {
+        st.ports_in_use.insert(info.assigned_port);
+        continue;
+      }
+      if (info.type == DeviceType::Gpu) st.free_gpus.push_back(id);
+      if (info.type == DeviceType::Nvme) st.free_nvme.push_back(id);
+    }
+
+    if (chassis.drawerMode(drawer) == DrawerMode::Standard) {
+      if (tryStandard(st, wants, plan.attaches)) continue;
+      // Escalate: existing assignments stay legal in Advanced mode.
+      if (tryAdvanced(st, wants, plan.attaches)) {
+        plan.mode_changes_to_advanced.push_back(drawer);
+        continue;
+      }
+    } else if (tryAdvanced(st, wants, plan.attaches)) {
+      continue;
+    }
+    plan.reason = "drawer " + std::to_string(drawer) +
+                  " cannot satisfy the requested resources";
+    plan.attaches.clear();
+    plan.mode_changes_to_advanced.clear();
+    return plan;
+  }
+
+  plan.feasible = true;
+  return plan;
+}
+
+OpResult applyAllocation(FalconChassis& chassis, const AllocationPlan& plan) {
+  if (!plan.feasible) {
+    return OpResult::failure("plan is not feasible: " + plan.reason);
+  }
+  for (const int drawer : plan.mode_changes_to_advanced) {
+    if (auto r = chassis.setDrawerMode(drawer, DrawerMode::Advanced); !r) return r;
+  }
+  for (const auto& a : plan.attaches) {
+    if (auto r = chassis.attach(a.slot, a.port); !r) return r;
+  }
+  return OpResult::success();
+}
+
+}  // namespace composim::falcon

@@ -1,0 +1,46 @@
+// composim: resource allocation planner for the management plane.
+//
+// Given per-host-port resource requests (N GPUs, M NVMe drives), compute a
+// concrete attach plan against the chassis inventory that respects each
+// drawer's mode-of-operation constraints (Fig 4): Standard allows at most
+// two hosts per drawer in fixed halves; Advanced allows three hosts with
+// arbitrary slot assignment. When Standard cannot satisfy a request the
+// planner escalates the drawer to Advanced and records that a mode change
+// is required — the decision an administrator would otherwise make by eye.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "falcon/chassis.hpp"
+
+namespace composim::falcon {
+
+struct ResourceRequest {
+  int port = 0;  // requesting host's port (must be connected)
+  int gpus = 0;
+  int nvme = 0;
+};
+
+struct PlannedAttach {
+  SlotId slot;
+  int port = 0;
+};
+
+struct AllocationPlan {
+  bool feasible = false;
+  std::string reason;  // set when infeasible
+  std::vector<PlannedAttach> attaches;
+  /// Drawers that must switch to Advanced mode before applying.
+  std::vector<int> mode_changes_to_advanced;
+};
+
+/// Compute a plan. Only considers occupied, currently-unassigned slots.
+AllocationPlan planAllocation(const FalconChassis& chassis,
+                              const std::vector<ResourceRequest>& requests);
+
+/// Execute a feasible plan (mode changes first, then attaches). Returns
+/// the first failing operation's result, or success.
+OpResult applyAllocation(FalconChassis& chassis, const AllocationPlan& plan);
+
+}  // namespace composim::falcon

@@ -1,0 +1,87 @@
+// composim: baseboard management controller (OpenBMC stand-in, paper §II-B).
+//
+// Provides what the Falcon web interface exposes: system information,
+// drawer temperature and fan sensors, the resource list, per-slot and
+// per-drawer throughput, PCIe link health with accumulated error counts,
+// and an exportable event log with alert thresholds.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "falcon/chassis.hpp"
+#include "sim/simulator.hpp"
+
+namespace composim::falcon {
+
+struct BmcEvent {
+  SimTime time = 0.0;
+  std::string severity;  // "info", "warning", "alert"
+  std::string message;
+};
+
+struct TemperatureReading {
+  double drawer_celsius[FalconChassis::kDrawers] = {0.0, 0.0};
+  double chassis_celsius = 0.0;
+  double fan_rpm = 0.0;
+};
+
+struct LinkHealthRow {
+  SlotId slot;
+  std::string device_name;
+  bool up = false;
+  Bytes bytes_ingress = 0;   // into the device
+  Bytes bytes_egress = 0;    // out of the device
+  std::uint64_t accumulated_errors = 0;
+};
+
+struct SystemInfo {
+  std::string model = "Falcon 4016";
+  std::string serial;
+  std::string firmware = "OpenBMC 2.9 (composim)";
+  SimTime uptime = 0.0;
+};
+
+class Bmc {
+ public:
+  Bmc(Simulator& sim, FalconChassis& chassis, std::string serial);
+
+  // --- event log ---
+  void logEvent(std::string severity, std::string message);
+  const std::vector<BmcEvent>& eventLog() const { return events_; }
+  /// Export events at or above a severity ("info" < "warning" < "alert").
+  std::vector<BmcEvent> exportEvents(const std::string& minSeverity) const;
+  void clearEventLog() { events_.clear(); }
+
+  // --- sensors ---
+  /// Register a 0..1 activity source for a drawer (e.g. a GPU's busy
+  /// fraction); temperature follows aggregate activity.
+  void registerThermalSource(int drawer, std::function<double()> activity);
+  TemperatureReading readTemperatures() const;
+  /// Temperature above which an "alert" event is recorded by sampleSensors.
+  void setAlertThreshold(double celsius) { alert_threshold_ = celsius; }
+  /// Poll sensors once; records an alert event on threshold excursion.
+  void sampleSensors();
+  /// Schedule periodic sensor sampling every `interval` simulated seconds.
+  void startPeriodicSampling(SimTime interval);
+  void stopPeriodicSampling() { sampling_ = false; }
+
+  // --- health / throughput ---
+  std::vector<LinkHealthRow> linkHealth() const;
+  Bytes drawerThroughputBytes(int drawer) const;
+  SystemInfo systemInfo() const;
+
+ private:
+  void periodicSample(SimTime interval);
+
+  Simulator& sim_;
+  FalconChassis& chassis_;
+  std::string serial_;
+  std::vector<BmcEvent> events_;
+  std::vector<std::vector<std::function<double()>>> thermal_;
+  double alert_threshold_ = 75.0;
+  bool sampling_ = false;
+};
+
+}  // namespace composim::falcon

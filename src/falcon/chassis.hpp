@@ -1,0 +1,147 @@
+// composim: Falcon 4016 composable chassis model (paper Sections II-III).
+//
+// A 4U chassis of 2 drawers x 8 PCIe-4.0 slots plus four host ports
+// (H1-H4, CDFP cables to host adapter cards). Devices in a drawer hang off
+// that drawer's PCIe switch; hosts connect to drawers through host ports.
+// Slot-to-host *assignment* is the composable part: it can change at run
+// time subject to the drawer's mode of operation (Fig 4):
+//
+//   Standard  - at most two hosts per drawer; with two hosts the drawer is
+//               split in fixed halves (slots 0-3 / 4-7).
+//   Advanced  - up to three hosts per drawer, arbitrary per-slot
+//               assignment, devices re-assignable on the fly.
+//
+// All wiring exists physically in the fabric topology; assignment is a
+// management-plane property enforced here and audited by the BMC event
+// log. The MCS (mcs.hpp) layers per-user authorization on top.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/link_catalog.hpp"
+#include "fabric/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace composim::falcon {
+
+class Bmc;
+
+enum class DeviceType { Gpu, Nvme, Nic, Custom };
+enum class DrawerMode { Standard, Advanced };
+
+const char* toString(DeviceType t);
+const char* toString(DrawerMode m);
+
+struct SlotId {
+  int drawer = 0;  // 0 or 1
+  int index = 0;   // 0..7
+  bool operator==(const SlotId&) const = default;
+};
+
+/// Outcome of a management operation; failures carry a reason.
+struct OpResult {
+  bool ok = true;
+  std::string message;
+  static OpResult success() { return {true, {}}; }
+  static OpResult failure(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+struct SlotInfo {
+  bool occupied = false;
+  DeviceType type = DeviceType::Custom;
+  std::string device_name;
+  fabric::NodeId device_node = fabric::kInvalidNode;
+  fabric::LinkId link_up = fabric::kInvalidLink;    // device -> switch
+  fabric::LinkId link_down = fabric::kInvalidLink;  // switch -> device
+  int assigned_port = -1;                           // -1 = unassigned
+};
+
+struct HostPortInfo {
+  std::string label;  // "H1".."H4"
+  int drawer = 0;     // fixed wiring: H1,H2 -> drawer 0; H3,H4 -> drawer 1
+  bool connected = false;
+  std::string host_name;
+  fabric::NodeId host_node = fabric::kInvalidNode;
+  fabric::LinkId link_in = fabric::kInvalidLink;   // host -> drawer switch
+  fabric::LinkId link_out = fabric::kInvalidLink;  // drawer switch -> host
+};
+
+class FalconChassis {
+ public:
+  static constexpr int kDrawers = 2;
+  static constexpr int kSlotsPerDrawer = 8;
+  static constexpr int kHostPorts = 4;
+  static constexpr int kMaxHostsPerDrawerStandard = 2;
+  static constexpr int kMaxHostsPerDrawerAdvanced = 3;
+
+  FalconChassis(Simulator& sim, fabric::Topology& topo, std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Each drawer is built from two PCIe switch chips (slots 0-3 on chip
+  /// 0, slots 4-7 on chip 1) joined by an inter-chip link. Host ports H1/
+  /// H3 land on chip 0 of their drawer, H2/H4 on chip 1 — which is what
+  /// makes the paper's "one host, two connections to the same drawer"
+  /// mode faster host-to-device but slower across the halves (§III-B.2).
+  fabric::NodeId drawerSwitch(int drawer, int half = 0) const;
+
+  /// Attach the BMC that receives chassis events (optional but typical).
+  void setBmc(Bmc* bmc) { bmc_ = bmc; }
+
+  // --- host ports ---
+  OpResult connectHost(int port, fabric::NodeId hostRoot, std::string hostName);
+  OpResult disconnectHost(int port);
+  const HostPortInfo& hostPort(int port) const;
+
+  // --- device installation (physical insertion into a slot) ---
+  OpResult installDevice(SlotId slot, DeviceType type, std::string deviceName,
+                         fabric::NodeId deviceNode);
+  OpResult removeDevice(SlotId slot);
+  const SlotInfo& slot(SlotId slot) const;
+
+  // --- modes ---
+  OpResult setDrawerMode(int drawer, DrawerMode mode);
+  DrawerMode drawerMode(int drawer) const;
+
+  // --- composability: assignment of devices to hosts ---
+  OpResult attach(SlotId slot, int port);
+  OpResult detach(SlotId slot);
+  int assignedPort(SlotId slot) const { return this->slot(slot).assigned_port; }
+  std::vector<SlotId> devicesAssignedTo(int port) const;
+  /// Distinct host ports with at least one assignment in `drawer`.
+  int hostsUsingDrawer(int drawer) const;
+
+  /// Resource list as the management GUI would show it.
+  struct ResourceRow {
+    SlotId slot;
+    DeviceType type;
+    std::string device_name;
+    std::string link_speed;  // "PCI-e 4.0 x16"
+    int assigned_port;
+    std::string host_name;   // empty when unassigned
+  };
+  std::vector<ResourceRow> resourceList() const;
+
+  Simulator& simulator() { return sim_; }
+  fabric::Topology& topology() { return topo_; }
+
+ private:
+  OpResult validateSlotId(SlotId slot) const;
+  OpResult checkAttachAllowed(SlotId slot, int port) const;
+  void logEvent(const std::string& severity, const std::string& message);
+
+  Simulator& sim_;
+  fabric::Topology& topo_;
+  std::string name_;
+  Bmc* bmc_ = nullptr;
+  std::array<std::array<fabric::NodeId, 2>, kDrawers> drawer_chips_{};
+  std::array<DrawerMode, kDrawers> mode_{};
+  std::array<std::array<SlotInfo, kSlotsPerDrawer>, kDrawers> slots_{};
+  std::array<HostPortInfo, kHostPorts> ports_{};
+};
+
+}  // namespace composim::falcon

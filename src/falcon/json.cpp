@@ -1,0 +1,333 @@
+#include "falcon/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace composim::falcon {
+
+std::int64_t Json::asInt() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const auto* d = std::get_if<double>(&value_)) {
+    return static_cast<std::int64_t>(*d);
+  }
+  throw JsonError("Json: not a number");
+}
+
+double Json::asDouble() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  throw JsonError("Json: not a number");
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (const Json* p = find(key)) return *p;
+  throw JsonError("Json: missing key '" + key + "'");
+}
+
+const Json* Json::find(const std::string& key) const {
+  const auto& obj = asObject();
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::set(const std::string& key, Json value) {
+  auto& obj = asObject();
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj.emplace_back(key, std::move(value));
+}
+
+namespace {
+
+void escapeString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newlineIndent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  if (isNull()) {
+    out += "null";
+  } else if (isBool()) {
+    out += asBool() ? "true" : "false";
+  } else if (isInt()) {
+    out += std::to_string(std::get<std::int64_t>(value_));
+  } else if (isDouble()) {
+    const double d = std::get<double>(value_);
+    if (std::isfinite(d)) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no Inf/NaN
+    }
+  } else if (isString()) {
+    escapeString(out, asString());
+  } else if (isArray()) {
+    const auto& arr = asArray();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i > 0) out += ',';
+      newlineIndent(out, indent, depth + 1);
+      arr[i].dumpTo(out, indent, depth + 1);
+    }
+    newlineIndent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& obj = asObject();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < obj.size(); ++i) {
+      if (i > 0) out += ',';
+      newlineIndent(out, indent, depth + 1);
+      escapeString(out, obj[i].first);
+      out += indent < 0 ? ":" : ": ";
+      obj[i].second.dumpTo(out, indent, depth + 1);
+    }
+    newlineIndent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parseDocument() {
+    Json v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw JsonError("JSON parse error at offset " + std::to_string(pos_) +
+                    ": " + why);
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json parseValue() {
+    skipWs();
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return Json(parseString());
+      case 't': parseLiteral("true"); return Json(true);
+      case 'f': parseLiteral("false"); return Json(false);
+      case 'n': parseLiteral("null"); return Json(nullptr);
+      default: return parseNumber();
+    }
+  }
+
+  void parseLiteral(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit in \\u escape");
+            }
+            // Encode BMP code point as UTF-8 (surrogates not supported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (consume('-')) { /* sign */ }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool isInt = true;
+    if (consume('.')) {
+      isInt = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      isInt = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid number");
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (isInt) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Json(v);
+    }
+    try {
+      return Json(std::stod(tok));
+    } catch (const std::exception&) {
+      fail("invalid number '" + tok + "'");
+    }
+  }
+
+  Json parseObject() {
+    expect('{');
+    Json obj = Json::object();
+    skipWs();
+    if (consume('}')) return obj;
+    while (true) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      obj.set(key, parseValue());
+      skipWs();
+      if (consume('}')) return obj;
+      expect(',');
+    }
+  }
+
+  Json parseArray() {
+    expect('[');
+    Json arr = Json::array();
+    skipWs();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push(parseValue());
+      skipWs();
+      if (consume(']')) return arr;
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parseDocument(); }
+
+}  // namespace composim::falcon

@@ -1,0 +1,234 @@
+#include "falcon/mcs.hpp"
+
+#include "falcon/bmc.hpp"
+
+namespace composim::falcon {
+
+const char* toString(Role r) {
+  switch (r) {
+    case Role::Administrator: return "administrator";
+    case Role::User: return "user";
+  }
+  return "?";
+}
+
+void Mcs::record(const std::string& user, const std::string& op, bool allowed,
+                 const std::string& detail) const {
+  audit_.push_back(
+      AuditRecord{chassis_.simulator().now(), user, op, allowed, detail});
+}
+
+bool Mcs::isAdmin(const std::string& user) const {
+  auto it = users_.find(user);
+  return it != users_.end() && it->second == Role::Administrator;
+}
+
+OpResult Mcs::addUser(const std::string& name, Role role) {
+  if (name.empty()) return OpResult::failure("empty user name");
+  if (!users_.emplace(name, role).second) {
+    return OpResult::failure("user '" + name + "' already exists");
+  }
+  return OpResult::success();
+}
+
+OpResult Mcs::removeUser(const std::string& actor, const std::string& name) {
+  if (!isAdmin(actor)) {
+    record(actor, "removeUser", false, "not an administrator");
+    return OpResult::failure("only administrators may remove users");
+  }
+  if (users_.erase(name) == 0) return OpResult::failure("no such user");
+  for (auto it = owners_.begin(); it != owners_.end();) {
+    it = (it->second == name) ? owners_.erase(it) : std::next(it);
+  }
+  record(actor, "removeUser", true, name);
+  return OpResult::success();
+}
+
+std::optional<Role> Mcs::roleOf(const std::string& name) const {
+  auto it = users_.find(name);
+  if (it == users_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Mcs::ownerOf(SlotId slot) const {
+  auto it = owners_.find({slot.drawer, slot.index});
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<SlotId> Mcs::resourcesOwnedBy(const std::string& user) const {
+  std::vector<SlotId> out;
+  for (const auto& [key, owner] : owners_) {
+    if (owner == user) out.push_back(SlotId{key.first, key.second});
+  }
+  return out;
+}
+
+OpResult Mcs::claimResource(const std::string& user, SlotId slot,
+                            const std::string& forUser) {
+  if (!users_.count(user)) return OpResult::failure("unknown user '" + user + "'");
+  std::string target = forUser.empty() ? user : forUser;
+  if (target != user && !isAdmin(user)) {
+    record(user, "claim", false, "claim-for-other requires administrator");
+    return OpResult::failure("only administrators may claim for another user");
+  }
+  if (!users_.count(target)) return OpResult::failure("unknown user '" + target + "'");
+  const auto& info = chassis_.slot(slot);
+  if (!info.occupied) {
+    record(user, "claim", false, "slot empty");
+    return OpResult::failure("slot is empty");
+  }
+  auto key = std::make_pair(slot.drawer, slot.index);
+  if (auto it = owners_.find(key); it != owners_.end()) {
+    record(user, "claim", false, "owned by " + it->second);
+    return OpResult::failure("resource already owned by '" + it->second + "'");
+  }
+  owners_[key] = target;
+  record(user, "claim", true,
+         info.device_name + " -> " + target);
+  return OpResult::success();
+}
+
+OpResult Mcs::releaseResource(const std::string& user, SlotId slot) {
+  auto key = std::make_pair(slot.drawer, slot.index);
+  auto it = owners_.find(key);
+  if (it == owners_.end()) return OpResult::failure("resource is not owned");
+  if (it->second != user && !isAdmin(user)) {
+    record(user, "release", false, "not owner");
+    return OpResult::failure("resource is owned by '" + it->second + "'");
+  }
+  record(user, "release", true, chassis_.slot(slot).device_name);
+  owners_.erase(it);
+  return OpResult::success();
+}
+
+OpResult Mcs::authorizeSlotOp(const std::string& user, SlotId slot,
+                              const std::string& op) {
+  if (!users_.count(user)) {
+    record(user, op, false, "unknown user");
+    return OpResult::failure("unknown user '" + user + "'");
+  }
+  if (isAdmin(user)) return OpResult::success();
+  auto owner = ownerOf(slot);
+  if (!owner || *owner != user) {
+    record(user, op, false, "not resource owner");
+    return OpResult::failure(
+        "operation requires ownership of the resource (enterprise isolation)");
+  }
+  return OpResult::success();
+}
+
+OpResult Mcs::attach(const std::string& user, SlotId slot, int port) {
+  if (auto r = authorizeSlotOp(user, slot, "attach"); !r) return r;
+  auto r = chassis_.attach(slot, port);
+  record(user, "attach", r.ok, r.ok ? chassis_.slot(slot).device_name : r.message);
+  return r;
+}
+
+OpResult Mcs::detach(const std::string& user, SlotId slot) {
+  if (auto r = authorizeSlotOp(user, slot, "detach"); !r) return r;
+  auto r = chassis_.detach(slot);
+  record(user, "detach", r.ok, r.ok ? chassis_.slot(slot).device_name : r.message);
+  return r;
+}
+
+OpResult Mcs::setDrawerMode(const std::string& user, int drawer, DrawerMode mode) {
+  if (!isAdmin(user)) {
+    record(user, "setDrawerMode", false, "not an administrator");
+    return OpResult::failure("changing drawer modes requires administrator role");
+  }
+  auto r = chassis_.setDrawerMode(drawer, mode);
+  record(user, "setDrawerMode", r.ok, toString(mode));
+  return r;
+}
+
+OpResult Mcs::exportEventLog(const std::string& user, const Bmc& bmc,
+                             std::vector<BmcEvent>& out) const {
+  if (!isAdmin(user)) {
+    record(user, "exportEventLog", false, "not an administrator");
+    return OpResult::failure("event-log export is an administrator feature");
+  }
+  out = bmc.eventLog();
+  record(user, "exportEventLog", true,
+         std::to_string(out.size()) + " events");
+  return OpResult::success();
+}
+
+Json Mcs::exportConfig() const {
+  Json root = Json::object();
+  root.set("chassis", chassis_.name());
+  Json drawers = Json::array();
+  for (int d = 0; d < FalconChassis::kDrawers; ++d) {
+    Json drawer = Json::object();
+    drawer.set("index", d);
+    drawer.set("mode", toString(chassis_.drawerMode(d)));
+    Json slots = Json::array();
+    for (int i = 0; i < FalconChassis::kSlotsPerDrawer; ++i) {
+      const SlotId id{d, i};
+      const auto& info = chassis_.slot(id);
+      if (!info.occupied) continue;
+      Json slot = Json::object();
+      slot.set("index", i);
+      slot.set("type", toString(info.type));
+      slot.set("device", info.device_name);
+      slot.set("port", info.assigned_port);
+      if (auto owner = ownerOf(id)) slot.set("owner", *owner);
+      slots.push(std::move(slot));
+    }
+    drawer.set("slots", std::move(slots));
+    drawers.push(std::move(drawer));
+  }
+  root.set("drawers", std::move(drawers));
+  return root;
+}
+
+OpResult Mcs::importConfig(const std::string& user, const Json& config) {
+  if (!isAdmin(user)) {
+    record(user, "importConfig", false, "not an administrator");
+    return OpResult::failure("configuration import requires administrator role");
+  }
+  try {
+    for (const auto& drawerJson : config.at("drawers").asArray()) {
+      const int d = static_cast<int>(drawerJson.at("index").asInt());
+      const std::string modeStr = drawerJson.at("mode").asString();
+      const DrawerMode mode = (modeStr == "Advanced") ? DrawerMode::Advanced
+                                                      : DrawerMode::Standard;
+      // Detach everything in the drawer first so mode + halves re-apply
+      // cleanly.
+      for (int i = 0; i < FalconChassis::kSlotsPerDrawer; ++i) {
+        const SlotId id{d, i};
+        if (chassis_.slot(id).occupied && chassis_.slot(id).assigned_port >= 0) {
+          chassis_.detach(id);
+        }
+      }
+      if (auto r = chassis_.setDrawerMode(d, mode); !r) return r;
+      for (const auto& slotJson : drawerJson.at("slots").asArray()) {
+        const int i = static_cast<int>(slotJson.at("index").asInt());
+        const SlotId id{d, i};
+        const auto& info = chassis_.slot(id);
+        if (!info.occupied) {
+          return OpResult::failure("import: slot drawer " + std::to_string(d) +
+                                   "/" + std::to_string(i) + " is empty");
+        }
+        if (info.device_name != slotJson.at("device").asString()) {
+          return OpResult::failure("import: device mismatch in drawer " +
+                                   std::to_string(d) + " slot " + std::to_string(i));
+        }
+        const int port = static_cast<int>(slotJson.at("port").asInt());
+        if (port >= 0) {
+          if (auto r = chassis_.attach(id, port); !r) return r;
+        }
+        if (const Json* owner = slotJson.find("owner")) {
+          owners_[{d, i}] = owner->asString();
+        }
+      }
+    }
+  } catch (const JsonError& e) {
+    record(user, "importConfig", false, e.what());
+    return OpResult::failure(std::string("malformed configuration: ") + e.what());
+  }
+  record(user, "importConfig", true, "applied");
+  return OpResult::success();
+}
+
+}  // namespace composim::falcon

@@ -1,0 +1,84 @@
+// composim: Management Center Server (paper §II-D, "Enterprise Features").
+//
+// The MCS sits between users and the Falcon management plane so that
+// self-service experimentation cannot disrupt other tenants: users operate
+// only on resources they own (or claim unowned ones); administrators can do
+// everything. Every decision is recorded in an audit log. Resource
+// allocations can be exported to / imported from a JSON configuration file,
+// mirroring the appliance's import/export feature.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "falcon/bmc.hpp"
+#include "falcon/chassis.hpp"
+#include "falcon/json.hpp"
+
+namespace composim::falcon {
+
+enum class Role { Administrator, User };
+
+const char* toString(Role r);
+
+struct AuditRecord {
+  SimTime time = 0.0;
+  std::string user;
+  std::string operation;
+  bool allowed = false;
+  std::string detail;
+};
+
+class Mcs {
+ public:
+  explicit Mcs(FalconChassis& chassis) : chassis_(chassis) {}
+
+  // --- accounts ---
+  OpResult addUser(const std::string& name, Role role);
+  OpResult removeUser(const std::string& actor, const std::string& name);
+  std::optional<Role> roleOf(const std::string& name) const;
+
+  // --- ownership ---
+  /// Claim an unowned, occupied slot for `user`. Admins may also claim on
+  /// behalf of others via `forUser`.
+  OpResult claimResource(const std::string& user, SlotId slot,
+                         const std::string& forUser = {});
+  OpResult releaseResource(const std::string& user, SlotId slot);
+  std::optional<std::string> ownerOf(SlotId slot) const;
+  std::vector<SlotId> resourcesOwnedBy(const std::string& user) const;
+
+  // --- authorized management operations (delegate to the chassis) ---
+  OpResult attach(const std::string& user, SlotId slot, int port);
+  OpResult detach(const std::string& user, SlotId slot);
+  OpResult setDrawerMode(const std::string& user, int drawer, DrawerMode mode);
+
+  /// Event-log export is an administrator feature on the appliance.
+  OpResult exportEventLog(const std::string& user, const Bmc& bmc,
+                          std::vector<BmcEvent>& out) const;
+
+  // --- configuration import/export ---
+  /// Serialize modes, assignments and ownership to a configuration file.
+  Json exportConfig() const;
+  /// Re-apply a configuration: drawer modes, then slot attachments and
+  /// ownership. Fails (without partial rollback of prior successes) on the
+  /// first mismatch between the file and the installed devices.
+  OpResult importConfig(const std::string& user, const Json& config);
+
+  const std::vector<AuditRecord>& auditLog() const { return audit_; }
+
+ private:
+  bool isAdmin(const std::string& user) const;
+  OpResult authorizeSlotOp(const std::string& user, SlotId slot,
+                           const std::string& op);
+  void record(const std::string& user, const std::string& op, bool allowed,
+              const std::string& detail) const;
+
+  FalconChassis& chassis_;
+  std::map<std::string, Role> users_;
+  std::map<std::pair<int, int>, std::string> owners_;  // (drawer, index) -> user
+  mutable std::vector<AuditRecord> audit_;
+};
+
+}  // namespace composim::falcon

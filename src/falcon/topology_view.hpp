@@ -1,0 +1,24 @@
+// composim: the management GUI's two views (paper §II-B): a list view of
+// resources and a topology view of hosts, ports, drawers and slots, plus
+// the per-port traffic monitor. Rendered as text — the reproduction's
+// equivalent of the web interface.
+#pragma once
+
+#include <string>
+
+#include "falcon/chassis.hpp"
+
+namespace composim::falcon {
+
+/// Tabular resource list (device, type, link, owner host).
+std::string renderListView(const FalconChassis& chassis);
+
+/// ASCII topology diagram: hosts -> ports -> drawers -> slots.
+std::string renderTopologyView(const FalconChassis& chassis);
+
+/// Port traffic monitor: cumulative ingress/egress and error counts per
+/// host port and per occupied slot.
+std::string renderPortTraffic(const FalconChassis& chassis,
+                              const fabric::Topology& topo);
+
+}  // namespace composim::falcon

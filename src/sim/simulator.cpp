@@ -1,0 +1,75 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace composim {
+
+EventId Simulator::schedule(SimTime delay, Action fn) {
+  if (delay < 0.0) delay = 0.0;
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::scheduleAt(SimTime when, Action fn) {
+  if (!fn) throw std::invalid_argument("Simulator::schedule: empty action");
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (pending_.count(id) == 0) return false;  // already ran or never existed
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::popNext(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const ref; move is safe because we pop
+    // immediately after and never touch the moved-from entry.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    pending_.erase(e.id);
+    auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!popNext(e)) return false;
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void Simulator::run(std::uint64_t maxEvents) {
+  for (std::uint64_t i = 0; i < maxEvents; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Simulator::runUntil(SimTime until) {
+  Entry e;
+  while (true) {
+    if (queue_.empty()) return;
+    if (queue_.top().time > until) {
+      now_ = until;
+      return;
+    }
+    if (!popNext(e)) return;
+    now_ = e.time;
+    ++executed_;
+    e.fn();
+  }
+}
+
+}  // namespace composim

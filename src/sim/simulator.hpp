@@ -1,0 +1,87 @@
+// composim: discrete-event simulation kernel.
+//
+// Single-threaded, deterministic. Events are (time, sequence) ordered so
+// ties resolve in scheduling order. Cancellation is O(1) amortized via a
+// tombstone set consulted at pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace composim {
+
+/// Handle to a scheduled event; usable with Simulator::cancel().
+using EventId = std::uint64_t;
+
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (seconds).
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now. Negative delays clamp
+  /// to zero (run at the current time, after already-queued events).
+  EventId schedule(SimTime delay, Action fn);
+
+  /// Schedule at an absolute time (clamped to now()).
+  EventId scheduleAt(SimTime when, Action fn);
+
+  /// Cancel a pending event. Returns false if it already ran, was already
+  /// cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Run one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `maxEvents` events execute.
+  void run(std::uint64_t maxEvents = UINT64_MAX);
+
+  /// Run until simulated time reaches `until` (events at exactly `until`
+  /// are executed) or the queue drains.
+  void runUntil(SimTime until);
+
+  /// Number of events executed so far.
+  std::uint64_t eventsExecuted() const { return executed_; }
+
+  /// Number of events currently pending (including cancelled tombstones).
+  std::size_t pendingEvents() const { return queue_.size(); }
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  bool popNext(Entry& out);
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> pending_;    // ids scheduled and not yet run
+  std::unordered_set<EventId> cancelled_;  // subset of pending_
+};
+
+}  // namespace composim

@@ -1,0 +1,20 @@
+#include "sim/trace.hpp"
+
+#include <utility>
+
+namespace composim {
+
+void TraceLog::record(SimTime t, std::string category, std::string message) {
+  if (!wants(category)) return;
+  records_.push_back(TraceRecord{t, std::move(category), std::move(message)});
+}
+
+std::vector<TraceRecord> TraceLog::byCategory(const std::string& category) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.category == category) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace composim

@@ -1,0 +1,43 @@
+// composim: lightweight structured trace log.
+//
+// Components append (time, category, message) records; tests and the
+// management plane read them back. Disabled categories cost one branch.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace composim {
+
+struct TraceRecord {
+  SimTime time;
+  std::string category;
+  std::string message;
+};
+
+class TraceLog {
+ public:
+  /// When not enabled-all, only categories added via enable() are recorded.
+  void enableAll(bool on) { all_ = on; }
+  void enable(const std::string& category) { enabled_.insert(category); }
+
+  bool wants(const std::string& category) const {
+    return all_ || enabled_.count(category) > 0;
+  }
+
+  void record(SimTime t, std::string category, std::string message);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::vector<TraceRecord> byCategory(const std::string& category) const;
+  void clear() { records_.clear(); }
+
+ private:
+  bool all_ = false;
+  std::unordered_set<std::string> enabled_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace composim

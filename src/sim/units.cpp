@@ -1,0 +1,52 @@
+#include "sim/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace composim {
+
+namespace {
+
+std::string formatScaled(double value, const char* const* suffixes, int count,
+                         double step) {
+  int idx = 0;
+  double v = value;
+  while (std::fabs(v) >= step && idx + 1 < count) {
+    v /= step;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace
+
+std::string formatBytes(Bytes b) {
+  static const char* kSuffix[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  return formatScaled(static_cast<double>(b), kSuffix, 6, 1000.0);
+}
+
+std::string formatBandwidth(Bandwidth bw) {
+  static const char* kSuffix[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  return formatScaled(bw, kSuffix, 5, 1000.0);
+}
+
+std::string formatTime(SimTime t) {
+  char buf[64];
+  const double a = std::fabs(t);
+  if (a < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", t * 1e9);
+  } else if (a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", t * 1e6);
+  } else if (a < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", t * 1e3);
+  } else if (a < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", t);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f min", t / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace composim

@@ -1,0 +1,66 @@
+// composim: strong unit helpers shared by every subsystem.
+//
+// Simulated time is a double in seconds.  All conversions go through the
+// named constructors below so magnitudes are never ambiguous at call sites.
+// Data sizes are int64 bytes; bandwidths are double bytes/second.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace composim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Data size in bytes.
+using Bytes = std::int64_t;
+
+/// Transfer rate in bytes per second.
+using Bandwidth = double;
+
+/// Floating point operations (dimensionless count).
+using Flops = double;
+
+namespace units {
+
+constexpr SimTime nanoseconds(double v) { return v * 1e-9; }
+constexpr SimTime microseconds(double v) { return v * 1e-6; }
+constexpr SimTime milliseconds(double v) { return v * 1e-3; }
+constexpr SimTime seconds(double v) { return v; }
+constexpr SimTime minutes(double v) { return v * 60.0; }
+constexpr SimTime hours(double v) { return v * 3600.0; }
+
+constexpr double to_us(SimTime t) { return t * 1e6; }
+constexpr double to_ms(SimTime t) { return t * 1e3; }
+
+constexpr Bytes KiB(double v) { return static_cast<Bytes>(v * 1024.0); }
+constexpr Bytes MiB(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0); }
+constexpr Bytes GiB(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0 * 1024.0); }
+
+constexpr Bandwidth MBps(double v) { return v * 1e6; }
+constexpr Bandwidth GBps(double v) { return v * 1e9; }
+/// Gigabits per second (network-style rate) to bytes/second.
+constexpr Bandwidth Gbps(double v) { return v * 1e9 / 8.0; }
+
+constexpr double to_GBps(Bandwidth bw) { return bw / 1e9; }
+
+constexpr Flops GFLOP(double v) { return v * 1e9; }
+constexpr Flops TFLOP(double v) { return v * 1e12; }
+/// Compute rate: teraFLOP/s expressed as FLOP/s.
+constexpr double TFLOPS(double v) { return v * 1e12; }
+
+constexpr Bytes MB(double v) { return static_cast<Bytes>(v * 1e6); }
+constexpr Bytes GB(double v) { return static_cast<Bytes>(v * 1e9); }
+constexpr Bytes KB(double v) { return static_cast<Bytes>(v * 1e3); }
+
+}  // namespace units
+
+/// Human-readable "12.3 GB" style formatting (SI units).
+std::string formatBytes(Bytes b);
+/// Human-readable "12.34 GB/s" formatting.
+std::string formatBandwidth(Bandwidth bw);
+/// Human-readable duration: picks ns/us/ms/s/min as appropriate.
+std::string formatTime(SimTime t);
+
+}  // namespace composim

@@ -1,0 +1,51 @@
+// composim: human-readable reporting helpers.
+//
+// The bench binaries print paper-style tables and ASCII figure panels
+// (bar charts for the per-benchmark comparisons, strip charts for the
+// utilization-over-time figures) plus CSV export for plotting elsewhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/time_series.hpp"
+
+namespace composim::telemetry {
+
+/// Fixed-column ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void addRow(std::vector<std::string> cells);
+  /// Render with column widths fitted to content.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal bar chart: one labelled bar per entry, scaled to maxWidth.
+std::string barChart(const std::vector<std::pair<std::string, double>>& entries,
+                     const std::string& unit, int maxWidth = 50);
+
+/// Strip chart of a series resampled to `width` columns with `height` rows
+/// (the Fig 9 GPU-utilization-pattern renderer).
+std::string stripChart(const TimeSeries& series, int width = 78, int height = 8,
+                       double ymin = 0.0, double ymax = 100.0);
+
+/// CSV with a time column plus one column per series (outer-joined on the
+/// sample index; series are expected to share sampling instants).
+std::string toCsv(const std::vector<const TimeSeries*>& series);
+
+/// Write text to a file; throws std::runtime_error on failure.
+void writeFile(const std::string& path, const std::string& content);
+
+/// printf-style float formatting helper for table cells.
+std::string fmt(double v, int decimals = 2);
+
+}  // namespace composim::telemetry

@@ -1,0 +1,71 @@
+#include "telemetry/run_tracker.hpp"
+
+#include "telemetry/report.hpp"
+
+namespace composim::telemetry {
+
+void TrackedRun::log(const std::string& metric, SimTime t, double value) {
+  auto it = series_.find(metric);
+  if (it == series_.end()) {
+    it = series_.emplace(metric, TimeSeries(metric)).first;
+  }
+  it->second.push(t, value);
+}
+
+const TimeSeries* TrackedRun::series(const std::string& metric) const {
+  auto it = series_.find(metric);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TrackedRun::metrics() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.push_back(name);
+  return out;
+}
+
+falcon::Json TrackedRun::manifest() const {
+  falcon::Json j = falcon::Json::object();
+  j.set("name", name_);
+  falcon::Json cfg = falcon::Json::object();
+  for (const auto& [k, v] : config_) cfg.set(k, v);
+  j.set("config", std::move(cfg));
+  falcon::Json sum = falcon::Json::object();
+  for (const auto& [k, v] : summary_) sum.set(k, v);
+  j.set("summary", std::move(sum));
+  falcon::Json metrics = falcon::Json::array();
+  for (const auto& m : this->metrics()) metrics.push(m);
+  j.set("metrics", std::move(metrics));
+  return j;
+}
+
+TrackedRun& RunTracker::run(const std::string& name) {
+  auto it = runs_.find(name);
+  if (it == runs_.end()) it = runs_.emplace(name, TrackedRun(name)).first;
+  return it->second;
+}
+
+const TrackedRun* RunTracker::find(const std::string& name) const {
+  auto it = runs_.find(name);
+  return it == runs_.end() ? nullptr : &it->second;
+}
+
+falcon::Json RunTracker::manifest() const {
+  falcon::Json j = falcon::Json::object();
+  falcon::Json arr = falcon::Json::array();
+  for (const auto& [name, run] : runs_) arr.push(run.manifest());
+  j.set("runs", std::move(arr));
+  return j;
+}
+
+void RunTracker::exportTo(const std::string& dir) const {
+  writeFile(dir + "/manifest.json", manifest().dump(2) + "\n");
+  for (const auto& [name, run] : runs_) {
+    for (const auto& metric : run.metrics()) {
+      const TimeSeries* s = run.series(metric);
+      writeFile(dir + "/" + name + "_" + metric + ".csv", toCsv({s}));
+    }
+  }
+}
+
+}  // namespace composim::telemetry

@@ -1,0 +1,69 @@
+// composim: experiment run tracker (the Weights & Biases stand-in of
+// Table I).
+//
+// A RunTracker owns named runs; each run carries a config dictionary,
+// per-step scalar logs and final summary values, and can be exported as a
+// directory of CSV files plus a JSON manifest — the artifact a plotting
+// notebook would consume.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "falcon/json.hpp"
+#include "sim/units.hpp"
+#include "telemetry/time_series.hpp"
+
+namespace composim::telemetry {
+
+class TrackedRun {
+ public:
+  explicit TrackedRun(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void setConfig(const std::string& key, std::string value) {
+    config_[key] = std::move(value);
+  }
+  const std::map<std::string, std::string>& config() const { return config_; }
+
+  /// Log a scalar at a step/time coordinate (monotone per metric).
+  void log(const std::string& metric, SimTime t, double value);
+
+  void setSummary(const std::string& key, double value) { summary_[key] = value; }
+  const std::map<std::string, double>& summary() const { return summary_; }
+
+  const TimeSeries* series(const std::string& metric) const;
+  std::vector<std::string> metrics() const;
+
+  /// JSON manifest entry (config + summary + metric names).
+  falcon::Json manifest() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> config_;
+  std::map<std::string, TimeSeries> series_;
+  std::map<std::string, double> summary_;
+};
+
+class RunTracker {
+ public:
+  /// Creates (or returns the existing) run with this name.
+  TrackedRun& run(const std::string& name);
+  const TrackedRun* find(const std::string& name) const;
+  std::size_t runCount() const { return runs_.size(); }
+
+  /// Write <dir>/manifest.json and one <dir>/<run>_<metric>.csv per
+  /// logged metric. The directory must exist.
+  void exportTo(const std::string& dir) const;
+
+  /// Full manifest for all runs.
+  falcon::Json manifest() const;
+
+ private:
+  // Stable iteration order for deterministic manifests.
+  std::map<std::string, TrackedRun> runs_;
+};
+
+}  // namespace composim::telemetry

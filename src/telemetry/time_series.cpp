@@ -1,0 +1,61 @@
+#include "telemetry/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace composim::telemetry {
+
+void TimeSeries::push(SimTime t, double value) {
+  if (!times_.empty() && t < times_.back()) {
+    throw std::invalid_argument("TimeSeries: non-monotonic sample time");
+  }
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+SeriesStats TimeSeries::stats() const {
+  SeriesStats s;
+  s.count = values_.size();
+  if (values_.empty()) return s;
+  s.min = *std::min_element(values_.begin(), values_.end());
+  s.max = *std::max_element(values_.begin(), values_.end());
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  s.mean = sum / static_cast<double>(values_.size());
+  double var = 0.0;
+  for (double v : values_) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values_.size()));
+  return s;
+}
+
+double TimeSeries::meanInWindow(SimTime from, SimTime to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= from && times_[i] <= to) {
+      sum += values_[i];
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<double> TimeSeries::resample(std::size_t buckets) const {
+  std::vector<double> out;
+  if (values_.empty() || buckets == 0) return out;
+  if (values_.size() <= buckets) return values_;
+  out.reserve(buckets);
+  const double stride = static_cast<double>(values_.size()) / static_cast<double>(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = static_cast<std::size_t>(b * stride);
+    std::size_t hi = static_cast<std::size_t>((b + 1) * stride);
+    hi = std::min(std::max(hi, lo + 1), values_.size());
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += values_[i];
+    out.push_back(sum / static_cast<double>(hi - lo));
+  }
+  return out;
+}
+
+}  // namespace composim::telemetry

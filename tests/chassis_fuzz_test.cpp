@@ -1,0 +1,98 @@
+// Randomized-operation fuzz of the chassis management plane: whatever
+// sequence of attach/detach/mode/install/remove operations a tenant
+// throws at it, the chassis invariants must hold.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "falcon/chassis.hpp"
+#include "sim/random.hpp"
+
+namespace composim::falcon {
+namespace {
+
+class ChassisFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChassisFuzz, InvariantsSurviveRandomOperations) {
+  Simulator sim;
+  fabric::Topology topo;
+  FalconChassis chassis(sim, topo, "fuzz");
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+
+  // Hosts on all four ports.
+  for (int p = 0; p < FalconChassis::kHostPorts; ++p) {
+    const auto h = topo.addNode("h" + std::to_string(p),
+                                fabric::NodeKind::CpuRootComplex);
+    ASSERT_TRUE(chassis.connectHost(p, h, "h" + std::to_string(p)));
+  }
+
+  int installed = 0;
+  for (int step = 0; step < 400; ++step) {
+    const SlotId slot{static_cast<int>(rng.uniformInt(0, 1)),
+                      static_cast<int>(rng.uniformInt(0, 7))};
+    switch (rng.uniformInt(0, 4)) {
+      case 0: {  // install
+        const std::string name = "dev" + std::to_string(step);
+        const auto n = topo.addNode(name, fabric::NodeKind::Gpu);
+        if (chassis.installDevice(slot, DeviceType::Gpu, name, n)) ++installed;
+        break;
+      }
+      case 1:  // remove
+        chassis.removeDevice(slot);
+        break;
+      case 2:  // attach to a random port
+        chassis.attach(slot, static_cast<int>(rng.uniformInt(0, 3)));
+        break;
+      case 3:  // detach
+        chassis.detach(slot);
+        break;
+      case 4:  // flip mode
+        chassis.setDrawerMode(static_cast<int>(rng.uniformInt(0, 1)),
+                              rng.uniform() < 0.5 ? DrawerMode::Standard
+                                                  : DrawerMode::Advanced);
+        break;
+    }
+
+    // Invariants after every operation:
+    for (int d = 0; d < FalconChassis::kDrawers; ++d) {
+      std::set<int> ports;
+      for (int s = 0; s < FalconChassis::kSlotsPerDrawer; ++s) {
+        const auto& info = chassis.slot({d, s});
+        if (!info.occupied) {
+          // Empty slots are never assigned.
+          ASSERT_EQ(info.assigned_port, -1);
+          continue;
+        }
+        if (info.assigned_port >= 0) {
+          // Assignments only to connected ports wired to this drawer.
+          const auto& port = chassis.hostPort(info.assigned_port);
+          ASSERT_TRUE(port.connected);
+          ASSERT_EQ(port.drawer, d);
+          ports.insert(info.assigned_port);
+        }
+      }
+      // Host-count limits respected under the current mode.
+      const int limit = chassis.drawerMode(d) == DrawerMode::Standard
+                            ? FalconChassis::kMaxHostsPerDrawerStandard
+                            : FalconChassis::kMaxHostsPerDrawerAdvanced;
+      ASSERT_LE(static_cast<int>(ports.size()), limit);
+      // Standard mode with two hosts: the half-split holds.
+      if (chassis.drawerMode(d) == DrawerMode::Standard && ports.size() == 2) {
+        const int lo = *ports.begin();
+        for (int s = 0; s < FalconChassis::kSlotsPerDrawer; ++s) {
+          const auto& info = chassis.slot({d, s});
+          if (!info.occupied || info.assigned_port < 0) continue;
+          const bool lowerHalf = s < FalconChassis::kSlotsPerDrawer / 2;
+          ASSERT_EQ(info.assigned_port == lo, lowerHalf)
+              << "drawer " << d << " slot " << s;
+        }
+      }
+    }
+  }
+  EXPECT_GT(installed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChassisFuzz, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace composim::falcon

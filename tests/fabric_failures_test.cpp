@@ -1,0 +1,78 @@
+// Tests for fault injection: link flaps, error bursts, degradation.
+#include <gtest/gtest.h>
+
+#include "fabric/failures.hpp"
+#include "sim/units.hpp"
+
+namespace composim::fabric {
+namespace {
+
+struct FaultFixture : ::testing::Test {
+  Simulator sim;
+  Topology topo;
+  FlowNetwork net{sim, topo};
+  FaultInjector faults{sim, topo, net};
+  NodeId a = topo.addNode("a", NodeKind::Gpu);
+  NodeId b = topo.addNode("b", NodeKind::Gpu);
+  LinkId ab = kInvalidLink;
+
+  void SetUp() override {
+    auto [fwd, rev] = topo.addDuplexLink(a, b, units::GBps(10), 0.0, LinkKind::PCIe4);
+    ab = fwd;
+    (void)rev;
+  }
+};
+
+TEST_F(FaultFixture, FlapFailsInFlightFlowThenRestores) {
+  FlowStatus first = FlowStatus::Completed;
+  FlowStatus second = FlowStatus::Failed;
+  net.startFlow(a, b, units::GB(10), [&](const FlowResult& r) { first = r.status; });
+  faults.scheduleLinkFlap(ab, 0.1, 0.2);
+  // A flow started after the restore succeeds.
+  sim.schedule(0.5, [&] {
+    net.startFlow(a, b, units::MiB(1), [&](const FlowResult& r) { second = r.status; });
+  });
+  sim.run();
+  EXPECT_EQ(first, FlowStatus::Failed);
+  EXPECT_EQ(second, FlowStatus::Completed);
+  ASSERT_EQ(faults.history().size(), 2u);
+  EXPECT_EQ(faults.history()[0].kind, FaultRecord::Kind::Flap);
+  EXPECT_EQ(faults.history()[1].kind, FaultRecord::Kind::Restore);
+  EXPECT_NEAR(faults.history()[1].time, 0.3, 1e-9);
+}
+
+TEST_F(FaultFixture, FlapRejectsNonPositiveDowntime) {
+  EXPECT_THROW(faults.scheduleLinkFlap(ab, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST_F(FaultFixture, ErrorBurstOnlyBumpsCounters) {
+  FlowStatus status = FlowStatus::Failed;
+  net.startFlow(a, b, units::MiB(100), [&](const FlowResult& r) { status = r.status; });
+  faults.scheduleErrorBurst(ab, 0.001, 42);
+  sim.run();
+  EXPECT_EQ(status, FlowStatus::Completed);  // traffic unharmed
+  EXPECT_EQ(topo.link(ab).counters.errors, 42u);
+}
+
+TEST_F(FaultFixture, DegradeSlowsActiveFlow) {
+  FlowResult res;
+  net.startFlow(a, b, units::GB(1), [&](const FlowResult& r) { res = r; });
+  faults.scheduleDegrade(ab, 0.05, 0.5);  // 10 -> 5 GB/s at t=50ms
+  sim.run();
+  EXPECT_EQ(res.status, FlowStatus::Completed);
+  // 0.5 GB at 10 GB/s, then 0.5 GB at 5 GB/s: 50 + 100 = 150 ms.
+  EXPECT_NEAR(res.duration(), 0.15, 1e-3);
+  EXPECT_THROW(faults.scheduleDegrade(ab, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(faults.scheduleDegrade(ab, 0.0, 1.5), std::invalid_argument);
+}
+
+TEST_F(FaultFixture, RandomErrorNoiseStopsAtDeadline) {
+  faults.scheduleRandomErrorNoise(ab, 0.01, 1.0);
+  sim.run();
+  EXPECT_GT(topo.link(ab).counters.errors, 20u);   // ~100 expected
+  EXPECT_LT(topo.link(ab).counters.errors, 300u);
+  for (const auto& f : faults.history()) EXPECT_LE(f.time, 1.0);
+}
+
+}  // namespace
+}  // namespace composim::fabric

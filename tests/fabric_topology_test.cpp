@@ -1,0 +1,136 @@
+// Unit tests for the topology graph and its routing.
+#include <gtest/gtest.h>
+
+#include "fabric/link_catalog.hpp"
+#include "fabric/topology.hpp"
+#include "sim/units.hpp"
+
+namespace composim::fabric {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  Topology topo;
+  NodeId a = topo.addNode("a", NodeKind::Gpu);
+  NodeId b = topo.addNode("b", NodeKind::PcieSwitch);
+  NodeId c = topo.addNode("c", NodeKind::Gpu);
+};
+
+TEST_F(TopologyTest, AddNodeAssignsSequentialIds) {
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  EXPECT_EQ(topo.nodeCount(), 3u);
+  EXPECT_EQ(topo.node(a).name, "a");
+  EXPECT_EQ(topo.node(b).kind, NodeKind::PcieSwitch);
+}
+
+TEST_F(TopologyTest, FindNodeByName) {
+  EXPECT_EQ(topo.findNode("c"), c);
+  EXPECT_EQ(topo.findNode("nope"), kInvalidNode);
+}
+
+TEST_F(TopologyTest, DuplexLinkCreatesBothDirections) {
+  auto [fwd, rev] = topo.addDuplexLink(a, b, units::GBps(10), 1e-6,
+                                       LinkKind::PCIe4);
+  EXPECT_EQ(topo.link(fwd).src, a);
+  EXPECT_EQ(topo.link(fwd).dst, b);
+  EXPECT_EQ(topo.link(rev).src, b);
+  EXPECT_EQ(topo.link(rev).dst, a);
+  EXPECT_EQ(topo.linkCount(), 2u);
+}
+
+TEST_F(TopologyTest, RejectsSelfLoopAndBadCapacity) {
+  EXPECT_THROW(topo.addLink(a, a, units::GBps(1), 0, LinkKind::Internal),
+               std::invalid_argument);
+  EXPECT_THROW(topo.addLink(a, b, 0.0, 0, LinkKind::Internal),
+               std::invalid_argument);
+  EXPECT_THROW(topo.addLink(a, 99, units::GBps(1), 0, LinkKind::Internal),
+               std::out_of_range);
+}
+
+TEST_F(TopologyTest, RouteFollowsLinks) {
+  topo.addDuplexLink(a, b, units::GBps(10), units::microseconds(1), LinkKind::PCIe4);
+  topo.addDuplexLink(b, c, units::GBps(5), units::microseconds(2), LinkKind::PCIe4);
+  auto r = topo.route(a, c);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->links.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->latency, units::microseconds(3));
+  EXPECT_DOUBLE_EQ(r->bottleneck, units::GBps(5));
+}
+
+TEST_F(TopologyTest, RoutePrefersLowerLatency) {
+  // Direct slow-latency path vs two-hop fast path.
+  topo.addLink(a, c, units::GBps(1), units::microseconds(10), LinkKind::Ethernet);
+  topo.addLink(a, b, units::GBps(10), units::microseconds(1), LinkKind::NVLink);
+  topo.addLink(b, c, units::GBps(10), units::microseconds(1), LinkKind::NVLink);
+  auto r = topo.route(a, c);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->links.size(), 2u);  // took the 2 us path, not the 10 us one
+}
+
+TEST_F(TopologyTest, RouteToSelfIsEmpty) {
+  auto r = topo.route(a, a);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->links.empty());
+}
+
+TEST_F(TopologyTest, UnreachableReturnsNullopt) {
+  EXPECT_FALSE(topo.route(a, c).has_value());
+}
+
+TEST_F(TopologyTest, DownLinkForcesReroute) {
+  auto [direct, directRev] =
+      topo.addDuplexLink(a, c, units::GBps(10), units::microseconds(1), LinkKind::NVLink);
+  (void)directRev;
+  topo.addDuplexLink(a, b, units::GBps(10), units::microseconds(2), LinkKind::PCIe4);
+  topo.addDuplexLink(b, c, units::GBps(10), units::microseconds(2), LinkKind::PCIe4);
+  EXPECT_EQ(topo.route(a, c)->links.size(), 1u);
+  topo.setLinkUp(direct, false);
+  EXPECT_EQ(topo.route(a, c)->links.size(), 2u);  // cache invalidated
+  topo.setLinkUp(direct, true);
+  EXPECT_EQ(topo.route(a, c)->links.size(), 1u);
+}
+
+TEST_F(TopologyTest, IsolateNodeSeversAllItsLinks) {
+  topo.addDuplexLink(a, b, units::GBps(10), 0.0, LinkKind::PCIe4);
+  topo.addDuplexLink(b, c, units::GBps(10), 0.0, LinkKind::PCIe4);
+  topo.isolateNode(b);
+  EXPECT_FALSE(topo.route(a, c).has_value());
+  EXPECT_FALSE(topo.route(a, b).has_value());
+}
+
+TEST_F(TopologyTest, LinksFromAndInto) {
+  topo.addDuplexLink(a, b, units::GBps(10), 0.0, LinkKind::PCIe4);
+  topo.addLink(c, b, units::GBps(10), 0.0, LinkKind::PCIe4);
+  EXPECT_EQ(topo.linksFrom(a).size(), 1u);
+  EXPECT_EQ(topo.linksFrom(c).size(), 1u);
+  EXPECT_EQ(topo.linksInto(b).size(), 2u);
+}
+
+TEST_F(TopologyTest, CountersDoNotInvalidateRouteCache) {
+  topo.addDuplexLink(a, b, units::GBps(10), 0.0, LinkKind::PCIe4);
+  auto g0 = topo.generation();
+  topo.counters(0).bytes += 100;
+  EXPECT_EQ(topo.generation(), g0);
+}
+
+TEST(LinkCatalog, CalibratedValues) {
+  // The Table IV calibration (DESIGN.md §4) depends on these exact specs.
+  EXPECT_DOUBLE_EQ(catalog::nvlink(2).capacityPerDirection, units::GBps(36.2));
+  EXPECT_DOUBLE_EQ(catalog::pcie4_x16_slot().capacityPerDirection,
+                   units::GBps(12.25));
+  EXPECT_DOUBLE_EQ(catalog::hostAdapter().capacityPerDirection,
+                   units::GBps(9.82));
+  EXPECT_DOUBLE_EQ(catalog::dmaEndpointOverhead(), units::microseconds(1.3));
+}
+
+TEST(LinkKindNames, AllNamed) {
+  EXPECT_STREQ(toString(LinkKind::NVLink), "NVLink");
+  EXPECT_STREQ(toString(LinkKind::PCIe4), "PCI-e 4.0");
+  EXPECT_STREQ(toString(NodeKind::Gpu), "GPU");
+  EXPECT_STREQ(toString(NodeKind::Storage), "Storage");
+}
+
+}  // namespace
+}  // namespace composim::fabric

@@ -1,0 +1,97 @@
+// Tests for the BMC: sensors, event log, link health (paper §II-B).
+#include <gtest/gtest.h>
+
+#include "falcon/bmc.hpp"
+
+namespace composim::falcon {
+namespace {
+
+struct BmcFixture : ::testing::Test {
+  Simulator sim;
+  fabric::Topology topo;
+  FalconChassis chassis{sim, topo, "falcon0"};
+  Bmc bmc{sim, chassis, "FAL-0001"};
+  fabric::NodeId host = topo.addNode("host", fabric::NodeKind::CpuRootComplex);
+};
+
+TEST_F(BmcFixture, SystemInfoCarriesModelSerialUptime) {
+  sim.schedule(12.5, [] {});
+  sim.run();
+  const auto info = bmc.systemInfo();
+  EXPECT_EQ(info.model, "Falcon 4016");
+  EXPECT_EQ(info.serial, "FAL-0001");
+  EXPECT_DOUBLE_EQ(info.uptime, 12.5);
+}
+
+TEST_F(BmcFixture, EventSeverityFilter) {
+  bmc.logEvent("info", "a");
+  bmc.logEvent("warning", "b");
+  bmc.logEvent("alert", "c");
+  EXPECT_EQ(bmc.exportEvents("info").size(), 3u);
+  EXPECT_EQ(bmc.exportEvents("warning").size(), 2u);
+  EXPECT_EQ(bmc.exportEvents("alert").size(), 1u);
+  bmc.clearEventLog();
+  EXPECT_TRUE(bmc.eventLog().empty());
+}
+
+TEST_F(BmcFixture, TemperatureFollowsActivity) {
+  double activity = 0.0;
+  bmc.registerThermalSource(0, [&] { return activity; });
+  const auto idle = bmc.readTemperatures();
+  activity = 1.0;
+  const auto busy = bmc.readTemperatures();
+  EXPECT_GT(busy.drawer_celsius[0], idle.drawer_celsius[0] + 20.0);
+  EXPECT_GT(busy.fan_rpm, idle.fan_rpm);
+  EXPECT_NEAR(idle.drawer_celsius[1], idle.drawer_celsius[0], 1e-9);
+}
+
+TEST_F(BmcFixture, AlertOnThresholdExcursion) {
+  double activity = 1.0;
+  bmc.registerThermalSource(1, [&] { return activity; });
+  bmc.setAlertThreshold(50.0);
+  bmc.sampleSensors();
+  const auto alerts = bmc.exportEvents("alert");
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_NE(alerts[0].message.find("drawer 1"), std::string::npos);
+}
+
+TEST_F(BmcFixture, PeriodicSamplingRunsUntilStopped) {
+  double activity = 1.0;
+  bmc.registerThermalSource(0, [&] { return activity; });
+  bmc.setAlertThreshold(30.0);
+  bmc.startPeriodicSampling(1.0);
+  sim.runUntil(5.5);
+  bmc.stopPeriodicSampling();
+  sim.run();
+  EXPECT_EQ(bmc.exportEvents("alert").size(), 5u);  // t=1..5
+}
+
+TEST_F(BmcFixture, LinkHealthReportsPerSlotTraffic) {
+  ASSERT_TRUE(chassis.connectHost(0, host, "host"));
+  const fabric::NodeId g = topo.addNode("g", fabric::NodeKind::Gpu);
+  ASSERT_TRUE(chassis.installDevice({0, 0}, DeviceType::Gpu, "g", g));
+  const auto& info = chassis.slot({0, 0});
+  topo.counters(info.link_up).bytes = 1000;     // device egress
+  topo.counters(info.link_down).bytes = 500;    // device ingress
+  topo.counters(info.link_up).errors = 2;
+  const auto rows = bmc.linkHealth();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].up);
+  EXPECT_EQ(rows[0].bytes_egress, 1000);
+  EXPECT_EQ(rows[0].bytes_ingress, 500);
+  EXPECT_EQ(rows[0].accumulated_errors, 2u);
+  EXPECT_EQ(bmc.drawerThroughputBytes(0), 1500);
+  EXPECT_EQ(bmc.drawerThroughputBytes(1), 0);
+}
+
+TEST_F(BmcFixture, LinkHealthFlagsDownLinks) {
+  const fabric::NodeId g = topo.addNode("g", fabric::NodeKind::Gpu);
+  ASSERT_TRUE(chassis.installDevice({1, 3}, DeviceType::Gpu, "g", g));
+  topo.setLinkUp(chassis.slot({1, 3}).link_up, false);
+  const auto rows = bmc.linkHealth();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].up);
+}
+
+}  // namespace
+}  // namespace composim::falcon

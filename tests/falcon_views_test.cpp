@@ -1,0 +1,65 @@
+// Tests for the management GUI views (list, topology, port traffic).
+#include <gtest/gtest.h>
+
+#include "falcon/topology_view.hpp"
+
+namespace composim::falcon {
+namespace {
+
+struct ViewsFixture : ::testing::Test {
+  Simulator sim;
+  fabric::Topology topo;
+  FalconChassis chassis{sim, topo, "falcon0"};
+  fabric::NodeId host = topo.addNode("alice-host", fabric::NodeKind::CpuRootComplex);
+
+  void SetUp() override {
+    ASSERT_TRUE(chassis.connectHost(0, host, "alice-host"));
+    const fabric::NodeId g = topo.addNode("gpu.a", fabric::NodeKind::Gpu);
+    ASSERT_TRUE(chassis.installDevice({0, 0}, DeviceType::Gpu, "gpu.a", g));
+    ASSERT_TRUE(chassis.attach({0, 0}, 0));
+    const fabric::NodeId n = topo.addNode("nvme.b", fabric::NodeKind::Storage);
+    ASSERT_TRUE(chassis.installDevice({1, 4}, DeviceType::Nvme, "nvme.b", n));
+  }
+};
+
+TEST_F(ViewsFixture, ListViewShowsDevicesAndOwners) {
+  const std::string view = renderListView(chassis);
+  EXPECT_NE(view.find("gpu.a"), std::string::npos);
+  EXPECT_NE(view.find("alice-host"), std::string::npos);
+  EXPECT_NE(view.find("nvme.b"), std::string::npos);
+  EXPECT_NE(view.find("(unassigned)"), std::string::npos);
+  EXPECT_NE(view.find("PCI-e 4.0 x16"), std::string::npos);
+}
+
+TEST_F(ViewsFixture, TopologyViewShowsStructure) {
+  const std::string view = renderTopologyView(chassis);
+  EXPECT_NE(view.find("falcon0 (Falcon 4016)"), std::string::npos);
+  EXPECT_NE(view.find("drawer 0 [Standard mode]"), std::string::npos);
+  EXPECT_NE(view.find("port H1 <== host 'alice-host'"), std::string::npos);
+  EXPECT_NE(view.find("port H2 <== (no host)"), std::string::npos);
+  EXPECT_NE(view.find("slot 0: GPU 'gpu.a' -> H1"), std::string::npos);
+  EXPECT_NE(view.find("NVMe SSD 'nvme.b' (detached)"), std::string::npos);
+  EXPECT_NE(view.find("slot 7: (empty)"), std::string::npos);
+}
+
+TEST_F(ViewsFixture, TopologyViewTracksModeChanges) {
+  ASSERT_TRUE(chassis.setDrawerMode(1, DrawerMode::Advanced));
+  const std::string view = renderTopologyView(chassis);
+  EXPECT_NE(view.find("drawer 1 [Advanced mode]"), std::string::npos);
+}
+
+TEST_F(ViewsFixture, PortTrafficReportsCountersAndStatus) {
+  const auto& info = chassis.slot({0, 0});
+  topo.counters(info.link_up).bytes = 2000000000;  // 2 GB egress
+  topo.counters(info.link_down).errors = 3;
+  const std::string view = renderPortTraffic(chassis, topo);
+  EXPECT_NE(view.find("port H1"), std::string::npos);
+  EXPECT_NE(view.find("2.00 GB"), std::string::npos);
+  EXPECT_NE(view.find("3"), std::string::npos);
+  EXPECT_NE(view.find("up"), std::string::npos);
+  topo.setLinkUp(info.link_up, false);
+  EXPECT_NE(renderPortTraffic(chassis, topo).find("DOWN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace composim::falcon

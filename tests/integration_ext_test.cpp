@@ -1,0 +1,97 @@
+// Additional end-to-end scenarios: the 16-GPU composition through the
+// Experiment API, DP on the Falcon fabric, BMC thermal coupling during
+// training, and the advanced-mode re-balancing story under load.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "falcon/topology_view.hpp"
+
+namespace composim::core {
+namespace {
+
+TEST(ExtendedIntegration, SixteenGpuExperimentRuns) {
+  ExperimentOptions opt;
+  opt.trainer.epochs = 1;
+  opt.iterations_per_epoch_cap = 5;
+  const auto r = Experiment::run(SystemConfig::AllGpus16, dl::resNet50(), opt);
+  EXPECT_TRUE(r.training.completed);
+  // 16 GPUs at ~1000 img/s each, minus pipeline-priming noise in a
+  // 5-iteration run: still well clear of what 8 GPUs can do (~8000).
+  EXPECT_GT(r.training.samples_per_second, 10500.0);
+  EXPECT_GT(r.falcon_pcie_gbs, 1.0);  // half the ring is falcon-attached
+}
+
+TEST(ExtendedIntegration, DataParallelSuffersMoreOnFalcon) {
+  // DP's master-centric traffic is hurt worse by the slow fabric than
+  // DDP's overlapped ring: the Fig 16 gap widens on falconGPUs.
+  auto ratio = [](dl::Strategy strategy) {
+    ExperimentOptions opt;
+    opt.trainer.epochs = 1;
+    opt.iterations_per_epoch_cap = 5;
+    opt.trainer.strategy = strategy;
+    opt.trainer.batch_per_gpu = 4;
+    const auto local =
+        Experiment::run(SystemConfig::LocalGpus, dl::bertLarge(), opt);
+    const auto falcon =
+        Experiment::run(SystemConfig::FalconGpus, dl::bertLarge(), opt);
+    return falcon.training.mean_iteration_time /
+           local.training.mean_iteration_time;
+  };
+  const double ddp = ratio(dl::Strategy::DistributedDataParallel);
+  const double dp = ratio(dl::Strategy::DataParallel);
+  EXPECT_GT(dp, ddp);
+}
+
+TEST(ExtendedIntegration, FalconGpuActivityHeatsTheDrawers) {
+  ComposableSystem sys(SystemConfig::FalconGpus);
+  const auto idle = sys.bmc().readTemperatures();
+  auto gpus = sys.trainingGpus();
+  devices::KernelDesc k;
+  k.flops = 1e13;
+  k.efficiency = 0.2;  // ~0.4 s per kernel
+  for (auto* g : gpus) g->launchKernel(k, nullptr);
+  // Let the kernels run before sampling: the thermal sources report the
+  // busy fraction of the elapsed window.
+  sys.sim().runUntil(0.2);
+  const auto busy = sys.bmc().readTemperatures();
+  EXPECT_GT(busy.drawer_celsius[0], idle.drawer_celsius[0] + 15.0);
+  EXPECT_GT(busy.drawer_celsius[1], idle.drawer_celsius[1] + 15.0);
+  sys.sim().run();
+}
+
+TEST(ExtendedIntegration, ViewsRenderForEveryBuiltConfiguration) {
+  for (const auto config : allConfigs()) {
+    ComposableSystem sys(config);
+    const auto topoView = falcon::renderTopologyView(sys.chassis());
+    EXPECT_NE(topoView.find("Falcon 4016"), std::string::npos) << toString(config);
+    const auto traffic = falcon::renderPortTraffic(sys.chassis(), sys.topology());
+    EXPECT_NE(traffic.find("port H1"), std::string::npos) << toString(config);
+  }
+}
+
+TEST(ExtendedIntegration, HybridUsesFlatRingNotHierarchical) {
+  // DESIGN.md §8: with one NVLink island plus singleton falcon GPUs, a
+  // crossing-minimizing flat ring beats the hierarchical phases.
+  ComposableSystem sys(SystemConfig::HybridGpus);
+  std::vector<fabric::NodeId> ranks;
+  for (auto* g : sys.trainingGpus()) ranks.push_back(g->node());
+  collectives::Communicator comm(sys.sim(), sys.network(), sys.topology(), ranks);
+  EXPECT_EQ(comm.chooseAlgorithm(), collectives::Algorithm::Ring);
+  const auto islands = comm.nvlinkIslands();
+  EXPECT_EQ(islands.size(), 5u);  // one quad + four singletons
+}
+
+TEST(ExtendedIntegration, CheckpointTraversesFalconForFalconNvme) {
+  ExperimentOptions opt;
+  opt.trainer.epochs = 1;
+  opt.iterations_per_epoch_cap = 3;
+  const auto r = Experiment::run(SystemConfig::FalconNvme, dl::resNet50(), opt);
+  EXPECT_TRUE(r.training.completed);
+  EXPECT_GT(r.training.checkpoint_bytes, 0);
+  // The checkpoint write is the only Falcon traffic in this config: the
+  // NVMe slot link must have carried it.
+  EXPECT_GT(r.training.checkpoint_time, 0.0);
+}
+
+}  // namespace
+}  // namespace composim::core

@@ -1,0 +1,143 @@
+// Integration tests: the paper's headline findings must emerge from the
+// assembled system (capped runs; shapes, not absolute numbers).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "falcon/mcs.hpp"
+
+namespace composim::core {
+namespace {
+
+ExperimentOptions cappedOptions(int iters = 10) {
+  ExperimentOptions opt;
+  opt.trainer.epochs = 1;
+  opt.iterations_per_epoch_cap = iters;
+  return opt;
+}
+
+double iterTime(SystemConfig config, const dl::ModelSpec& m,
+                ExperimentOptions opt) {
+  const auto r = Experiment::run(config, m, opt);
+  EXPECT_TRUE(r.training.completed) << r.training.error;
+  return r.training.mean_iteration_time;
+}
+
+TEST(PaperFindings, BertLargeRoughlyDoublesOnFalconGpus) {
+  // "BERT-large fine-tuning time took almost twice as much time using
+  // Falcon-attached GPUs" (Section V-C.2).
+  const auto opt = cappedOptions();
+  const double local = iterTime(SystemConfig::LocalGpus, dl::bertLarge(), opt);
+  const double falcon = iterTime(SystemConfig::FalconGpus, dl::bertLarge(), opt);
+  const double ratio = falcon / local;
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(PaperFindings, SmallVisionModelsUnderFivePercent) {
+  // "For smaller models, such as MobileNetv2 and ResNet-50, the overhead
+  // of the PCI-e switching is negligible ... less than 5% slower."
+  const auto opt = cappedOptions();
+  for (const auto& m : {dl::mobileNetV2(), dl::resNet50()}) {
+    const double local = iterTime(SystemConfig::LocalGpus, m, opt);
+    const double falcon = iterTime(SystemConfig::FalconGpus, m, opt);
+    EXPECT_LT(falcon / local, 1.05) << m.name;
+  }
+}
+
+TEST(PaperFindings, VisionWorkloadsUnderSevenPercent) {
+  const auto opt = cappedOptions();
+  const auto yolo = dl::yoloV5L();
+  const double local = iterTime(SystemConfig::LocalGpus, yolo, opt);
+  for (const auto cfg : {SystemConfig::HybridGpus, SystemConfig::FalconGpus}) {
+    EXPECT_LT(iterTime(cfg, yolo, opt) / local, 1.07) << toString(cfg);
+  }
+}
+
+TEST(PaperFindings, OverheadGrowsWithModelSize) {
+  const auto opt = cappedOptions();
+  auto overhead = [&](const dl::ModelSpec& m) {
+    const double local = iterTime(SystemConfig::LocalGpus, m, opt);
+    return iterTime(SystemConfig::FalconGpus, m, opt) / local;
+  };
+  const double small = overhead(dl::resNet50());
+  const double mid = overhead(dl::bertBase());
+  const double large = overhead(dl::bertLarge());
+  EXPECT_LE(small, mid);
+  EXPECT_LT(mid, large);
+}
+
+TEST(PaperFindings, HybridNeverWorseThanFalcon) {
+  const auto opt = cappedOptions();
+  for (const auto& m : {dl::resNet50(), dl::bertLarge()}) {
+    const double hybrid = iterTime(SystemConfig::HybridGpus, m, opt);
+    const double falcon = iterTime(SystemConfig::FalconGpus, m, opt);
+    EXPECT_LE(hybrid, falcon * 1.02) << m.name;
+  }
+}
+
+TEST(PaperFindings, PcieTrafficOrderingMatchesFig12) {
+  // Fig 12: BERT-large traffic (~76 GB/s) >> ResNet-50 (~11) > MobileNet (~4).
+  const auto opt = cappedOptions();
+  const auto mob = Experiment::run(SystemConfig::FalconGpus, dl::mobileNetV2(), opt);
+  const auto res = Experiment::run(SystemConfig::FalconGpus, dl::resNet50(), opt);
+  const auto bl = Experiment::run(SystemConfig::FalconGpus, dl::bertLarge(), opt);
+  EXPECT_GT(res.falcon_pcie_gbs, mob.falcon_pcie_gbs);
+  EXPECT_GT(bl.falcon_pcie_gbs, res.falcon_pcie_gbs * 3.0);
+  // Hybrid moves less Falcon traffic than falcon-only (half the ports).
+  const auto blh = Experiment::run(SystemConfig::HybridGpus, dl::bertLarge(), opt);
+  EXPECT_LT(blh.falcon_pcie_gbs, bl.falcon_pcie_gbs);
+}
+
+TEST(PaperFindings, GpuUtilizationHighEverywhere) {
+  // Fig 10: "All benchmarks are keeping GPUs busy ... higher than 80%";
+  // falcon configurations run slightly higher (NCCL kernels on PCIe).
+  const auto opt = cappedOptions(12);
+  const auto local = Experiment::run(SystemConfig::LocalGpus, dl::bertLarge(), opt);
+  const auto falcon = Experiment::run(SystemConfig::FalconGpus, dl::bertLarge(), opt);
+  EXPECT_GT(local.gpu_util_pct, 80.0);
+  EXPECT_GT(falcon.gpu_util_pct, 80.0);
+  EXPECT_GE(falcon.gpu_util_pct, local.gpu_util_pct - 1.0);
+  // Memory-access share drops when comm time inflates the denominator.
+  EXPECT_LE(falcon.gpu_mem_access_pct, local.gpu_mem_access_pct + 0.5);
+}
+
+TEST(PaperFindings, VisionStressesCpuMoreThanNlp) {
+  // Fig 13: data preprocessing puts vision CPU utilization well above NLP.
+  const auto opt = cappedOptions();
+  const auto vision = Experiment::run(SystemConfig::LocalGpus, dl::resNet50(), opt);
+  const auto nlp = Experiment::run(SystemConfig::LocalGpus, dl::bertLarge(), opt);
+  EXPECT_GT(vision.cpu_util_pct, nlp.cpu_util_pct * 2.0);
+  // Fig 13/14: nothing close to saturation.
+  EXPECT_LT(vision.cpu_util_pct, 60.0);
+  EXPECT_LT(vision.host_mem_util_pct, 25.0);
+}
+
+TEST(PaperFindings, NvmeAcceleratesLargeInputModels) {
+  // Fig 15: NVMe (local or falcon) accelerates YOLO; falcon-attached NVMe
+  // performs about the same as local NVMe.
+  ExperimentOptions opt = cappedOptions(8);
+  const auto yolo = dl::yoloV5L();
+  const auto base = Experiment::run(SystemConfig::LocalGpus, yolo, opt);
+  const auto local = Experiment::run(SystemConfig::LocalNvme, yolo, opt);
+  const auto falcon = Experiment::run(SystemConfig::FalconNvme, yolo, opt);
+  EXPECT_LT(local.training.mean_iteration_time,
+            base.training.mean_iteration_time * 0.97);
+  EXPECT_NEAR(falcon.training.mean_iteration_time,
+              local.training.mean_iteration_time,
+              local.training.mean_iteration_time * 0.05);
+}
+
+TEST(ManagementPlane, TenantCannotDisturbRunningConfig) {
+  // End-to-end enterprise scenario: while falconGPUs training runs, a
+  // second tenant must not be able to detach the GPUs it uses.
+  ComposableSystem sys(SystemConfig::FalconGpus);
+  ASSERT_TRUE(sys.mcs().addUser("intruder", falcon::Role::User));
+  const auto denied = sys.mcs().detach("intruder", {0, 0});
+  EXPECT_FALSE(denied.ok);
+  EXPECT_EQ(sys.chassis().assignedPort({0, 0}), 0);  // still attached
+  // The admin can, however, re-compose legitimately.
+  EXPECT_TRUE(sys.mcs().detach("admin", {0, 0}));
+}
+
+}  // namespace
+}  // namespace composim::core

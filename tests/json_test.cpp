@@ -1,0 +1,127 @@
+// Tests for the minimal JSON reader/writer used by configuration
+// import/export.
+#include <gtest/gtest.h>
+
+#include "falcon/json.hpp"
+
+namespace composim::falcon {
+namespace {
+
+TEST(Json, ScalarTypesRoundTrip) {
+  EXPECT_EQ(Json::parse("null"), Json(nullptr));
+  EXPECT_EQ(Json::parse("true"), Json(true));
+  EXPECT_EQ(Json::parse("false"), Json(false));
+  EXPECT_EQ(Json::parse("42"), Json(std::int64_t{42}));
+  EXPECT_EQ(Json::parse("-17"), Json(std::int64_t{-17}));
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").asDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").asDouble(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, IntAndDoubleInterconvert) {
+  EXPECT_DOUBLE_EQ(Json(std::int64_t{7}).asDouble(), 7.0);
+  EXPECT_EQ(Json(2.9).asInt(), 2);
+  EXPECT_THROW(Json("x").asInt(), JsonError);
+}
+
+TEST(Json, ObjectInsertOrderPreserved) {
+  Json o = Json::object();
+  o.set("z", 1);
+  o.set("a", 2);
+  o.set("m", 3);
+  EXPECT_EQ(o.dump(-1), "{\"z\":1,\"a\":2,\"m\":3}");
+  o.set("a", 9);  // overwrite keeps position
+  EXPECT_EQ(o.at("a").asInt(), 9);
+  EXPECT_EQ(o.dump(-1), "{\"z\":1,\"a\":9,\"m\":3}");
+}
+
+TEST(Json, FindAndAtSemantics) {
+  Json o = Json::object();
+  o.set("k", "v");
+  EXPECT_NE(o.find("k"), nullptr);
+  EXPECT_EQ(o.find("missing"), nullptr);
+  EXPECT_THROW(o.at("missing"), JsonError);
+  EXPECT_THROW(Json(3).at("k"), JsonError);
+}
+
+TEST(Json, NestedRoundTrip) {
+  const std::string text = R"({
+    "chassis": "falcon0",
+    "drawers": [
+      {"index": 0, "mode": "Standard",
+       "slots": [{"index": 0, "type": "GPU", "port": -1}]},
+      {"index": 1, "mode": "Advanced", "slots": []}
+    ],
+    "ratio": 0.5,
+    "ok": true
+  })";
+  const Json parsed = Json::parse(text);
+  EXPECT_EQ(parsed.at("chassis").asString(), "falcon0");
+  EXPECT_EQ(parsed.at("drawers").asArray().size(), 2u);
+  EXPECT_EQ(parsed.at("drawers").asArray()[0].at("slots").asArray()[0]
+                .at("port").asInt(), -1);
+  // dump -> parse -> dump is a fixed point.
+  const std::string once = parsed.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(Json, StringEscapes) {
+  Json s(std::string("line\n\t\"quoted\" \\slash"));
+  const std::string dumped = s.dump();
+  EXPECT_EQ(Json::parse(dumped).asString(), s.asString());
+  EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").asString(), "A\xc3\xa9");
+}
+
+TEST(Json, ControlCharactersEscapedOnOutput) {
+  Json s(std::string("a\x01" "b"));
+  EXPECT_EQ(s.dump(), "\"a\\u0001b\"");
+}
+
+TEST(Json, ParseErrorsCarryOffsets) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);
+  EXPECT_THROW(Json::parse("-"), JsonError);
+  try {
+    Json::parse("[1, x]");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").asArray().size(), 0u);
+  EXPECT_EQ(Json::parse("{}").asObject().size(), 0u);
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const Json v = Json::parse("  {  \"a\" :\n [ 1 ,\t2 ]  } ");
+  EXPECT_EQ(v.at("a").asArray()[1].asInt(), 2);
+}
+
+TEST(Json, CompactVersusIndented) {
+  Json o = Json::object();
+  o.set("a", JsonArray{Json(1), Json(2)});
+  EXPECT_EQ(o.dump(-1), "{\"a\":[1,2]}");
+  const std::string pretty = o.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), o);
+}
+
+TEST(Json, PushOntoArray) {
+  Json a = Json::array();
+  a.push(1);
+  a.push("two");
+  EXPECT_EQ(a.asArray().size(), 2u);
+  EXPECT_THROW(Json(1).push(2), JsonError);
+}
+
+}  // namespace
+}  // namespace composim::falcon

@@ -1,0 +1,140 @@
+// Tests for time series, samplers and the reporting helpers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "telemetry/report.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/time_series.hpp"
+
+namespace composim::telemetry {
+namespace {
+
+TEST(TimeSeries, PushAndStats) {
+  TimeSeries s("x");
+  s.push(0.0, 1.0);
+  s.push(1.0, 3.0);
+  s.push(2.0, 5.0);
+  const auto st = s.stats();
+  EXPECT_EQ(st.count, 3u);
+  EXPECT_DOUBLE_EQ(st.min, 1.0);
+  EXPECT_DOUBLE_EQ(st.max, 5.0);
+  EXPECT_DOUBLE_EQ(st.mean, 3.0);
+  EXPECT_NEAR(st.stddev, 1.63299, 1e-4);
+  EXPECT_DOUBLE_EQ(s.last(), 5.0);
+}
+
+TEST(TimeSeries, RejectsNonMonotonicTime) {
+  TimeSeries s("x");
+  s.push(1.0, 0.0);
+  EXPECT_THROW(s.push(0.5, 0.0), std::invalid_argument);
+  s.push(1.0, 0.0);  // equal times allowed
+}
+
+TEST(TimeSeries, MeanInWindow) {
+  TimeSeries s("x");
+  for (int i = 0; i < 10; ++i) s.push(i, i);
+  EXPECT_DOUBLE_EQ(s.meanInWindow(2.0, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.meanInWindow(100.0, 200.0), 0.0);
+}
+
+TEST(TimeSeries, ResampleAverages) {
+  TimeSeries s("x");
+  for (int i = 0; i < 100; ++i) s.push(i, (i < 50) ? 0.0 : 10.0);
+  const auto r = s.resample(2);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 10.0);
+  EXPECT_EQ(s.resample(200).size(), 100u);  // no upsampling
+  EXPECT_TRUE(TimeSeries("e").resample(4).empty());
+}
+
+TEST(RateProbe, DifferentiatesCumulativeCounter) {
+  Simulator sim;
+  double counter = 0.0;
+  RateProbe probe(sim, [&] { return counter; }, 1.0);
+  EXPECT_DOUBLE_EQ(probe(), 0.0);  // priming sample
+  counter = 50.0;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(probe(), 10.0);  // 50 units over 5 s
+}
+
+TEST(MetricsSampler, CollectsAtInterval) {
+  Simulator sim;
+  MetricsSampler sampler(sim, 1.0);
+  double v = 0.0;
+  sampler.addProbe("v", [&] { return v; });
+  sampler.start();
+  sim.schedule(3.5, [&sampler] { sampler.stop(); });
+  // Keep the clock moving past the sampler ticks.
+  sim.run();
+  // Samples at t=0 (priming), 1, 2, 3.
+  EXPECT_EQ(sampler.series("v").size(), 4u);
+  EXPECT_THROW(sampler.series("nope"), std::out_of_range);
+  EXPECT_THROW(sampler.addProbe("v", [] { return 0.0; }), std::invalid_argument);
+  EXPECT_EQ(sampler.seriesNames().size(), 1u);
+}
+
+TEST(MetricsSampler, RateProbeScalesToPercent) {
+  Simulator sim;
+  MetricsSampler sampler(sim, 1.0);
+  // Counter advancing 0.5 "busy seconds" per second = 50%.
+  sampler.addRateProbe("util", [&sim] { return 0.5 * sim.now(); }, 100.0);
+  sampler.start();
+  sim.schedule(3.5, [&sampler] { sampler.stop(); });
+  sim.run();
+  EXPECT_NEAR(sampler.series("util").last(), 50.0, 1e-9);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(BarChart, ScalesToLargestValueAndMarksNegatives) {
+  const std::string out = barChart({{"big", 10.0}, {"small", 5.0}, {"neg", -5.0}},
+                                   "%", 10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+  EXPECT_NE(out.find("<<<<<"), std::string::npos);
+  EXPECT_EQ(barChart({}, ""), "(no data)\n");
+}
+
+TEST(StripChart, RendersHighAndLowBands) {
+  TimeSeries s("util");
+  for (int i = 0; i < 80; ++i) s.push(i, (i % 10 < 5) ? 95.0 : 10.0);
+  const std::string out = stripChart(s, 40, 4);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("> time"), std::string::npos);
+}
+
+TEST(Csv, JoinsSeriesColumns) {
+  TimeSeries a("a"), b("b");
+  a.push(0.0, 1.0);
+  a.push(1.0, 2.0);
+  b.push(0.0, 3.0);
+  b.push(1.0, 4.0);
+  const std::string csv = toCsv({&a, &b});
+  EXPECT_NE(csv.find("time,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("1.000000,2.000000,4.000000"), std::string::npos);
+}
+
+TEST(WriteFile, RoundTripsAndThrowsOnBadPath) {
+  const std::string path = ::testing::TempDir() + "/composim_report.txt";
+  writeFile(path, "hello");
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  EXPECT_THROW(writeFile("/nonexistent-dir/x.txt", "y"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace composim::telemetry
