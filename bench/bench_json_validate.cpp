@@ -1,0 +1,81 @@
+// Validates a BENCH_simcore.json export produced by micro_simcore: the
+// document must carry the expected schema tag and a non-empty benchmark
+// array with sane per-run fields, and the recompute/event-queue series the
+// perf gates track must be present. Exit code 0 on success, 1 with a
+// diagnostic on stderr otherwise. Used by the bench_smoke ctest.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "falcon/json.hpp"
+
+using composim::falcon::Json;
+using composim::falcon::JsonError;
+
+namespace {
+
+int fail(const std::string& why) {
+  std::fprintf(stderr, "bench_json_validate: %s\n", why.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) return fail("usage: bench_json_validate <BENCH_simcore.json>");
+
+  std::ifstream in(argv[1]);
+  if (!in) return fail(std::string("cannot open ") + argv[1]);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const JsonError& e) {
+    return fail(std::string("parse error: ") + e.what());
+  }
+  if (!doc.isObject()) return fail("top-level value is not an object");
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->isString() ||
+      schema->asString() != "composim.bench.simcore/1") {
+    return fail("missing or unexpected schema tag");
+  }
+  const Json* benches = doc.find("benchmarks");
+  if (benches == nullptr || !benches->isArray()) {
+    return fail("missing benchmarks array");
+  }
+  if (benches->asArray().empty()) return fail("benchmarks array is empty");
+
+  std::set<std::string> names;
+  for (const Json& entry : benches->asArray()) {
+    if (!entry.isObject()) return fail("benchmark entry is not an object");
+    const Json* name = entry.find("name");
+    if (name == nullptr || !name->isString() || name->asString().empty()) {
+      return fail("benchmark entry without a name");
+    }
+    const Json* rt = entry.find("real_time_ns");
+    if (rt == nullptr || !rt->isNumber() || rt->asDouble() <= 0.0) {
+      return fail(name->asString() + ": real_time_ns missing or non-positive");
+    }
+    const Json* iters = entry.find("iterations");
+    if (iters == nullptr || !iters->isNumber() || iters->asDouble() <= 0.0) {
+      return fail(name->asString() + ": iterations missing or non-positive");
+    }
+    const Json* ips = entry.find("items_per_second");
+    if (ips == nullptr || !ips->isNumber() || ips->asDouble() < 0.0) {
+      return fail(name->asString() + ": items_per_second missing or negative");
+    }
+    names.insert(name->asString());
+  }
+
+  for (const char* required : {"BM_MaxMinRecompute/256", "BM_MaxMinRecompute/1024",
+                               "BM_EventQueueScheduleRun/1000"}) {
+    if (names.count(required) == 0) {
+      return fail(std::string("required series absent: ") + required);
+    }
+  }
+  return 0;
+}

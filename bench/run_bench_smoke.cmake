@@ -1,0 +1,35 @@
+# Smoke-runs micro_simcore with a tiny min_time and validates that the
+# BENCH_simcore.json export is produced and well-formed. Invoked as the
+# bench_smoke ctest with -DBENCH_BIN / -DVALIDATE_BIN / -DOUT_JSON.
+foreach(var BENCH_BIN VALIDATE_BIN OUT_JSON)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_bench_smoke.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE "${OUT_JSON}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "COMPOSIM_BENCH_JSON=${OUT_JSON}"
+          "${BENCH_BIN}" --benchmark_min_time=0.01x
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "micro_simcore exited with ${bench_rc}\n${bench_out}\n${bench_err}")
+endif()
+
+if(NOT EXISTS "${OUT_JSON}")
+  message(FATAL_ERROR "micro_simcore did not produce ${OUT_JSON}")
+endif()
+
+execute_process(
+  COMMAND "${VALIDATE_BIN}" "${OUT_JSON}"
+  RESULT_VARIABLE validate_rc
+  OUTPUT_VARIABLE validate_out
+  ERROR_VARIABLE validate_err)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR
+          "BENCH json validation failed (${validate_rc})\n${validate_out}\n${validate_err}")
+endif()

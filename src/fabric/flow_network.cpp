@@ -8,9 +8,7 @@
 namespace composim::fabric {
 
 namespace {
-// Flows within half a byte of done are done: avoids infinite rescheduling
-// on floating-point residue.
-constexpr double kByteEpsilon = 0.5;
+constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
@@ -30,40 +28,85 @@ FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
   ++flows_started_;
 
   if (bytes <= 0 || route->links.empty()) {
-    // Control message or same-node transfer: latency only.
-    FlowResult r{FlowStatus::Completed, bytes, sim_.now(), sim_.now() + latency};
-    sim_.schedule(latency, [cb = std::move(done), r]() {
-      if (cb) cb(r);
-    });
+    // Control message or same-node transfer: latency only. Tracked as a
+    // cancellable scheduled event so the returned id stays live until the
+    // callback fires (cancelFlow() revokes it and reports Failed).
+    LatencyFlow lf;
+    lf.bytes = bytes;
+    lf.start = sim_.now();
+    lf.done = std::move(done);
+    lf.event = sim_.schedule(latency, [this, id] { onLatencyFlowDone(id); });
+    latency_flows_.emplace(id, std::move(lf));
     return id;
   }
 
   advanceProgress();
+  ensureLinkTables();
 
-  ActiveFlow f;
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    flow_epoch_.push_back(0);
+    flow_fixed_.push_back(0);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  ActiveFlow& f = slots_[slot];
   f.id = id;
   f.links = route->links;
   f.remaining = static_cast<double>(bytes);
+  f.rate = 0.0;
   f.max_rate = options.maxRate;
   f.total = bytes;
   f.start = sim_.now();
   f.arrival_latency = latency;
+  f.projected_finish = kInf;
   f.done = std::move(done);
   f.tag = std::move(options.tag);
-  for (LinkId l : f.links) ++topo_.counters(l).flows;
-  flows_.emplace(id, std::move(f));
+  f.heap_pos = kNoPos;
+  f.active_pos = kNoPos;
+  id_to_slot_.emplace(id, slot);
+  for (LinkId l : f.links) {
+    ++topo_.counters(l).flows;
+    // Ids are monotonic, so appending keeps the list id-sorted.
+    link_flows_[static_cast<std::size_t>(l)].push_back(slot);
+  }
 
-  recomputeRates();
+  resolveAfterChange(f.links);
   scheduleNextCompletion();
   return id;
 }
 
+void FlowNetwork::onLatencyFlowDone(FlowId id) {
+  auto it = latency_flows_.find(id);
+  if (it == latency_flows_.end()) return;
+  LatencyFlow lf = std::move(it->second);
+  latency_flows_.erase(it);
+  ++flows_completed_;
+  FlowResult r{FlowStatus::Completed, lf.bytes, lf.start, sim_.now()};
+  if (lf.done) lf.done(r);
+}
+
 bool FlowNetwork::cancelFlow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
+  if (auto lit = latency_flows_.find(id); lit != latency_flows_.end()) {
+    LatencyFlow lf = std::move(lit->second);
+    latency_flows_.erase(lit);
+    sim_.cancel(lf.event);
+    ++flows_failed_;
+    FlowResult r{FlowStatus::Failed, 0, lf.start, sim_.now()};
+    if (lf.done) lf.done(r);
+    return true;
+  }
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return false;
   advanceProgress();
-  finishFlow(it, FlowStatus::Failed);
-  recomputeRates();
+  const std::uint32_t slot = it->second;
+  // Local copy: the Failed callback runs inline and may start new flows.
+  std::vector<LinkId> seeds = slots_[slot].links;
+  finishFlow(slot, FlowStatus::Failed);
+  resolveAfterChange(seeds);
   scheduleNextCompletion();
   return true;
 }
@@ -72,38 +115,47 @@ void FlowNetwork::failLink(LinkId link) {
   advanceProgress();
   topo_.setLinkUp(link, false);
   ++topo_.counters(link).errors;
+  ensureLinkTables();
+  // Victims come straight from the link->flows index. Capture ids (not
+  // slots) before finishing: Failed callbacks run inline, may start new
+  // flows, and a new flow could reuse a just-freed slot.
+  const auto& on_link = link_flows_[static_cast<std::size_t>(link)];
   std::vector<FlowId> victims;
-  for (const auto& [id, f] : flows_) {
-    if (std::find(f.links.begin(), f.links.end(), link) != f.links.end()) {
-      victims.push_back(id);
-    }
+  std::vector<LinkId> seeds{link};
+  victims.reserve(on_link.size());
+  for (std::uint32_t slot : on_link) {
+    victims.push_back(slots_[slot].id);
+    seeds.insert(seeds.end(), slots_[slot].links.begin(), slots_[slot].links.end());
   }
-  for (FlowId id : victims) {
-    auto it = flows_.find(id);
-    if (it != flows_.end()) finishFlow(it, FlowStatus::Failed);
+  std::sort(victims.begin(), victims.end());
+  for (FlowId vid : victims) {
+    auto it = id_to_slot_.find(vid);
+    if (it != id_to_slot_.end()) finishFlow(it->second, FlowStatus::Failed);
   }
-  recomputeRates();
+  resolveAfterChange(seeds);
   scheduleNextCompletion();
 }
 
 void FlowNetwork::notifyTopologyChanged() {
   advanceProgress();
-  recomputeRates();
+  ensureLinkTables();
+  ++recomputations_;
+  resolveAllComponents();
   scheduleNextCompletion();
 }
 
 Bandwidth FlowNetwork::flowRate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  auto it = id_to_slot_.find(id);
+  return it == id_to_slot_.end() ? 0.0 : slots_[it->second].rate;
 }
 
 void FlowNetwork::advanceProgress() {
   const SimTime now = sim_.now();
   const SimTime elapsed = now - last_update_;
   last_update_ = now;
-  if (elapsed <= 0.0) return;
-  for (auto& [id, f] : flows_) {
-    if (f.rate <= 0.0) continue;
+  if (elapsed <= 0.0 || active_.empty()) return;
+  for (std::uint32_t slot : active_) {
+    ActiveFlow& f = slots_[slot];
     const double delta = std::min(f.remaining, f.rate * elapsed);
     f.remaining -= delta;
     const Bytes b = static_cast<Bytes>(std::llround(delta));
@@ -111,138 +163,293 @@ void FlowNetwork::advanceProgress() {
   }
 }
 
-void FlowNetwork::recomputeRates() {
-  ++recomputations_;
-  if (flows_.empty()) return;
+void FlowNetwork::ensureLinkTables() {
+  const std::size_t n = topo_.linkCount();
+  if (link_flows_.size() >= n) return;
+  link_flows_.resize(n);
+  link_residual_.resize(n, 0.0);
+  link_unfixed_.resize(n, 0);
+  link_epoch_.resize(n, 0);
+}
 
-  // Collect the participating links and the flows crossing each.
-  std::unordered_map<LinkId, std::vector<ActiveFlow*>> by_link;
-  std::vector<ActiveFlow*> order;
-  order.reserve(flows_.size());
-  for (auto& [id, f] : flows_) order.push_back(&f);
-  // Deterministic iteration regardless of hash layout.
-  std::sort(order.begin(), order.end(),
-            [](const ActiveFlow* a, const ActiveFlow* b) { return a->id < b->id; });
-  for (ActiveFlow* f : order) {
-    f->rate = 0.0;
-    for (LinkId l : f->links) by_link[l].push_back(f);
+void FlowNetwork::resolveAfterChange(const std::vector<LinkId>& seeds) {
+  ++recomputations_;
+  if (!incremental_) {
+    resolveAllComponents();
+    return;
   }
+  ++epoch_;
+  for (LinkId l : seeds) {
+    if (link_epoch_[static_cast<std::size_t>(l)] == epoch_) continue;
+    collectComponent(l);
+    solveComponent();
+  }
+}
+
+void FlowNetwork::resolveAllComponents() {
+  ++epoch_;
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    const ActiveFlow& f = slots_[slot];
+    if (f.id == kInvalidFlow || flow_epoch_[slot] == epoch_) continue;
+    collectComponent(f.links.front());
+    solveComponent();
+  }
+}
+
+void FlowNetwork::collectComponent(LinkId seed) {
+  comp_links_.clear();
+  comp_flows_.clear();
+  link_epoch_[static_cast<std::size_t>(seed)] = epoch_;
+  comp_links_.push_back(seed);
+  // comp_links_ doubles as the BFS worklist over the bipartite index.
+  for (std::size_t i = 0; i < comp_links_.size(); ++i) {
+    const LinkId l = comp_links_[i];
+    for (std::uint32_t slot : link_flows_[static_cast<std::size_t>(l)]) {
+      if (flow_epoch_[slot] == epoch_) continue;
+      flow_epoch_[slot] = epoch_;
+      comp_flows_.push_back(slot);
+      for (LinkId l2 : slots_[slot].links) {
+        auto& mark = link_epoch_[static_cast<std::size_t>(l2)];
+        if (mark == epoch_) continue;
+        mark = epoch_;
+        comp_links_.push_back(l2);
+      }
+    }
+  }
+  std::sort(comp_links_.begin(), comp_links_.end());
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [this](std::uint32_t a, std::uint32_t b) { return slots_[a].id < slots_[b].id; });
+}
+
+void FlowNetwork::solveComponent() {
+  if (comp_flows_.empty()) return;  // all flows on the seed links departed
+  ++component_solves_;
 
   if (naive_sharing_) {
     // Ablation mode: every flow gets min over links of capacity/<flows on
     // link>, ignoring that other flows may be bottlenecked elsewhere.
-    for (ActiveFlow* f : order) {
-      double r = f->max_rate;
-      for (LinkId l : f->links) {
-        const auto& share_set = by_link[l];
+    for (std::uint32_t slot : comp_flows_) {
+      double r = slots_[slot].max_rate;
+      for (LinkId l : slots_[slot].links) {
+        const auto li = static_cast<std::size_t>(l);
         r = std::min(r, topo_.link(l).capacity /
-                            static_cast<double>(share_set.size()));
+                            static_cast<double>(link_flows_[li].size()));
       }
-      f->rate = r;
+      applyRate(slot, r);
     }
     return;
   }
 
   // Progressive filling (max-min fairness). Rate caps are modelled as a
   // per-flow pseudo-link of capacity max_rate carrying exactly that flow.
-  struct LinkState {
-    double residual;
-    int unfixed;
-  };
-  std::unordered_map<LinkId, LinkState> state;
-  for (const auto& [l, fs] : by_link) {
-    state[l] = LinkState{topo_.link(l).capacity, static_cast<int>(fs.size())};
+  for (LinkId l : comp_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    link_residual_[li] = topo_.link(l).capacity;
+    link_unfixed_[li] = static_cast<std::uint32_t>(link_flows_[li].size());
   }
-  std::unordered_map<FlowId, bool> fixed;
-  for (ActiveFlow* f : order) fixed[f->id] = false;
+  comp_capped_.clear();
+  for (std::uint32_t slot : comp_flows_) {
+    if (std::isfinite(slots_[slot].max_rate)) comp_capped_.push_back(slot);
+  }
+  ++solve_epoch_;
 
-  int remaining = static_cast<int>(order.size());
+  std::size_t remaining = comp_flows_.size();
   while (remaining > 0) {
-    // Find the tightest constraint: a real link's fair share, or a flow cap.
-    double best = std::numeric_limits<double>::infinity();
+    // Find the tightest constraint: a real link's fair share, or a flow
+    // cap. Links scan in ascending LinkId, caps in ascending FlowId, so
+    // the fill order is deterministic regardless of arrival history.
+    double best = kInf;
     LinkId best_link = kInvalidLink;
-    ActiveFlow* best_capped = nullptr;
-    for (const auto& [l, st] : state) {
-      if (st.unfixed <= 0) continue;
-      const double share = std::max(0.0, st.residual) / st.unfixed;
+    std::uint32_t best_capped = kNoPos;
+    for (LinkId l : comp_links_) {
+      const auto li = static_cast<std::size_t>(l);
+      if (link_unfixed_[li] == 0) continue;
+      const double share =
+          std::max(0.0, link_residual_[li]) / static_cast<double>(link_unfixed_[li]);
       if (share < best) {
         best = share;
         best_link = l;
-        best_capped = nullptr;
       }
     }
-    for (ActiveFlow* f : order) {
-      if (fixed[f->id]) continue;
-      if (f->max_rate < best) {
-        best = f->max_rate;
+    for (std::uint32_t slot : comp_capped_) {
+      if (flow_fixed_[slot] == solve_epoch_) continue;
+      if (slots_[slot].max_rate < best) {
+        best = slots_[slot].max_rate;
         best_link = kInvalidLink;
-        best_capped = f;
+        best_capped = slot;
       }
     }
 
     // Fix the constrained flows at `best` and charge their links.
-    std::vector<ActiveFlow*> to_fix;
-    if (best_capped != nullptr) {
-      to_fix.push_back(best_capped);
+    const auto fix = [&](std::uint32_t slot) {
+      flow_fixed_[slot] = solve_epoch_;
+      applyRate(slot, best);
+      for (LinkId l : slots_[slot].links) {
+        const auto li = static_cast<std::size_t>(l);
+        link_residual_[li] -= best;
+        --link_unfixed_[li];
+      }
+      --remaining;
+    };
+    if (best_capped != kNoPos) {
+      fix(best_capped);
     } else if (best_link != kInvalidLink) {
-      for (ActiveFlow* f : by_link[best_link]) {
-        if (!fixed[f->id]) to_fix.push_back(f);
+      for (std::uint32_t slot : link_flows_[static_cast<std::size_t>(best_link)]) {
+        if (flow_fixed_[slot] != solve_epoch_) fix(slot);
       }
     } else {
       break;  // defensive: no constraint found (should not happen)
     }
-    for (ActiveFlow* f : to_fix) {
-      f->rate = best;
-      fixed[f->id] = true;
-      --remaining;
-      for (LinkId l : f->links) {
-        auto& st = state[l];
-        st.residual -= best;
-        --st.unfixed;
-      }
-    }
   }
 }
 
+void FlowNetwork::applyRate(std::uint32_t slot, Bandwidth rate) {
+  ActiveFlow& f = slots_[slot];
+  if (f.rate == rate) return;  // unchanged: projection stays pinned
+  f.rate = rate;
+  if (rate > 0.0) {
+    if (f.active_pos == kNoPos) {
+      f.active_pos = static_cast<std::uint32_t>(active_.size());
+      active_.push_back(slot);
+    }
+    f.projected_finish = sim_.now() + f.remaining / rate;
+    heapUpsert(slot);
+  } else {
+    if (f.active_pos != kNoPos) activeErase(slot);
+    f.projected_finish = kInf;
+    heapErase(slot);
+  }
+}
+
+bool FlowNetwork::heapLess(std::uint32_t a, std::uint32_t b) const {
+  const ActiveFlow& fa = slots_[a];
+  const ActiveFlow& fb = slots_[b];
+  if (fa.projected_finish != fb.projected_finish) {
+    return fa.projected_finish < fb.projected_finish;
+  }
+  return fa.id < fb.id;
+}
+
+void FlowNetwork::heapSiftUp(std::size_t i) {
+  const std::uint32_t slot = completion_heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heapLess(slot, completion_heap_[parent])) break;
+    completion_heap_[i] = completion_heap_[parent];
+    slots_[completion_heap_[i]].heap_pos = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  completion_heap_[i] = slot;
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(i);
+}
+
+void FlowNetwork::heapSiftDown(std::size_t i) {
+  const std::uint32_t slot = completion_heap_[i];
+  const std::size_t n = completion_heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heapLess(completion_heap_[child + 1], completion_heap_[child])) {
+      ++child;
+    }
+    if (!heapLess(completion_heap_[child], slot)) break;
+    completion_heap_[i] = completion_heap_[child];
+    slots_[completion_heap_[i]].heap_pos = static_cast<std::uint32_t>(i);
+    i = child;
+  }
+  completion_heap_[i] = slot;
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(i);
+}
+
+void FlowNetwork::heapUpsert(std::uint32_t slot) {
+  std::uint32_t pos = slots_[slot].heap_pos;
+  if (pos == kNoPos) {
+    pos = static_cast<std::uint32_t>(completion_heap_.size());
+    completion_heap_.push_back(slot);
+    slots_[slot].heap_pos = pos;
+    heapSiftUp(pos);
+  } else {
+    heapSiftUp(pos);
+    heapSiftDown(slots_[slot].heap_pos);
+  }
+}
+
+void FlowNetwork::heapErase(std::uint32_t slot) {
+  const std::uint32_t pos = slots_[slot].heap_pos;
+  if (pos == kNoPos) return;
+  slots_[slot].heap_pos = kNoPos;
+  const std::uint32_t last = completion_heap_.back();
+  completion_heap_.pop_back();
+  if (last == slot) return;
+  completion_heap_[pos] = last;
+  slots_[last].heap_pos = pos;
+  heapSiftUp(pos);
+  heapSiftDown(slots_[last].heap_pos);
+}
+
+void FlowNetwork::activeErase(std::uint32_t slot) {
+  const std::uint32_t pos = slots_[slot].active_pos;
+  slots_[slot].active_pos = kNoPos;
+  const std::uint32_t last = active_.back();
+  active_.pop_back();
+  if (last == slot) return;
+  active_[pos] = last;
+  slots_[last].active_pos = pos;
+}
+
 void FlowNetwork::scheduleNextCompletion() {
+  const SimTime next =
+      completion_heap_.empty() ? kInf : slots_[completion_heap_.front()].projected_finish;
+  if (next == completion_time_) return;  // already scheduled at this time
   if (completion_event_ != kInvalidEvent) {
     sim_.cancel(completion_event_);
     completion_event_ = kInvalidEvent;
   }
-  if (flows_.empty()) return;
-  double soonest = std::numeric_limits<double>::infinity();
-  for (const auto& [id, f] : flows_) {
-    if (f.rate <= 0.0) continue;
-    soonest = std::min(soonest, f.remaining / f.rate);
-  }
-  if (!std::isfinite(soonest)) return;  // all flows stalled (e.g. link down)
-  completion_event_ = sim_.schedule(soonest, [this] {
+  completion_time_ = next;
+  if (!std::isfinite(next)) return;  // all flows stalled (e.g. link down)
+  completion_event_ = sim_.scheduleAt(next, [this] {
     completion_event_ = kInvalidEvent;
+    completion_time_ = kInf;
     onCompletionEvent();
   });
 }
 
 void FlowNetwork::onCompletionEvent() {
   advanceProgress();
-  // Finish every flow that has drained; callbacks run inside finishFlow and
-  // may add flows, so collect ids first.
-  std::vector<FlowId> done;
-  for (const auto& [id, f] : flows_) {
-    if (f.remaining <= kByteEpsilon) done.push_back(id);
+  const SimTime now = sim_.now();
+  // Pop every flow whose projected completion has arrived; by
+  // construction their remaining bytes are within float residue of zero.
+  // Completed callbacks are deferred events, so member scratch is safe.
+  done_scratch_.clear();
+  seed_scratch_.clear();
+  while (!completion_heap_.empty()) {
+    const std::uint32_t top = completion_heap_.front();
+    if (slots_[top].projected_finish > now) break;
+    heapErase(top);
+    done_scratch_.push_back(top);
   }
-  std::sort(done.begin(), done.end());
-  for (FlowId id : done) {
-    auto it = flows_.find(id);
-    if (it != flows_.end()) finishFlow(it, FlowStatus::Completed);
+  std::sort(done_scratch_.begin(), done_scratch_.end(),
+            [this](std::uint32_t a, std::uint32_t b) { return slots_[a].id < slots_[b].id; });
+  for (std::uint32_t slot : done_scratch_) {
+    const auto& links = slots_[slot].links;
+    seed_scratch_.insert(seed_scratch_.end(), links.begin(), links.end());
   }
-  recomputeRates();
+  for (std::uint32_t slot : done_scratch_) finishFlow(slot, FlowStatus::Completed);
+  resolveAfterChange(seed_scratch_);
   scheduleNextCompletion();
 }
 
-void FlowNetwork::finishFlow(std::unordered_map<FlowId, ActiveFlow>::iterator it,
-                             FlowStatus status) {
-  ActiveFlow f = std::move(it->second);
-  flows_.erase(it);
+void FlowNetwork::finishFlow(std::uint32_t slot, FlowStatus status) {
+  heapErase(slot);
+  if (slots_[slot].active_pos != kNoPos) activeErase(slot);
+  for (LinkId l : slots_[slot].links) {
+    auto& v = link_flows_[static_cast<std::size_t>(l)];
+    v.erase(std::find(v.begin(), v.end(), slot));  // order-preserving
+  }
+  id_to_slot_.erase(slots_[slot].id);
+  ActiveFlow f = std::move(slots_[slot]);
+  slots_[slot] = ActiveFlow{};
+  free_slots_.push_back(slot);
   if (status == FlowStatus::Completed) {
     ++flows_completed_;
   } else {

@@ -6,6 +6,15 @@
 // and the next completion event is rescheduled. Per-link byte counters are
 // advanced continuously so telemetry can sample instantaneous PCIe traffic
 // exactly the way the Falcon management interface reports port throughput.
+//
+// Recomputation is *incremental* (SimGrid-style lazy updates): a
+// persistent flow<->link bipartite index lets each arrival/departure
+// re-solve only the connected component of flows that transitively share
+// a link with the change. Flows in untouched components keep their rates,
+// their accrued progress, and their projected completion times. Projected
+// completions live in an indexed min-heap that is updated only for flows
+// whose rate actually changed, so the next-completion lookup is O(1) and
+// progress advancement walks an active-set of flowing transfers only.
 #pragma once
 
 #include <cstdint>
@@ -67,11 +76,14 @@ class FlowNetwork {
                    FlowOptions options = {});
 
   /// Abort an in-flight flow; its callback fires with Failed status.
-  /// Returns false if the flow is unknown (already finished).
+  /// Returns false if the flow is unknown (already finished). Latency-only
+  /// flows (zero-byte or same-node) are cancellable too: their scheduled
+  /// completion is revoked and the callback fires Failed instead.
   bool cancelFlow(FlowId id);
 
   /// Fail every flow crossing `link` (used for link-down injection) and
-  /// mark the link down in the topology.
+  /// mark the link down in the topology. Victims come straight from the
+  /// link->flows index (no scan of unrelated flows).
   void failLink(LinkId link);
 
   /// Re-derive flow rates after an external topology mutation (capacity
@@ -79,7 +91,7 @@ class FlowNetwork {
   /// like real DMA transfers, they finish on the path they started on.
   void notifyTopologyChanged();
 
-  std::size_t activeFlows() const { return flows_.size(); }
+  std::size_t activeFlows() const { return id_to_slot_.size(); }
 
   /// Instantaneous rate of a flow (bytes/s); 0 if unknown.
   Bandwidth flowRate(FlowId id) const;
@@ -94,10 +106,23 @@ class FlowNetwork {
   /// Number of max-min rate recomputations (exposed for the ablation bench).
   std::uint64_t rateRecomputations() const { return recomputations_; }
 
+  /// Individual connected-component solves performed (each recomputation
+  /// solves one component incrementally, or all of them in full mode).
+  std::uint64_t componentSolves() const { return component_solves_; }
+
   /// Use naive equal-split instead of max-min fairness (ablation only).
   void setNaiveSharing(bool naive) { naive_sharing_ = naive; }
 
+  /// Incremental solving (default on) recomputes only the connected
+  /// component touched by a change; full mode re-solves every component on
+  /// every change. Both produce bit-identical rates and completion times —
+  /// full mode exists as the reference for the equivalence test suite and
+  /// as an ablation knob.
+  void setIncrementalSolve(bool on) { incremental_ = on; }
+
  private:
+  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
   struct ActiveFlow {
     FlowId id = kInvalidFlow;
     std::vector<LinkId> links;
@@ -107,28 +132,89 @@ class FlowNetwork {
     Bytes total = 0;
     SimTime start = 0.0;
     SimTime arrival_latency = 0.0;  // applied at completion
+    // Absolute completion time at the current rate; infinity when stalled.
+    // Invariant under constant rate, so it is recomputed only on rate
+    // changes and never drifts with progress advancement.
+    SimTime projected_finish = std::numeric_limits<SimTime>::infinity();
     FlowCallback done;
     std::string tag;
+    std::uint32_t heap_pos = kNoPos;    // position in completion_heap_
+    std::uint32_t active_pos = kNoPos;  // position in active_ (rate > 0)
+  };
+
+  /// Latency-only transfer (zero bytes or same-node): a cancellable
+  /// scheduled completion, tracked so the returned FlowId stays live.
+  struct LatencyFlow {
+    EventId event = kInvalidEvent;
+    Bytes bytes = 0;
+    SimTime start = 0.0;
+    FlowCallback done;
   };
 
   void advanceProgress();
-  void recomputeRates();
+  void ensureLinkTables();
+  /// Re-solve the connected component(s) reachable from `seeds`
+  /// (or everything, in full/reference mode). Counts one recomputation.
+  void resolveAfterChange(const std::vector<LinkId>& seeds);
+  void resolveAllComponents();
+  void collectComponent(LinkId seed);
+  void solveComponent();
+  void applyRate(std::uint32_t slot, Bandwidth rate);
   void scheduleNextCompletion();
   void onCompletionEvent();
-  void finishFlow(std::unordered_map<FlowId, ActiveFlow>::iterator it,
-                  FlowStatus status);
+  void onLatencyFlowDone(FlowId id);
+  void finishFlow(std::uint32_t slot, FlowStatus status);
+
+  // Indexed min-heap over projected_finish (ties by FlowId).
+  bool heapLess(std::uint32_t a, std::uint32_t b) const;
+  void heapSiftUp(std::size_t i);
+  void heapSiftDown(std::size_t i);
+  void heapUpsert(std::uint32_t slot);
+  void heapErase(std::uint32_t slot);
+  void activeErase(std::uint32_t slot);
 
   Simulator& sim_;
   Topology& topo_;
-  std::unordered_map<FlowId, ActiveFlow> flows_;
+
+  // Flow storage: dense reusable slots + id lookup for the public API.
+  std::vector<ActiveFlow> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<FlowId, std::uint32_t> id_to_slot_;
+  std::unordered_map<FlowId, LatencyFlow> latency_flows_;
+
+  // Persistent bipartite index, dense by LinkId. Each per-link list is
+  // kept in ascending FlowId order (append monotonic ids, order-preserving
+  // erase) so solver fix order is deterministic.
+  std::vector<std::vector<std::uint32_t>> link_flows_;
+
+  // Reused solver scratch, dense by LinkId / slot (no per-call hashing).
+  std::vector<double> link_residual_;
+  std::vector<std::uint32_t> link_unfixed_;
+  std::vector<std::uint64_t> link_epoch_;
+  std::vector<std::uint64_t> flow_epoch_;  // by slot: component membership
+  std::vector<std::uint64_t> flow_fixed_;  // by slot: solve round fixed in
+  std::vector<LinkId> comp_links_;         // BFS worklist + component links
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<std::uint32_t> comp_capped_;  // component flows with finite cap
+  std::uint64_t epoch_ = 0;
+  std::uint64_t solve_epoch_ = 0;
+
+  std::vector<std::uint32_t> active_;           // slots with rate > 0
+  std::vector<std::uint32_t> completion_heap_;  // slots by projected_finish
+  std::vector<std::uint32_t> done_scratch_;     // completion-event reuse
+  std::vector<LinkId> seed_scratch_;
+
   FlowId next_id_ = 1;
   SimTime last_update_ = 0.0;
   EventId completion_event_ = kInvalidEvent;
+  SimTime completion_time_ = std::numeric_limits<SimTime>::infinity();
   std::uint64_t flows_started_ = 0;
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_failed_ = 0;
   std::uint64_t recomputations_ = 0;
+  std::uint64_t component_solves_ = 0;
   bool naive_sharing_ = false;
+  bool incremental_ = true;
 };
 
 }  // namespace composim::fabric

@@ -83,7 +83,7 @@ NodeId Topology::findNode(const std::string& name) const {
   return kInvalidNode;
 }
 
-std::vector<LinkId> Topology::linksFrom(NodeId n) const {
+const std::vector<LinkId>& Topology::linksFrom(NodeId n) const {
   return adjacency_.at(static_cast<std::size_t>(n));
 }
 

@@ -111,8 +111,9 @@ class Topology {
   /// unreachable. Results are cached until the topology changes.
   std::optional<Route> route(NodeId src, NodeId dst) const;
 
-  /// All directed links leaving `n` (includes down links).
-  std::vector<LinkId> linksFrom(NodeId n) const;
+  /// All directed links leaving `n` (includes down links). The reference
+  /// is invalidated by addNode/addLink.
+  const std::vector<LinkId>& linksFrom(NodeId n) const;
   /// All directed links arriving at `n`.
   std::vector<LinkId> linksInto(NodeId n) const;
 

@@ -1,9 +1,40 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace composim {
+
+namespace {
+// Compact once tombstones are both numerous and the majority of the heap;
+// the floor keeps small queues on the cheap pop-time-discard path.
+constexpr std::size_t kCompactFloor = 1024;
+}  // namespace
+
+std::uint32_t Simulator::allocSlot() {
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.pending = true;
+  s.cancelled = false;
+  return slot;
+}
+
+void Simulator::releaseSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.pending = false;
+  s.cancelled = false;
+  ++s.generation;  // stale EventIds stop matching
+  if (s.generation == 0) ++s.generation;  // keep ids nonzero on wrap
+  free_slots_.push_back(slot);
+}
 
 EventId Simulator::schedule(SimTime delay, Action fn) {
   if (delay < 0.0) delay = 0.0;
@@ -13,33 +44,54 @@ EventId Simulator::schedule(SimTime delay, Action fn) {
 EventId Simulator::scheduleAt(SimTime when, Action fn) {
   if (!fn) throw std::invalid_argument("Simulator::schedule: empty action");
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  queue_.push(Entry{when, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  const std::uint32_t slot = allocSlot();
+  heap_.push_back(Entry{when, next_seq_++, slot, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
 }
 
 bool Simulator::cancel(EventId id) {
-  if (pending_.count(id) == 0) return false;  // already ran or never existed
-  return cancelled_.insert(id).second;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0 || slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.pending || s.generation != gen || s.cancelled) return false;
+  s.cancelled = true;
+  ++cancelled_;
+  if (cancelled_ > kCompactFloor && cancelled_ * 2 > heap_.size()) {
+    compactTombstones();
+  }
+  return true;
+}
+
+void Simulator::compactTombstones() {
+  auto live_end = std::remove_if(heap_.begin(), heap_.end(), [this](const Entry& e) {
+    if (!slots_[e.slot].cancelled) return false;
+    releaseSlot(e.slot);
+    return true;
+  });
+  heap_.erase(live_end, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  cancelled_ = 0;
+}
+
+void Simulator::purgeCancelledTop() {
+  while (!heap_.empty() && slots_[heap_.front().slot].cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    releaseSlot(heap_.back().slot);
+    heap_.pop_back();
+    --cancelled_;
+  }
 }
 
 bool Simulator::popNext(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const ref; move is safe because we pop
-    // immediately after and never touch the moved-from entry.
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    pending_.erase(e.id);
-    auto it = cancelled_.find(e.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    out = std::move(e);
-    return true;
-  }
-  return false;
+  purgeCancelledTop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  out = std::move(heap_.back());
+  heap_.pop_back();
+  releaseSlot(out.slot);
+  return true;
 }
 
 bool Simulator::step() {
@@ -60,8 +112,9 @@ void Simulator::run(std::uint64_t maxEvents) {
 void Simulator::runUntil(SimTime until) {
   Entry e;
   while (true) {
-    if (queue_.empty()) return;
-    if (queue_.top().time > until) {
+    purgeCancelledTop();
+    if (heap_.empty()) return;
+    if (heap_.front().time > until) {
       now_ = until;
       return;
     }

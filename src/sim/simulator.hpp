@@ -1,15 +1,17 @@
 // composim: discrete-event simulation kernel.
 //
 // Single-threaded, deterministic. Events are (time, sequence) ordered so
-// ties resolve in scheduling order. Cancellation is O(1) amortized via a
-// tombstone set consulted at pop time.
+// ties resolve in scheduling order. Cancellation is O(1) via a
+// slot/generation scheme: an EventId encodes a slot index plus the slot's
+// generation, so cancel() and pop-time tombstone checks are plain array
+// accesses instead of hash lookups. Cancelled entries stay in the heap as
+// tombstones and are discarded at pop time; when tombstones dominate the
+// heap they are compacted in one pass so mass cancellation (e.g. a flow
+// network rescheduling its completion event) cannot bloat the queue.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/units.hpp"
@@ -56,32 +58,48 @@ class Simulator {
   /// Number of events executed so far.
   std::uint64_t eventsExecuted() const { return executed_; }
 
-  /// Number of events currently pending (including cancelled tombstones).
-  std::size_t pendingEvents() const { return queue_.size(); }
+  /// Number of events still pending, excluding cancelled tombstones.
+  std::size_t pendingEvents() const { return heap_.size() - cancelled_; }
 
-  bool empty() const { return queue_.size() == cancelled_.size(); }
+  /// Raw heap occupancy including tombstones awaiting compaction
+  /// (diagnostic; pendingEvents() is the semantically meaningful count).
+  std::size_t queuedEvents() const { return heap_.size(); }
+
+  bool empty() const { return pendingEvents() == 0; }
 
  private:
   struct Entry {
     SimTime time;
-    EventId id;
+    std::uint64_t seq;   // global scheduling order; breaks time ties
+    std::uint32_t slot;  // index into slots_
     Action fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
+  struct Slot {
+    std::uint32_t generation = 1;
+    bool pending = false;
+    bool cancelled = false;
   };
+  // Min-heap ordering for std::*_heap (which build max-heaps).
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
 
+  std::uint32_t allocSlot();
+  void releaseSlot(std::uint32_t slot);
+  /// Pop cancelled entries off the heap top so front() is a live event.
+  void purgeCancelledTop();
+  /// Drop all tombstones and rebuild the heap in O(n).
+  void compactTombstones();
   bool popNext(Entry& out);
 
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> pending_;    // ids scheduled and not yet run
-  std::unordered_set<EventId> cancelled_;  // subset of pending_
+  std::vector<Entry> heap_;  // binary heap via std::push_heap/pop_heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t cancelled_ = 0;  // tombstones currently in heap_
 };
 
 }  // namespace composim

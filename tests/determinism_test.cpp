@@ -44,6 +44,43 @@ TEST(Determinism, CollectivesAreBitIdentical) {
   EXPECT_EQ(measure(), measure());
 }
 
+TEST(Determinism, FlowHeavySimulationIsBitIdentical) {
+  // Stresses the incremental solver's completion heap and component
+  // bookkeeping: hundreds of staggered flows on a shared star must finish
+  // at bit-identical times run over run, so figure benches stay
+  // byte-stable.
+  auto measure = [] {
+    Simulator sim;
+    fabric::Topology topo;
+    fabric::FlowNetwork net(sim, topo);
+    const auto hub = topo.addNode("hub", fabric::NodeKind::PcieSwitch);
+    std::vector<fabric::NodeId> leaves;
+    for (int i = 0; i < 8; ++i) {
+      leaves.push_back(
+          topo.addNode("l" + std::to_string(i), fabric::NodeKind::Gpu));
+      topo.addDuplexLink(leaves.back(), hub, units::GBps(10), 0.0,
+                         fabric::LinkKind::PCIe4);
+    }
+    std::vector<SimTime> ends;
+    for (int f = 0; f < 300; ++f) {
+      const auto src = static_cast<std::size_t>(f % 8);
+      const auto dst = static_cast<std::size_t>((f + 3) % 8);
+      const Bytes payload = units::MiB(4 + f % 13);
+      sim.schedule(1e-4 * f, [&, src, dst, payload] {
+        net.startFlow(leaves[src], leaves[dst], payload,
+                      [&](const fabric::FlowResult& r) { ends.push_back(r.end); });
+      });
+    }
+    sim.run();
+    return ends;
+  };
+  const auto a = measure();
+  const auto b = measure();
+  ASSERT_EQ(a.size(), 300u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
 TEST(Determinism, SeedChangesOnlyStochasticOutputs) {
   // Different trainer seed: timing identical (the performance model is
   // deterministic), only the synthetic loss noise differs.

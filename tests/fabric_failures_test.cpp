@@ -66,6 +66,37 @@ TEST_F(FaultFixture, DegradeSlowsActiveFlow) {
   EXPECT_THROW(faults.scheduleDegrade(ab, 0.0, 1.5), std::invalid_argument);
 }
 
+TEST_F(FaultFixture, FailLinkWithManyActiveFlowsKillsOnlyCrossers) {
+  // Regression for the link-failure path: victims must come from the
+  // link->flows index, and only flows actually crossing the failed
+  // direction may die — concurrent traffic elsewhere keeps its progress.
+  const NodeId c = topo.addNode("c", NodeKind::Gpu);
+  const NodeId d = topo.addNode("d", NodeKind::Gpu);
+  topo.addDuplexLink(c, d, units::GBps(10), 0.0, LinkKind::PCIe4);
+  int failed = 0, completed = 0;
+  const int crossers = 16;
+  for (int i = 0; i < crossers; ++i) {
+    net.startFlow(a, b, units::GB(1), [&](const FlowResult& r) {
+      (r.status == FlowStatus::Failed ? failed : completed)++;
+    });
+  }
+  // Reverse direction of the same duplex pair and an unrelated link: both
+  // must survive the forward-direction failure.
+  int survivors = 0;
+  net.startFlow(b, a, units::GB(1),
+                [&](const FlowResult& r) { survivors += r.status == FlowStatus::Completed; });
+  net.startFlow(c, d, units::GB(1),
+                [&](const FlowResult& r) { survivors += r.status == FlowStatus::Completed; });
+  sim.schedule(0.05, [&] { net.failLink(ab); });
+  sim.run();
+  EXPECT_EQ(failed, crossers);
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(survivors, 2);
+  EXPECT_EQ(topo.link(ab).counters.errors, 1u);
+  EXPECT_EQ(net.flowsFailed(), static_cast<std::uint64_t>(crossers));
+  EXPECT_EQ(net.activeFlows(), 0u);
+}
+
 TEST_F(FaultFixture, RandomErrorNoiseStopsAtDeadline) {
   faults.scheduleRandomErrorNoise(ab, 0.01, 1.0);
   sim.run();

@@ -152,6 +152,44 @@ TEST(FlowNetwork, CancelFlowReportsFailure) {
   EXPECT_FALSE(n.net.cancelFlow(id));  // already gone
 }
 
+TEST(FlowNetwork, ZeroByteFlowIsCancellable) {
+  // Latency-only flows (zero-byte and same-node) must return a live id:
+  // cancelling one revokes the scheduled completion and reports Failed
+  // exactly once.
+  Net n;
+  const NodeId a = n.topo.addNode("a", NodeKind::Gpu);
+  const NodeId b = n.topo.addNode("b", NodeKind::Gpu);
+  n.topo.addDuplexLink(a, b, units::GBps(10), units::microseconds(2), LinkKind::NVLink);
+  int calls = 0;
+  FlowResult res;
+  const FlowId id = n.net.startFlow(a, b, 0, [&](const FlowResult& r) {
+    res = r;
+    ++calls;
+  });
+  ASSERT_NE(id, kInvalidFlow);
+  EXPECT_TRUE(n.net.cancelFlow(id));
+  EXPECT_FALSE(n.net.cancelFlow(id));  // double-cancel
+  n.sim.run();
+  EXPECT_EQ(calls, 1);  // no Completed callback after the Failed one
+  EXPECT_EQ(res.status, FlowStatus::Failed);
+  EXPECT_EQ(res.bytes, 0);
+  EXPECT_EQ(n.net.flowsFailed(), 1u);
+  EXPECT_EQ(n.net.flowsCompleted(), 0u);
+}
+
+TEST(FlowNetwork, SameNodeFlowIsCancellable) {
+  Net n;
+  const NodeId a = n.topo.addNode("a", NodeKind::Gpu);
+  int calls = 0;
+  const FlowId id =
+      n.net.startFlow(a, a, units::MiB(10), [&](const FlowResult&) { ++calls; });
+  ASSERT_NE(id, kInvalidFlow);
+  EXPECT_TRUE(n.net.cancelFlow(id));
+  n.sim.run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(n.net.flowsFailed(), 1u);
+}
+
 TEST(FlowNetwork, FailLinkKillsCrossingFlowsOnly) {
   Net n;
   const NodeId a = n.topo.addNode("a", NodeKind::Gpu);

@@ -90,6 +90,58 @@ TEST(Simulator, CancelInvalidIdReturnsFalse) {
   EXPECT_FALSE(sim.cancel(12345));
 }
 
+TEST(Simulator, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  const EventId a = sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  EXPECT_EQ(sim.pendingEvents(), 2u);
+  EXPECT_TRUE(sim.cancel(a));
+  // The tombstone still occupies the heap but no longer counts as pending.
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+  EXPECT_EQ(sim.queuedEvents(), 2u);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  EXPECT_EQ(sim.queuedEvents(), 0u);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.eventsExecuted(), 1u);
+}
+
+TEST(Simulator, EmptyWhenEveryPendingEventIsCancelled) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(sim.schedule(1.0, [] {}));
+  for (EventId id : ids) EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  EXPECT_TRUE(sim.empty());
+  sim.run();
+  EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulator, MassCancellationCompactsTombstones) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(sim.schedule(static_cast<double>(i), [] {}));
+  }
+  for (EventId id : ids) EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  // Compaction keeps the heap from holding ~10k dead entries.
+  EXPECT_LT(sim.queuedEvents(), 5000u);
+  sim.run();
+  EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulator, SlotReuseDoesNotResurrectOldIds) {
+  Simulator sim;
+  const EventId a = sim.schedule(1.0, [] {});
+  sim.run();  // `a` executes; its slot returns to the free list
+  const EventId b = sim.schedule(1.0, [] {});
+  EXPECT_NE(a, b);  // generation bumped even though the slot is reused
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_TRUE(sim.cancel(b));
+}
+
 TEST(Simulator, RunUntilStopsAtBoundary) {
   Simulator sim;
   int count = 0;
