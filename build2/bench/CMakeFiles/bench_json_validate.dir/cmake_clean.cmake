@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_json_validate.dir/bench_json_validate.cpp.o"
+  "CMakeFiles/bench_json_validate.dir/bench_json_validate.cpp.o.d"
+  "bench_json_validate"
+  "bench_json_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_json_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cotenancy.dir/exp_cotenancy.cpp.o"
+  "CMakeFiles/exp_cotenancy.dir/exp_cotenancy.cpp.o.d"
+  "exp_cotenancy"
+  "exp_cotenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cotenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

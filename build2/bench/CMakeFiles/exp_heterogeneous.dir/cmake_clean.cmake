@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_heterogeneous.dir/exp_heterogeneous.cpp.o"
+  "CMakeFiles/exp_heterogeneous.dir/exp_heterogeneous.cpp.o.d"
+  "exp_heterogeneous"
+  "exp_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_comm_requirements.dir/fig05_comm_requirements.cpp.o"
+  "CMakeFiles/fig05_comm_requirements.dir/fig05_comm_requirements.cpp.o.d"
+  "fig05_comm_requirements"
+  "fig05_comm_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_comm_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_07_topology.dir/fig06_07_topology.cpp.o"
+  "CMakeFiles/fig06_07_topology.dir/fig06_07_topology.cpp.o.d"
+  "fig06_07_topology"
+  "fig06_07_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_gpu_util_patterns.dir/fig09_gpu_util_patterns.cpp.o"
+  "CMakeFiles/fig09_gpu_util_patterns.dir/fig09_gpu_util_patterns.cpp.o.d"
+  "fig09_gpu_util_patterns"
+  "fig09_gpu_util_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_gpu_util_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

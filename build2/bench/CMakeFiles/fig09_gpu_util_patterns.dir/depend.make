@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_gpu_util_patterns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gpu_metrics.dir/fig10_gpu_metrics.cpp.o"
+  "CMakeFiles/fig10_gpu_metrics.dir/fig10_gpu_metrics.cpp.o.d"
+  "fig10_gpu_metrics"
+  "fig10_gpu_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gpu_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

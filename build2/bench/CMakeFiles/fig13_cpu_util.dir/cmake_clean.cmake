@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cpu_util.dir/fig13_cpu_util.cpp.o"
+  "CMakeFiles/fig13_cpu_util.dir/fig13_cpu_util.cpp.o.d"
+  "fig13_cpu_util"
+  "fig13_cpu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sysmem_util.dir/fig14_sysmem_util.cpp.o"
+  "CMakeFiles/fig14_sysmem_util.dir/fig14_sysmem_util.cpp.o.d"
+  "fig14_sysmem_util"
+  "fig14_sysmem_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sysmem_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

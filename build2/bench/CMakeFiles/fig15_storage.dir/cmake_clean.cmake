@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_storage.dir/fig15_storage.cpp.o"
+  "CMakeFiles/fig15_storage.dir/fig15_storage.cpp.o.d"
+  "fig15_storage"
+  "fig15_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sw_optimizations.dir/fig16_sw_optimizations.cpp.o"
+  "CMakeFiles/fig16_sw_optimizations.dir/fig16_sw_optimizations.cpp.o.d"
+  "fig16_sw_optimizations"
+  "fig16_sw_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sw_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nccl_sweep.dir/nccl_sweep.cpp.o"
+  "CMakeFiles/nccl_sweep.dir/nccl_sweep.cpp.o.d"
+  "nccl_sweep"
+  "nccl_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nccl_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

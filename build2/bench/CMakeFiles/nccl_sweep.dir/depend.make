@@ -1,0 +1,2 @@
+# Empty dependencies file for nccl_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_stack.dir/table1_stack.cpp.o"
+  "CMakeFiles/table1_stack.dir/table1_stack.cpp.o.d"
+  "table1_stack"
+  "table1_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_configs.dir/table3_configs.cpp.o"
+  "CMakeFiles/table3_configs.dir/table3_configs.cpp.o.d"
+  "table3_configs"
+  "table3_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_p2p.dir/table4_p2p.cpp.o"
+  "CMakeFiles/table4_p2p.dir/table4_p2p.cpp.o.d"
+  "table4_p2p"
+  "table4_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build2/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke "/usr/bin/cmake" "-DBENCH_BIN=/root/repo/build2/bench/micro_simcore" "-DVALIDATE_BIN=/root/repo/build2/bench/bench_json_validate" "-DOUT_JSON=/root/repo/build2/bench/BENCH_simcore.json" "-P" "/root/repo/bench/run_bench_smoke.cmake")
+set_tests_properties(bench_smoke PROPERTIES  LABELS "bench" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_sweep.dir/config_sweep.cpp.o"
+  "CMakeFiles/config_sweep.dir/config_sweep.cpp.o.d"
+  "config_sweep"
+  "config_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

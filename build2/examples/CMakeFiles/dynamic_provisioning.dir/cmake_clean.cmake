@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_provisioning.dir/dynamic_provisioning.cpp.o"
+  "CMakeFiles/dynamic_provisioning.dir/dynamic_provisioning.cpp.o.d"
+  "dynamic_provisioning"
+  "dynamic_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_training.dir/elastic_training.cpp.o"
+  "CMakeFiles/elastic_training.dir/elastic_training.cpp.o.d"
+  "elastic_training"
+  "elastic_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/management_console.dir/management_console.cpp.o"
+  "CMakeFiles/management_console.dir/management_console.cpp.o.d"
+  "management_console"
+  "management_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/management_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

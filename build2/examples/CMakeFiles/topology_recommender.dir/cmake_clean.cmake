@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_recommender.dir/topology_recommender.cpp.o"
+  "CMakeFiles/topology_recommender.dir/topology_recommender.cpp.o.d"
+  "topology_recommender"
+  "topology_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/communicator.cpp" "src/CMakeFiles/composim.dir/collectives/communicator.cpp.o" "gcc" "src/CMakeFiles/composim.dir/collectives/communicator.cpp.o.d"
+  "/root/repo/src/core/composable_system.cpp" "src/CMakeFiles/composim.dir/core/composable_system.cpp.o" "gcc" "src/CMakeFiles/composim.dir/core/composable_system.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/composim.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/composim.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/experiment_config.cpp" "src/CMakeFiles/composim.dir/core/experiment_config.cpp.o" "gcc" "src/CMakeFiles/composim.dir/core/experiment_config.cpp.o.d"
+  "/root/repo/src/core/recommender.cpp" "src/CMakeFiles/composim.dir/core/recommender.cpp.o" "gcc" "src/CMakeFiles/composim.dir/core/recommender.cpp.o.d"
+  "/root/repo/src/devices/gpu.cpp" "src/CMakeFiles/composim.dir/devices/gpu.cpp.o" "gcc" "src/CMakeFiles/composim.dir/devices/gpu.cpp.o.d"
+  "/root/repo/src/devices/host_cpu.cpp" "src/CMakeFiles/composim.dir/devices/host_cpu.cpp.o" "gcc" "src/CMakeFiles/composim.dir/devices/host_cpu.cpp.o.d"
+  "/root/repo/src/devices/storage.cpp" "src/CMakeFiles/composim.dir/devices/storage.cpp.o" "gcc" "src/CMakeFiles/composim.dir/devices/storage.cpp.o.d"
+  "/root/repo/src/dl/inference.cpp" "src/CMakeFiles/composim.dir/dl/inference.cpp.o" "gcc" "src/CMakeFiles/composim.dir/dl/inference.cpp.o.d"
+  "/root/repo/src/dl/model.cpp" "src/CMakeFiles/composim.dir/dl/model.cpp.o" "gcc" "src/CMakeFiles/composim.dir/dl/model.cpp.o.d"
+  "/root/repo/src/dl/pipeline.cpp" "src/CMakeFiles/composim.dir/dl/pipeline.cpp.o" "gcc" "src/CMakeFiles/composim.dir/dl/pipeline.cpp.o.d"
+  "/root/repo/src/dl/trainer.cpp" "src/CMakeFiles/composim.dir/dl/trainer.cpp.o" "gcc" "src/CMakeFiles/composim.dir/dl/trainer.cpp.o.d"
+  "/root/repo/src/dl/zoo.cpp" "src/CMakeFiles/composim.dir/dl/zoo.cpp.o" "gcc" "src/CMakeFiles/composim.dir/dl/zoo.cpp.o.d"
+  "/root/repo/src/fabric/bandwidth_probe.cpp" "src/CMakeFiles/composim.dir/fabric/bandwidth_probe.cpp.o" "gcc" "src/CMakeFiles/composim.dir/fabric/bandwidth_probe.cpp.o.d"
+  "/root/repo/src/fabric/failures.cpp" "src/CMakeFiles/composim.dir/fabric/failures.cpp.o" "gcc" "src/CMakeFiles/composim.dir/fabric/failures.cpp.o.d"
+  "/root/repo/src/fabric/flow_network.cpp" "src/CMakeFiles/composim.dir/fabric/flow_network.cpp.o" "gcc" "src/CMakeFiles/composim.dir/fabric/flow_network.cpp.o.d"
+  "/root/repo/src/fabric/nvlink_mesh.cpp" "src/CMakeFiles/composim.dir/fabric/nvlink_mesh.cpp.o" "gcc" "src/CMakeFiles/composim.dir/fabric/nvlink_mesh.cpp.o.d"
+  "/root/repo/src/fabric/topology.cpp" "src/CMakeFiles/composim.dir/fabric/topology.cpp.o" "gcc" "src/CMakeFiles/composim.dir/fabric/topology.cpp.o.d"
+  "/root/repo/src/falcon/allocation_planner.cpp" "src/CMakeFiles/composim.dir/falcon/allocation_planner.cpp.o" "gcc" "src/CMakeFiles/composim.dir/falcon/allocation_planner.cpp.o.d"
+  "/root/repo/src/falcon/bmc.cpp" "src/CMakeFiles/composim.dir/falcon/bmc.cpp.o" "gcc" "src/CMakeFiles/composim.dir/falcon/bmc.cpp.o.d"
+  "/root/repo/src/falcon/chassis.cpp" "src/CMakeFiles/composim.dir/falcon/chassis.cpp.o" "gcc" "src/CMakeFiles/composim.dir/falcon/chassis.cpp.o.d"
+  "/root/repo/src/falcon/json.cpp" "src/CMakeFiles/composim.dir/falcon/json.cpp.o" "gcc" "src/CMakeFiles/composim.dir/falcon/json.cpp.o.d"
+  "/root/repo/src/falcon/mcs.cpp" "src/CMakeFiles/composim.dir/falcon/mcs.cpp.o" "gcc" "src/CMakeFiles/composim.dir/falcon/mcs.cpp.o.d"
+  "/root/repo/src/falcon/topology_view.cpp" "src/CMakeFiles/composim.dir/falcon/topology_view.cpp.o" "gcc" "src/CMakeFiles/composim.dir/falcon/topology_view.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/composim.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/composim.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/composim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/composim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/composim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/composim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/units.cpp" "src/CMakeFiles/composim.dir/sim/units.cpp.o" "gcc" "src/CMakeFiles/composim.dir/sim/units.cpp.o.d"
+  "/root/repo/src/telemetry/report.cpp" "src/CMakeFiles/composim.dir/telemetry/report.cpp.o" "gcc" "src/CMakeFiles/composim.dir/telemetry/report.cpp.o.d"
+  "/root/repo/src/telemetry/run_tracker.cpp" "src/CMakeFiles/composim.dir/telemetry/run_tracker.cpp.o" "gcc" "src/CMakeFiles/composim.dir/telemetry/run_tracker.cpp.o.d"
+  "/root/repo/src/telemetry/sampler.cpp" "src/CMakeFiles/composim.dir/telemetry/sampler.cpp.o" "gcc" "src/CMakeFiles/composim.dir/telemetry/sampler.cpp.o.d"
+  "/root/repo/src/telemetry/time_series.cpp" "src/CMakeFiles/composim.dir/telemetry/time_series.cpp.o" "gcc" "src/CMakeFiles/composim.dir/telemetry/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

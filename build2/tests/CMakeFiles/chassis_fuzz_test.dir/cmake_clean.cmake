@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chassis_fuzz_test.dir/chassis_fuzz_test.cpp.o"
+  "CMakeFiles/chassis_fuzz_test.dir/chassis_fuzz_test.cpp.o.d"
+  "chassis_fuzz_test"
+  "chassis_fuzz_test.pdb"
+  "chassis_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chassis_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_ext_test.dir/collectives_ext_test.cpp.o"
+  "CMakeFiles/collectives_ext_test.dir/collectives_ext_test.cpp.o.d"
+  "collectives_ext_test"
+  "collectives_ext_test.pdb"
+  "collectives_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extension_test.dir/core_extension_test.cpp.o"
+  "CMakeFiles/core_extension_test.dir/core_extension_test.cpp.o.d"
+  "core_extension_test"
+  "core_extension_test.pdb"
+  "core_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_elastic_test.dir/dl_elastic_test.cpp.o"
+  "CMakeFiles/dl_elastic_test.dir/dl_elastic_test.cpp.o.d"
+  "dl_elastic_test"
+  "dl_elastic_test.pdb"
+  "dl_elastic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_elastic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_inference_test.dir/dl_inference_test.cpp.o"
+  "CMakeFiles/dl_inference_test.dir/dl_inference_test.cpp.o.d"
+  "dl_inference_test"
+  "dl_inference_test.pdb"
+  "dl_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

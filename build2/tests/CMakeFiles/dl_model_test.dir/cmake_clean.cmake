@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_model_test.dir/dl_model_test.cpp.o"
+  "CMakeFiles/dl_model_test.dir/dl_model_test.cpp.o.d"
+  "dl_model_test"
+  "dl_model_test.pdb"
+  "dl_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_pipeline_test.dir/dl_pipeline_test.cpp.o"
+  "CMakeFiles/dl_pipeline_test.dir/dl_pipeline_test.cpp.o.d"
+  "dl_pipeline_test"
+  "dl_pipeline_test.pdb"
+  "dl_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

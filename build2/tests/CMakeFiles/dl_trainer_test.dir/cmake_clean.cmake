@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_trainer_test.dir/dl_trainer_test.cpp.o"
+  "CMakeFiles/dl_trainer_test.dir/dl_trainer_test.cpp.o.d"
+  "dl_trainer_test"
+  "dl_trainer_test.pdb"
+  "dl_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

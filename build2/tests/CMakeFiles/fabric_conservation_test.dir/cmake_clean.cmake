@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_conservation_test.dir/fabric_conservation_test.cpp.o"
+  "CMakeFiles/fabric_conservation_test.dir/fabric_conservation_test.cpp.o.d"
+  "fabric_conservation_test"
+  "fabric_conservation_test.pdb"
+  "fabric_conservation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_conservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_flow_test.dir/fabric_flow_test.cpp.o"
+  "CMakeFiles/fabric_flow_test.dir/fabric_flow_test.cpp.o.d"
+  "fabric_flow_test"
+  "fabric_flow_test.pdb"
+  "fabric_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

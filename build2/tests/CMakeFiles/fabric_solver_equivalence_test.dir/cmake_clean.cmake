@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_solver_equivalence_test.dir/fabric_solver_equivalence_test.cpp.o"
+  "CMakeFiles/fabric_solver_equivalence_test.dir/fabric_solver_equivalence_test.cpp.o.d"
+  "fabric_solver_equivalence_test"
+  "fabric_solver_equivalence_test.pdb"
+  "fabric_solver_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_solver_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_topology_test.dir/fabric_topology_test.cpp.o"
+  "CMakeFiles/fabric_topology_test.dir/fabric_topology_test.cpp.o.d"
+  "fabric_topology_test"
+  "fabric_topology_test.pdb"
+  "fabric_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

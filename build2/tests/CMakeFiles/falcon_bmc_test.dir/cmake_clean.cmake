@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_bmc_test.dir/falcon_bmc_test.cpp.o"
+  "CMakeFiles/falcon_bmc_test.dir/falcon_bmc_test.cpp.o.d"
+  "falcon_bmc_test"
+  "falcon_bmc_test.pdb"
+  "falcon_bmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_bmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

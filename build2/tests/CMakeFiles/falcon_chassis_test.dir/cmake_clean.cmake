@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_chassis_test.dir/falcon_chassis_test.cpp.o"
+  "CMakeFiles/falcon_chassis_test.dir/falcon_chassis_test.cpp.o.d"
+  "falcon_chassis_test"
+  "falcon_chassis_test.pdb"
+  "falcon_chassis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_chassis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_mcs_test.dir/falcon_mcs_test.cpp.o"
+  "CMakeFiles/falcon_mcs_test.dir/falcon_mcs_test.cpp.o.d"
+  "falcon_mcs_test"
+  "falcon_mcs_test.pdb"
+  "falcon_mcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_mcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

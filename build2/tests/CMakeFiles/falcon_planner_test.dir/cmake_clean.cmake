@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_planner_test.dir/falcon_planner_test.cpp.o"
+  "CMakeFiles/falcon_planner_test.dir/falcon_planner_test.cpp.o.d"
+  "falcon_planner_test"
+  "falcon_planner_test.pdb"
+  "falcon_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_twochip_test.dir/falcon_twochip_test.cpp.o"
+  "CMakeFiles/falcon_twochip_test.dir/falcon_twochip_test.cpp.o.d"
+  "falcon_twochip_test"
+  "falcon_twochip_test.pdb"
+  "falcon_twochip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_twochip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

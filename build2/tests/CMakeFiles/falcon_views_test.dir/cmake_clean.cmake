@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_views_test.dir/falcon_views_test.cpp.o"
+  "CMakeFiles/falcon_views_test.dir/falcon_views_test.cpp.o.d"
+  "falcon_views_test"
+  "falcon_views_test.pdb"
+  "falcon_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_ext_test.dir/integration_ext_test.cpp.o"
+  "CMakeFiles/integration_ext_test.dir/integration_ext_test.cpp.o.d"
+  "integration_ext_test"
+  "integration_ext_test.pdb"
+  "integration_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvlink_mesh_test.dir/nvlink_mesh_test.cpp.o"
+  "CMakeFiles/nvlink_mesh_test.dir/nvlink_mesh_test.cpp.o.d"
+  "nvlink_mesh_test"
+  "nvlink_mesh_test.pdb"
+  "nvlink_mesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvlink_mesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_tracker_test.dir/telemetry_tracker_test.cpp.o"
+  "CMakeFiles/telemetry_tracker_test.dir/telemetry_tracker_test.cpp.o.d"
+  "telemetry_tracker_test"
+  "telemetry_tracker_test.pdb"
+  "telemetry_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
