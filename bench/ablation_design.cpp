@@ -79,7 +79,7 @@ void ablateBucketing() {
   std::printf("--- Ablation 3: DDP gradient buckets, BERT-large on falconGPUs ---\n");
   for (const int buckets : {1, 2, 6, 12}) {
     core::ExperimentOptions opt;
-    opt.iterations_per_epoch_cap = 8;
+    opt.trainer.max_iterations_per_epoch = 8;
     opt.trainer.epochs = 1;
     opt.trainer.gradient_buckets = buckets;
     const auto r = core::Experiment::run(core::SystemConfig::FalconGpus,
@@ -95,7 +95,7 @@ void ablatePrefetch() {
   std::printf("--- Ablation 4: pipeline prefetch depth, YOLOv5-L on localGPUs ---\n");
   for (const int depth : {1, 2, 4, 8}) {
     core::ExperimentOptions opt;
-    opt.iterations_per_epoch_cap = 10;
+    opt.trainer.max_iterations_per_epoch = 10;
     opt.trainer.epochs = 1;
     opt.trainer.pipeline.prefetch_batches = depth;
     const auto r = core::Experiment::run(core::SystemConfig::LocalGpus,

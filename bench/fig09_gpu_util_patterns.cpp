@@ -22,7 +22,7 @@ int main() {
     // The NLP runs are only 2 epochs; give them more iterations so the
     // plateau dominates the inter-epoch checkpoint dip, as it does in a
     // full-length epoch.
-    opt.iterations_per_epoch_cap = (model.domain == dl::Domain::NLP) ? 30 : 12;
+    opt.trainer.max_iterations_per_epoch = (model.domain == dl::Domain::NLP) ? 30 : 12;
     // Sample fast enough to see the inter-epoch checkpoint dips.
     opt.sample_interval = 0.1;
     const auto r = core::Experiment::run(core::SystemConfig::LocalGpus, model, opt);

@@ -23,7 +23,7 @@ int main() {
   for (const auto& model : dl::benchmarkZoo()) {
     for (const auto config : core::gpuConfigs()) {
       core::ExperimentOptions opt;
-      opt.iterations_per_epoch_cap = 15;
+      opt.trainer.max_iterations_per_epoch = 15;
       opt.trainer.epochs = 1;
       const auto r = core::Experiment::run(config, model, opt);
       t.addRow({model.name, core::toString(config),

@@ -20,7 +20,7 @@ int main() {
   std::vector<std::pair<std::string, double>> bars;
   for (const auto& model : dl::benchmarkZoo()) {
     core::ExperimentOptions opt;
-    opt.iterations_per_epoch_cap = 15;
+    opt.trainer.max_iterations_per_epoch = 15;
     opt.trainer.epochs = 1;
     const auto hybrid = core::Experiment::run(core::SystemConfig::HybridGpus, model, opt);
     const auto falcon = core::Experiment::run(core::SystemConfig::FalconGpus, model, opt);

@@ -22,7 +22,7 @@ int main() {
     std::vector<std::string> row{model.name};
     for (const auto config : core::gpuConfigs()) {
       core::ExperimentOptions opt;
-      opt.iterations_per_epoch_cap = 15;
+      opt.trainer.max_iterations_per_epoch = 15;
       opt.trainer.epochs = 1;
       const auto r = core::Experiment::run(config, model, opt);
       row.push_back(telemetry::fmt(r.cpu_util_pct, 1));

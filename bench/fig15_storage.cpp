@@ -23,7 +23,7 @@ int main() {
   std::vector<std::pair<std::string, double>> bars;
   for (const auto& model : dl::benchmarkZoo()) {
     core::ExperimentOptions opt;
-    opt.iterations_per_epoch_cap = 15;
+    opt.trainer.max_iterations_per_epoch = 15;
     const auto base = core::Experiment::run(core::SystemConfig::LocalGpus, model, opt);
     const auto local = core::Experiment::run(core::SystemConfig::LocalNvme, model, opt);
     const auto falcon = core::Experiment::run(core::SystemConfig::FalconNvme, model, opt);

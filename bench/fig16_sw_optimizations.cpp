@@ -52,7 +52,7 @@ int main() {
     double baseline_sps = 0.0;
     for (const auto& v : variants) {
       core::ExperimentOptions opt;
-      opt.iterations_per_epoch_cap = 12;
+      opt.trainer.max_iterations_per_epoch = 12;
       opt.trainer.epochs = 1;
       opt.trainer.strategy = v.strategy;
       opt.trainer.precision = v.precision;

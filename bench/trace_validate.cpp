@@ -1,0 +1,132 @@
+// Structurally validates a Chrome trace_event JSON export produced by the
+// span profiler: the document must be a trace object with a non-empty
+// traceEvents array, every event needs the ph/ts/pid/tid fields its phase
+// requires, duration (B/E) events must balance per track, async (b/e)
+// events must carry correlation ids, timestamps must be non-negative, and
+// the span/counter names the trainer + fabric instrumentation is expected
+// to emit must all be present. Exit code 0 on success, 1 with a diagnostic
+// on stderr otherwise. Used by the bench_trace_validate ctest.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "falcon/json.hpp"
+
+using composim::falcon::Json;
+using composim::falcon::JsonError;
+
+namespace {
+
+int fail(const std::string& why) {
+  std::fprintf(stderr, "trace_validate: %s\n", why.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) return fail("usage: trace_validate <trace.json>");
+
+  std::ifstream in(argv[1]);
+  if (!in) return fail(std::string("cannot open ") + argv[1]);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const JsonError& e) {
+    return fail(std::string("parse error: ") + e.what());
+  }
+  if (!doc.isObject()) return fail("top-level value is not an object");
+  const Json* unit = doc.find("displayTimeUnit");
+  if (unit == nullptr || !unit->isString() || unit->asString() != "ms") {
+    return fail("missing or unexpected displayTimeUnit");
+  }
+  const Json* events = doc.find("traceEvents");
+  if (events == nullptr || !events->isArray()) {
+    return fail("missing traceEvents array");
+  }
+  if (events->asArray().empty()) return fail("traceEvents array is empty");
+
+  std::map<long long, int> depth_by_tid;  // open B spans per track
+  std::set<std::string> span_names;
+  std::set<std::string> counter_names;
+  std::size_t timed = 0;
+  for (const Json& ev : events->asArray()) {
+    if (!ev.isObject()) return fail("event is not an object");
+    const Json* ph = ev.find("ph");
+    if (ph == nullptr || !ph->isString() || ph->asString().size() != 1) {
+      return fail("event without a one-character ph");
+    }
+    const char phase = ph->asString()[0];
+    const Json* pid = ev.find("pid");
+    const Json* tid = ev.find("tid");
+    if (pid == nullptr || !pid->isNumber() || tid == nullptr ||
+        !tid->isNumber()) {
+      return fail("event without numeric pid/tid");
+    }
+    if (phase == 'M') continue;  // metadata carries no timestamp
+    const Json* ts = ev.find("ts");
+    if (ts == nullptr || !ts->isNumber() || ts->asDouble() < 0.0) {
+      return fail("timed event without a non-negative ts");
+    }
+    ++timed;
+    const Json* name = ev.find("name");
+    const bool named = name != nullptr && name->isString();
+    switch (phase) {
+      case 'B':
+        if (!named) return fail("B event without a name");
+        span_names.insert(name->asString());
+        ++depth_by_tid[tid->asInt()];
+        break;
+      case 'E':
+        if (--depth_by_tid[tid->asInt()] < 0) {
+          return fail("E event without a matching B on its track");
+        }
+        break;
+      case 'b':
+      case 'e': {
+        if (!named) return fail("async event without a name");
+        if (phase == 'b') span_names.insert(name->asString());
+        const Json* id = ev.find("id");
+        if (id == nullptr || !id->isNumber()) {
+          return fail("async event without a correlation id");
+        }
+        break;
+      }
+      case 'C':
+        if (!named) return fail("counter event without a name");
+        counter_names.insert(name->asString());
+        break;
+      case 'i':
+        break;
+      default:
+        return fail(std::string("unexpected phase '") + phase + "'");
+    }
+  }
+  if (timed == 0) return fail("no timed events");
+  for (const auto& [tid, depth] : depth_by_tid) {
+    if (depth != 0) {
+      return fail("track " + std::to_string(tid) + " has " +
+                  std::to_string(depth) + " unclosed B events");
+    }
+  }
+
+  for (const char* required :
+       {"iteration", "forward", "backward", "gradient-sync", "optimizer",
+        "step-overhead", "checkpoint", "prefetch", "h2d", "allReduce"}) {
+    if (span_names.count(required) == 0) {
+      return fail(std::string("required span absent: ") + required);
+    }
+  }
+  bool has_link_counter = false;
+  for (const std::string& name : counter_names) {
+    if (name.rfind("link:", 0) == 0) has_link_counter = true;
+  }
+  if (!has_link_counter) return fail("no link:* counter events");
+  return 0;
+}

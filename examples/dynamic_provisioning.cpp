@@ -62,10 +62,10 @@ int main() {
   // connecting carol through H2 after bob hands it back. For this demo,
   // alice keeps H1 and bob/carol time-share H2.
   if (auto r = chassis.connectHost(0, hosts[0], names[0]); !r) {
-    std::printf("connect alice: %s\n", r.message.c_str());
+    std::printf("connect alice: %s\n", r.detail.c_str());
   }
   if (auto r = chassis.connectHost(1, hosts[1], names[1]); !r) {
-    std::printf("connect bob: %s\n", r.message.c_str());
+    std::printf("connect bob: %s\n", r.detail.c_str());
   }
   chassis.setDrawerMode(0, falcon::DrawerMode::Advanced);
 
@@ -102,11 +102,11 @@ int main() {
 
   std::printf("\nPhase 3: constraint checks.\n");
   if (auto r = chassis.setDrawerMode(0, falcon::DrawerMode::Standard); !r) {
-    std::printf("  downgrade to Standard rejected: %s\n", r.message.c_str());
+    std::printf("  downgrade to Standard rejected: %s\n", r.detail.c_str());
   }
   const fabric::NodeId dave = topo.addNode("dave-host", fabric::NodeKind::CpuRootComplex);
   if (auto r = chassis.connectHost(1, dave, "dave-host"); !r) {
-    std::printf("  fourth tenant on a busy port rejected: %s\n", r.message.c_str());
+    std::printf("  fourth tenant on a busy port rejected: %s\n", r.detail.c_str());
   }
 
   std::printf("\nBMC event log (%zu events):\n", bmc.eventLog().size());

@@ -19,7 +19,7 @@ namespace {
 
 void show(const char* what, const falcon::OpResult& r) {
   std::printf("  %-46s -> %s%s%s\n", what, r.ok ? "OK" : "DENIED",
-              r.ok ? "" : ": ", r.ok ? "" : r.message.c_str());
+              r.ok ? "" : ": ", r.ok ? "" : r.detail.c_str());
 }
 
 }  // namespace

@@ -6,19 +6,29 @@
 // the throughput plus the system-level metrics the paper tracks.
 //
 //   $ ./examples/quickstart
+//   $ ./examples/quickstart --trace   # also writes quickstart_trace.json
+//
+// With --trace, the span profiler records every training phase, collective
+// op, and fabric link and exports a Chrome trace_event file you can open in
+// chrome://tracing or Perfetto.
 #include <cstdio>
+#include <cstring>
 
 #include "core/experiment.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 
 using namespace composim;
 
-int main() {
+int main(int argc, char** argv) {
   const dl::ModelSpec model = dl::resNet50();
 
   core::ExperimentOptions opt;
   opt.trainer.epochs = 1;
-  opt.iterations_per_epoch_cap = 25;
+  opt.trainer.max_iterations_per_epoch = 25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) opt.trace = true;
+  }
 
   std::printf("composim quickstart: training %s (%lld params, %d layers) on "
               "the localGPUs configuration...\n\n",
@@ -42,5 +52,15 @@ int main() {
   std::printf("host memory utilization   : %.1f %%\n", result.host_mem_util_pct);
   std::printf("data-loader stall time    : %s\n",
               formatTime(result.training.data_stall_time).c_str());
+
+  if (result.profiler) {
+    const char* path = "quickstart_trace.json";
+    if (const Status s = result.profiler->writeChromeTrace(path); !s) {
+      std::fprintf(stderr, "trace export failed: %s\n", s.toString().c_str());
+      return 1;
+    }
+    std::printf("\nChrome trace (%zu records) written to %s\n",
+                result.profiler->recordCount(), path);
+  }
   return 0;
 }

@@ -6,13 +6,20 @@
 // artifacts to an output directory.
 //
 //   $ ./examples/run_suite my_suite.json /tmp/results
+//   $ ./examples/run_suite --trace my_suite.json /tmp/results
 //   $ ./examples/run_suite            # runs a built-in demonstration suite
+//
+// With --trace, every experiment runs with the span profiler enabled and a
+// <name>_trace.json Chrome trace (open in chrome://tracing or Perfetto) is
+// written next to the CSV artifacts.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "core/experiment_config.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/run_tracker.hpp"
 
@@ -37,11 +44,21 @@ const char* kDemoSuite = R"({
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool trace = false;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") {
+      trace = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+
   std::string text = kDemoSuite;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  if (!pos.empty()) {
+    std::ifstream in(pos[0]);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", pos[0].c_str());
       return 1;
     }
     std::ostringstream buf;
@@ -57,13 +74,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string outdir = pos.size() > 1 ? pos[1] : ".";
+  if (pos.size() > 1 || trace) std::filesystem::create_directories(outdir);
+
   telemetry::RunTracker tracker;
   telemetry::Table table({"Run", "Benchmark", "Config", "iter time",
                           "samples/s", "GPU util %"});
-  for (const auto& spec : specs) {
+  for (auto& spec : specs) {
+    if (trace) spec.options.trace = true;
     std::printf("running '%s' (%s on %s)...\n", spec.name.c_str(),
                 spec.benchmark.c_str(), core::toString(spec.config));
     const auto r = core::runExperimentSpec(spec);
+    if (r.profiler) {
+      const std::string path = outdir + "/" + spec.name + "_trace.json";
+      if (const Status s = r.profiler->writeChromeTrace(path); !s) {
+        std::fprintf(stderr, "trace export failed: %s\n", s.toString().c_str());
+      } else {
+        std::printf("  trace written to %s\n", path.c_str());
+      }
+    }
     auto& run = tracker.run(spec.name);
     run.setConfig("benchmark", spec.benchmark);
     run.setConfig("config", core::toString(spec.config));
@@ -82,11 +111,10 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%s", table.render().c_str());
 
-  if (argc > 2) {
-    std::filesystem::create_directories(argv[2]);
-    tracker.exportTo(argv[2]);
+  if (pos.size() > 1) {
+    tracker.exportTo(outdir);
     std::printf("\nartifacts written to %s (manifest.json + per-metric CSVs)\n",
-                argv[2]);
+                outdir.c_str());
   }
   return 0;
 }

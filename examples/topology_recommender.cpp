@@ -26,7 +26,7 @@ int main() {
   for (const auto& model : measured) {
     for (const auto config : core::gpuConfigs()) {
       core::ExperimentOptions opt;
-      opt.iterations_per_epoch_cap = 20;
+      opt.trainer.max_iterations_per_epoch = 20;
       const auto r = core::Experiment::run(config, model, opt);
       rec.addRun(r, model);
       std::printf("  %-12s %-11s %8s/iter\n", model.name.c_str(),

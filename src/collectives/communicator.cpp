@@ -31,6 +31,7 @@ struct Communicator::Op {
   Bytes payload = 0;
   Bytes bytes_on_fabric = 0;
   Algorithm algorithm = Algorithm::Ring;
+  const char* kind = "collective";
 };
 
 Communicator::Communicator(Simulator& sim, fabric::FlowNetwork& net,
@@ -42,6 +43,29 @@ Communicator::Communicator(Simulator& sim, fabric::FlowNetwork& net,
   if (ranks_.empty()) {
     throw std::invalid_argument("Communicator: empty rank set");
   }
+  // Derived from topology names (no global counters) so identical runs in
+  // one process produce identical traces.
+  track_ = "collectives/" + topo_.node(ranks_.front()).name + " x" +
+           std::to_string(size());
+}
+
+void Communicator::beginOp(const Op& op) {
+  if (ProfileSink* sink = sim_.profiler()) {
+    sink->beginSpan(track_, "collectives", op.kind,
+                    {{"algorithm", toString(op.algorithm)},
+                     {"payload_bytes", op.payload},
+                     {"ranks", size()}});
+  }
+}
+
+void Communicator::beginPhase(const char* name) {
+  if (ProfileSink* sink = sim_.profiler()) {
+    sink->beginSpan(track_, "collectives", name);
+  }
+}
+
+void Communicator::endPhase() {
+  if (ProfileSink* sink = sim_.profiler()) sink->endSpan(track_);
 }
 
 Bandwidth Communicator::protocolRate(fabric::NodeId a, fabric::NodeId b) const {
@@ -263,17 +287,24 @@ void Communicator::runHierarchical(std::shared_ptr<Op> op, Bytes bytes,
   for (const auto& island : islands) leaders.push_back(island.front());
 
   // Phase 1: ring all-reduce inside every island concurrently.
+  beginPhase("intra-reduce");
   auto phase1_remaining = std::make_shared<int>(static_cast<int>(islands.size()));
   auto phase3 = [this, op, islands, bytes, done] {
+    endPhase();  // leader-ring
+    beginPhase("intra-bcast");
     // Phase 3: broadcast the result from each leader inside its island.
+    auto bcast_end = [this, done] {
+      endPhase();  // intra-bcast
+      done();
+    };
     auto remaining = std::make_shared<int>(static_cast<int>(islands.size()));
     for (const auto& island : islands) {
       if (island.size() <= 1) {
-        if (--*remaining == 0) sim_.schedule(0.0, done);
+        if (--*remaining == 0) sim_.schedule(0.0, bcast_end);
         continue;
       }
-      auto broadcast_done = [this, remaining, done] {
-        if (--*remaining == 0) sim_.schedule(0.0, done);
+      auto broadcast_done = [this, remaining, bcast_end] {
+        if (--*remaining == 0) sim_.schedule(0.0, bcast_end);
       };
       // Distribute the reduced buffer inside the island: one ring
       // all-gather pass over the fast fabric.
@@ -283,6 +314,8 @@ void Communicator::runHierarchical(std::shared_ptr<Op> op, Bytes bytes,
     }
   };
   auto phase2 = [this, op, leaders, bytes, phase3] {
+    endPhase();  // intra-reduce
+    beginPhase("leader-ring");
     // Phase 2: ring all-reduce among island leaders over the slow fabric.
     if (leaders.size() <= 1) {
       sim_.schedule(0.0, phase3);
@@ -308,6 +341,9 @@ void Communicator::runHierarchical(std::shared_ptr<Op> op, Bytes bytes,
 
 void Communicator::finish(std::shared_ptr<Op> op, CollectiveCallback done) {
   ++completed_;
+  if (ProfileSink* sink = sim_.profiler()) {
+    sink->endSpan(track_, {{"bytes_on_fabric", op->bytes_on_fabric}});
+  }
   CollectiveResult r;
   r.start = op->start;
   r.end = sim_.now();
@@ -324,8 +360,10 @@ void Communicator::allReduce(Bytes bytes, CollectiveCallback done,
   auto op = std::make_shared<Op>();
   op->payload = bytes;
   op->algorithm = algorithm;
+  op->kind = "allReduce";
   enqueue([this, op, bytes, done, algorithm] {
     op->start = sim_.now();
+    beginOp(*op);
     runAllReduce(op, bytes, done, algorithm);
   });
 }
@@ -395,8 +433,10 @@ void Communicator::broadcast(Bytes bytes, int root, CollectiveCallback done) {
   auto op = std::make_shared<Op>();
   op->payload = bytes;
   op->algorithm = Algorithm::Tree;
+  op->kind = "broadcast";
   enqueue([this, op, bytes, root, done] {
     op->start = sim_.now();
+    beginOp(*op);
     runFanSequential(op, root, bytes, /*toRoot=*/false,
                      [this, op, done] { finish(op, done); });
   });
@@ -406,8 +446,10 @@ void Communicator::reduce(Bytes bytes, int root, CollectiveCallback done) {
   auto op = std::make_shared<Op>();
   op->payload = bytes;
   op->algorithm = Algorithm::Tree;
+  op->kind = "reduce";
   enqueue([this, op, bytes, root, done] {
     op->start = sim_.now();
+    beginOp(*op);
     runFanSequential(op, root, bytes, /*toRoot=*/true,
                      [this, op, done] { finish(op, done); });
   });
@@ -417,8 +459,10 @@ void Communicator::allGather(Bytes shardBytes, CollectiveCallback done) {
   auto op = std::make_shared<Op>();
   op->payload = shardBytes * size();
   op->algorithm = Algorithm::Ring;
+  op->kind = "allGather";
   enqueue([this, op, shardBytes, done] {
     op->start = sim_.now();
+    beginOp(*op);
     std::vector<int> everyone(static_cast<std::size_t>(size()));
     for (int i = 0; i < size(); ++i) everyone[static_cast<std::size_t>(i)] = i;
     runRing(op, everyone, shardBytes, size() - 1,
@@ -430,8 +474,10 @@ void Communicator::allToAll(Bytes shardBytes, CollectiveCallback done) {
   auto op = std::make_shared<Op>();
   op->payload = shardBytes * (size() - 1);
   op->algorithm = Algorithm::Ring;
+  op->kind = "allToAll";
   enqueue([this, op, shardBytes, done] {
     op->start = sim_.now();
+    beginOp(*op);
     const int n = size();
     if (n <= 1 || shardBytes <= 0) {
       sim_.schedule(0.0, [this, op, done] { finish(op, done); });
@@ -453,8 +499,10 @@ void Communicator::barrier(CollectiveCallback done) {
   auto op = std::make_shared<Op>();
   op->payload = 0;
   op->algorithm = Algorithm::Ring;
+  op->kind = "barrier";
   enqueue([this, op, done] {
     op->start = sim_.now();
+    beginOp(*op);
     std::vector<int> everyone(static_cast<std::size_t>(size()));
     for (int i = 0; i < size(); ++i) everyone[static_cast<std::size_t>(i)] = i;
     // Two latency-only ring passes propagate "everyone arrived".
@@ -467,8 +515,10 @@ void Communicator::reduceScatter(Bytes bytes, CollectiveCallback done) {
   auto op = std::make_shared<Op>();
   op->payload = bytes;
   op->algorithm = Algorithm::Ring;
+  op->kind = "reduceScatter";
   enqueue([this, op, bytes, done] {
     op->start = sim_.now();
+    beginOp(*op);
     std::vector<int> everyone(static_cast<std::size_t>(size()));
     for (int i = 0; i < size(); ++i) everyone[static_cast<std::size_t>(i)] = i;
     const Bytes chunk = std::max<Bytes>(1, bytes / size());

@@ -112,6 +112,12 @@ class Communicator {
   void enqueue(std::function<void()> opBody);
   void opFinished();
 
+  // Profiling: ops run one at a time, so begin/end pairs nest on the
+  // communicator's track; hierarchical phases nest inside the op span.
+  void beginOp(const Op& op);
+  void beginPhase(const char* name);
+  void endPhase();
+
   void runAllReduce(std::shared_ptr<Op> op, Bytes bytes, CollectiveCallback done,
                     Algorithm algorithm);
   void runRing(std::shared_ptr<Op> op, const std::vector<int>& members,
@@ -129,6 +135,7 @@ class Communicator {
   fabric::Topology& topo_;
   std::vector<fabric::NodeId> ranks_;
   CommunicatorOptions options_;
+  std::string track_;  // profiler track, derived from the rank-0 node name
   std::uint64_t completed_ = 0;
   std::deque<std::function<void()>> op_queue_;
   bool op_active_ = false;

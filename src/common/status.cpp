@@ -1,0 +1,29 @@
+#include "common/status.hpp"
+
+namespace composim {
+
+const char* toString(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok: return "OK";
+    case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::NotFound: return "NOT_FOUND";
+    case StatusCode::AlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::PermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::Unavailable: return "UNAVAILABLE";
+    case StatusCode::Internal: return "INTERNAL";
+  }
+  return "?";
+}
+
+std::string Status::toString() const {
+  if (ok) return "OK";
+  std::string out = composim::toString(code);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+}  // namespace composim

@@ -1,0 +1,70 @@
+// composim: shared operation-status type.
+//
+// One result shape for every management-plane and I/O operation that can
+// fail for a reportable reason: the Falcon chassis/MCS/BMC surfaces
+// (formerly ad-hoc OpResult / bool+detail-string pairs), profiler exports,
+// and anything audit records or tests want to print uniformly. Success is
+// the default-constructed value; failures carry a machine-checkable code
+// plus a human-readable detail string.
+#pragma once
+
+#include <string>
+
+namespace composim {
+
+/// Failure taxonomy, gRPC-flavoured but trimmed to what the simulator's
+/// management plane actually distinguishes.
+enum class StatusCode {
+  Ok,
+  InvalidArgument,     // malformed input (bad slot id, bad interval)
+  NotFound,            // named entity does not exist
+  AlreadyExists,       // uniqueness violated (duplicate user, double claim)
+  PermissionDenied,    // actor lacks the role / ownership required
+  FailedPrecondition,  // state forbids the operation (mode, occupancy)
+  Unavailable,         // resource present but not usable right now
+  Internal,            // I/O or invariant failure inside the simulator
+};
+
+const char* toString(StatusCode code);
+
+struct Status {
+  bool ok = true;
+  StatusCode code = StatusCode::Ok;
+  std::string detail;
+
+  static Status success() { return {}; }
+  /// Generic failure; prefer the typed factories below where the cause is
+  /// known so audit logs and tests can match on the code.
+  static Status failure(std::string why,
+                        StatusCode code = StatusCode::FailedPrecondition) {
+    return {false, code, std::move(why)};
+  }
+  static Status invalidArgument(std::string why) {
+    return failure(std::move(why), StatusCode::InvalidArgument);
+  }
+  static Status notFound(std::string why) {
+    return failure(std::move(why), StatusCode::NotFound);
+  }
+  static Status alreadyExists(std::string why) {
+    return failure(std::move(why), StatusCode::AlreadyExists);
+  }
+  static Status permissionDenied(std::string why) {
+    return failure(std::move(why), StatusCode::PermissionDenied);
+  }
+  static Status failedPrecondition(std::string why) {
+    return failure(std::move(why), StatusCode::FailedPrecondition);
+  }
+  static Status unavailable(std::string why) {
+    return failure(std::move(why), StatusCode::Unavailable);
+  }
+  static Status internal(std::string why) {
+    return failure(std::move(why), StatusCode::Internal);
+  }
+
+  explicit operator bool() const { return ok; }
+
+  /// "OK" or "PERMISSION_DENIED: only administrators may remove users".
+  std::string toString() const;
+};
+
+}  // namespace composim

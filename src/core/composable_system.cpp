@@ -99,10 +99,10 @@ void ComposableSystem::buildFalcon() {
 
   // Fig 6: the host reaches both drawers (ports H1 and H3).
   if (auto r = chassis_->connectHost(0, host_root_, "host"); !r) {
-    throw std::runtime_error("connectHost H1: " + r.message);
+    throw std::runtime_error("connectHost H1: " + r.detail);
   }
   if (auto r = chassis_->connectHost(2, host_root_, "host"); !r) {
-    throw std::runtime_error("connectHost H3: " + r.message);
+    throw std::runtime_error("connectHost H3: " + r.detail);
   }
 
   // Four V100-PCIE GPUs per drawer (slots 0-3).
@@ -114,7 +114,7 @@ void ComposableSystem::buildFalcon() {
       const falcon::SlotId slot{d, s};
       if (auto r = chassis_->installDevice(slot, falcon::DeviceType::Gpu, name, node);
           !r) {
-        throw std::runtime_error("installDevice: " + r.message);
+        throw std::runtime_error("installDevice: " + r.detail);
       }
       falcon_gpus_.push_back(std::make_unique<devices::Gpu>(
           sim_, node, devices::specs::v100_pcie(), name));
@@ -129,7 +129,7 @@ void ComposableSystem::buildFalcon() {
     if (auto r = chassis_->installDevice(falcon_nvme_slot_, falcon::DeviceType::Nvme,
                                          "nvme.falcon", n);
         !r) {
-      throw std::runtime_error("installDevice nvme: " + r.message);
+      throw std::runtime_error("installDevice nvme: " + r.detail);
     }
     falcon_nvme_ = std::make_unique<devices::StorageDevice>(
         *net_, n, devices::specs::intel_nvme_4tb(), "nvme.falcon");
@@ -159,7 +159,7 @@ void ComposableSystem::applyConfig() {
     const falcon::SlotId slot = falcon_gpu_slots_.at(idx);
     const int port = (slot.drawer == 0) ? 0 : 2;
     if (auto r = chassis_->attach(slot, port); !r) {
-      throw std::runtime_error("attach gpu: " + r.message);
+      throw std::runtime_error("attach gpu: " + r.detail);
     }
   };
   switch (config_) {
@@ -172,7 +172,7 @@ void ComposableSystem::applyConfig() {
       break;
     case SystemConfig::FalconNvme:
       if (auto r = chassis_->attach(falcon_nvme_slot_, 2); !r) {
-        throw std::runtime_error("attach nvme: " + r.message);
+        throw std::runtime_error("attach nvme: " + r.detail);
       }
       break;
     case SystemConfig::LocalGpus:
@@ -216,10 +216,10 @@ ComposableSystem::SecondHost ComposableSystem::attachSecondHost() {
   // Ports H2 (drawer 0) and H4 (drawer 1) are free in every built-in
   // configuration; the second tenant takes both.
   if (auto r = chassis_->connectHost(1, second_host_.root, "host2"); !r) {
-    throw std::runtime_error("attachSecondHost H2: " + r.message);
+    throw std::runtime_error("attachSecondHost H2: " + r.detail);
   }
   if (auto r = chassis_->connectHost(3, second_host_.root, "host2"); !r) {
-    throw std::runtime_error("attachSecondHost H4: " + r.message);
+    throw std::runtime_error("attachSecondHost H4: " + r.detail);
   }
   return second_host_;
 }

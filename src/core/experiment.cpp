@@ -10,14 +10,18 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
   ComposableSystem system(config);
   auto gpus = system.trainingGpus();
 
-  dl::TrainerOptions topt = options.trainer;
-  if (topt.max_iterations_per_epoch == 0) {
-    topt.max_iterations_per_epoch = options.iterations_per_epoch_cap;
+  // Install the profiler before any component is built so construction-time
+  // flows (if any) and the first iteration are captured.
+  std::shared_ptr<telemetry::Profiler> profiler;
+  if (options.trace) {
+    profiler = std::make_shared<telemetry::Profiler>(system.sim());
+    system.sim().setProfiler(profiler.get());
   }
+
   dl::Trainer trainer(system.sim(), system.network(), system.topology(), gpus,
                       system.cpu(), system.hostMemory(),
                       system.trainingStorage(), model, dl::datasetFor(model),
-                      topt);
+                      options.trainer);
 
   auto sampler = std::make_shared<telemetry::MetricsSampler>(
       system.sim(), options.sample_interval);
@@ -63,6 +67,11 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
 
   dl::TrainingResult training;
   bool finished = false;
+  telemetry::Profiler::Span run_span;
+  if (profiler) {
+    run_span = profiler->span("experiment", model.name,
+                              {{"config", toString(config)}});
+  }
   trainer.start([&](const dl::TrainingResult& r) {
     training = r;
     finished = true;
@@ -76,12 +85,19 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
   if (!finished) {
     throw std::runtime_error("Experiment: simulation drained without finishing");
   }
+  if (profiler) {
+    run_span.end();
+    // Detach: the Profiler outlives `system` inside the result.
+    profiler->finalize();
+    system.sim().setProfiler(nullptr);
+  }
 
   ExperimentResult result;
   result.config = config;
   result.benchmark = model.name;
   result.training = training;
   result.sampler = sampler;
+  result.profiler = profiler;
 
   // Steady-state window: skip the priming phase and exclude checkpoint
   // time (the final checkpoint's idle tail would otherwise dominate the

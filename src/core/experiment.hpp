@@ -13,16 +13,24 @@
 #include "core/composable_system.hpp"
 #include "dl/trainer.hpp"
 #include "dl/zoo.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/sampler.hpp"
 
 namespace composim::core {
 
 struct ExperimentOptions {
+  /// Default trainer.max_iterations_per_epoch: capping keeps runs fast;
+  /// totals are extrapolated from steady-state iteration time (see
+  /// DESIGN.md). Set trainer.max_iterations_per_epoch = 0 for a full run.
+  static constexpr int kDefaultIterationsCap = 30;
+
+  ExperimentOptions() { trainer.max_iterations_per_epoch = kDefaultIterationsCap; }
+
   dl::TrainerOptions trainer;
   SimTime sample_interval = 0.25;  // telemetry cadence (simulated seconds)
-  /// Default iteration cap per epoch keeps runs fast; totals are
-  /// extrapolated from steady-state iteration time (see DESIGN.md).
-  int iterations_per_epoch_cap = 30;
+  /// Record a span/counter profile of the run (result.profiler holds the
+  /// finalized trace, exportable as Chrome trace_event JSON).
+  bool trace = false;
 };
 
 struct ExperimentResult {
@@ -40,6 +48,9 @@ struct ExperimentResult {
 
   /// Full sampled series (kept alive for the Fig 9 strip charts / CSV).
   std::shared_ptr<telemetry::MetricsSampler> sampler;
+
+  /// Finalized profiler when options.trace was set (null otherwise).
+  std::shared_ptr<telemetry::Profiler> profiler;
 };
 
 class Experiment {

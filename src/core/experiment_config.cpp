@@ -47,7 +47,7 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
       s.options.trainer.epochs = static_cast<int>(v->asInt());
     }
     if (const auto* v = e.find("iterations_cap")) {
-      s.options.iterations_per_epoch_cap = static_cast<int>(v->asInt());
+      s.options.trainer.max_iterations_per_epoch = static_cast<int>(v->asInt());
     }
     if (const auto* v = e.find("batch_per_gpu")) {
       s.options.trainer.batch_per_gpu = static_cast<int>(v->asInt());
@@ -66,6 +66,9 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
     }
     if (const auto* v = e.find("sample_interval")) {
       s.options.sample_interval = v->asDouble();
+    }
+    if (const auto* v = e.find("trace")) {
+      s.options.trace = v->asBool();
     }
     specs.push_back(std::move(s));
   }

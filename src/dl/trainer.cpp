@@ -38,6 +38,7 @@ Trainer::Trainer(Simulator& sim, fabric::FlowNetwork& net,
   ranks.reserve(gpus_.size());
   for (const auto* g : gpus_) ranks.push_back(g->node());
   comm_ = std::make_unique<collectives::Communicator>(sim_, net_, topo_, ranks);
+  track_ = "trainer/" + topo_.node(gpus_.front()->node()).name;
 
   groups_ = model_.partition(options_.macro_groups);
 
@@ -138,17 +139,44 @@ void Trainer::start(std::function<void(const TrainingResult&)> done) {
   beginIteration();
 }
 
+void Trainer::beginTrackSpan(const char* name, ProfileArgs args) {
+  if (ProfileSink* sink = sim_.profiler()) {
+    sink->beginSpan(track_, "trainer", name, std::move(args));
+  }
+}
+
+void Trainer::endTrackSpan(ProfileArgs args) {
+  if (ProfileSink* sink = sim_.profiler()) {
+    sink->endSpan(track_, std::move(args));
+  }
+}
+
 void Trainer::prefetchNextInput() {
-  pipeline_->requestBatch([this] {
+  // Prefetch + H2D overlap compute, so they are async spans, not track
+  // spans: they would not nest under the iteration that hides them.
+  AsyncSpanId prefetch_span = kInvalidAsyncSpan;
+  if (ProfileSink* sink = sim_.profiler()) {
+    prefetch_span = sink->beginAsyncSpan("trainer", "prefetch");
+  }
+  pipeline_->requestBatch([this, prefetch_span] {
     // Batch is staged in host memory: copy each rank's shard to its GPU.
+    AsyncSpanId h2d_span = kInvalidAsyncSpan;
+    if (ProfileSink* sink = sim_.profiler()) {
+      sink->endAsyncSpan(prefetch_span);
+      h2d_span = sink->beginAsyncSpan("trainer", "h2d",
+                                      {{"bytes_per_gpu", h2dBytesPerGpu()}});
+    }
     auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
     for (auto* g : gpus_) {
       fabric::FlowOptions fo;
       fo.tag = "h2d";
       fo.extraLatency = fabric::catalog::dmaEndpointOverhead();
       net_.startFlow(host_memory_, g->node(), h2dBytesPerGpu(),
-                     [this, remaining](const fabric::FlowResult&) {
+                     [this, remaining, h2d_span](const fabric::FlowResult&) {
                        if (--*remaining > 0) return;
+                       if (ProfileSink* sink = sim_.profiler()) {
+                         sink->endAsyncSpan(h2d_span);
+                       }
                        input_ready_ = true;
                        if (input_waiter_) {
                          auto w = std::move(input_waiter_);
@@ -168,6 +196,8 @@ void Trainer::beginIteration() {
   micro_step_ = 0;
   backward_done_ = false;
   pending_allreduce_ = 0;
+  beginTrackSpan("iteration",
+                 {{"iter", iterations_done_}, {"epoch", epoch_}});
   startMicroStep();
 }
 
@@ -178,20 +208,28 @@ void Trainer::startMicroStep() {
     // one's compute.
     prefetchNextInput();
     if (options_.strategy == Strategy::DataParallel) {
+      beginTrackSpan("dp-step");
       runDataParallelIteration();
     } else {
+      beginTrackSpan("forward");
       runForward(0);
     }
   };
   if (input_ready_) {
     proceed();
   } else {
-    input_waiter_ = proceed;
+    beginTrackSpan("input-wait");
+    input_waiter_ = [this, proceed] {
+      endTrackSpan();  // input-wait
+      proceed();
+    };
   }
 }
 
 void Trainer::runForward(int group) {
   if (group == static_cast<int>(groups_.size())) {
+    endTrackSpan();  // forward
+    beginTrackSpan("backward");
     runBackwardDdp(static_cast<int>(groups_.size()) - 1);
     return;
   }
@@ -213,6 +251,7 @@ void Trainer::runForward(int group) {
 
 void Trainer::runBackwardDdp(int group) {
   if (group < 0) {
+    endTrackSpan();  // backward
     const int accum = std::max(1, options_.gradient_accumulation_steps);
     if (micro_step_ < accum - 1) {
       ++micro_step_;
@@ -221,6 +260,8 @@ void Trainer::runBackwardDdp(int group) {
     }
     backward_done_ = true;
     backward_done_time_ = sim_.now();
+    // The span covers only the all-reduce tail not hidden under backward.
+    beginTrackSpan("gradient-sync", {{"buckets_pending", pending_allreduce_}});
     if (pending_allreduce_ == 0) onComputeAndCommDone();
     return;
   }
@@ -293,11 +334,19 @@ void Trainer::onComputeAndCommDone() {
     // kernels: nvidia-smi counts it as GPU utilization.
     const SimTime exposed = sim_.now() - backward_done_time_;
     for (auto* gpu : gpus_) gpu->creditCommBusy(exposed);
+    endTrackSpan({{"exposed_s", exposed}});  // gradient-sync
+  } else {
+    endTrackSpan();  // dp-step
   }
   optimizerStep([this] { endIteration(); });
 }
 
 void Trainer::optimizerStep(std::function<void()> then) {
+  beginTrackSpan("optimizer");
+  then = [this, inner = std::move(then)] {
+    endTrackSpan();  // optimizer
+    inner();
+  };
   // Element-wise optimizer update: memory bound over all state bytes.
   const std::int64_t params = model_.totalParams();
   devices::KernelDesc k;
@@ -329,8 +378,11 @@ void Trainer::endIteration() {
   // threads show up in the Fig 13 CPU-utilization trace.
   cpu_.submit(options_.step_overhead, nullptr);
   cpu_.submit(options_.step_overhead, nullptr);
+  beginTrackSpan("step-overhead");
   sim_.schedule(options_.step_overhead, [this] {
+    endTrackSpan();  // step-overhead
     const SimTime dt = sim_.now() - iteration_start_;
+    endTrackSpan({{"dt_s", dt}});  // iteration
     iteration_times_.push_back(dt);
     ++iterations_done_;
     ++iter_in_epoch_;
@@ -377,6 +429,7 @@ void Trainer::checkpoint(std::function<void()> then) {
   const SimTime started = sim_.now();
   // FP32 model state_dict (what save_pretrained-style checkpoints write).
   const Bytes ckpt = model_.totalParams() * 4;
+  beginTrackSpan("checkpoint", {{"bytes", ckpt}});
   auto cont = std::make_shared<std::function<void()>>(std::move(then));
   // D2H from the master GPU, then the write to (possibly Falcon-attached)
   // storage. Training is paused: this is the Fig 9 utilization dip.
@@ -389,6 +442,7 @@ void Trainer::checkpoint(std::function<void()> then) {
                                     checkpointing_ = false;
                                     result_.checkpoint_bytes += ckpt;
                                     result_.checkpoint_time += sim_.now() - started;
+                                    endTrackSpan();  // checkpoint
                                     (*cont)();
                                   });
                  },

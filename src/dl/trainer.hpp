@@ -135,6 +135,11 @@ class Trainer {
     int last_group = 0;  // backward group index that completes the bucket
   };
 
+  // Profiling: the trainer is a single sequential actor, so its phase
+  // spans nest on one track named after the rank-0 GPU node.
+  void beginTrackSpan(const char* name, ProfileArgs args = {});
+  void endTrackSpan(ProfileArgs args = {});
+
   void beginIteration();
   void startMicroStep();
   void prefetchNextInput();
@@ -162,6 +167,7 @@ class Trainer {
   DatasetSpec dataset_;
   TrainerOptions options_;
 
+  std::string track_;  // profiler track, derived from the rank-0 GPU node
   std::unique_ptr<collectives::Communicator> comm_;
   std::unique_ptr<DataPipeline> pipeline_;
   std::vector<ModelSpec::MacroGroup> groups_;

@@ -11,12 +11,27 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
+AsyncSpanId FlowNetwork::beginFlowSpan(NodeId src, NodeId dst, Bytes bytes,
+                                       const std::string& tag) {
+  ProfileSink* sink = sim_.profiler();
+  if (sink == nullptr) return kInvalidAsyncSpan;
+  return sink->beginAsyncSpan("fabric", tag.empty() ? "flow" : tag,
+                              {{"src", topo_.node(src).name},
+                               {"dst", topo_.node(dst).name},
+                               {"bytes", bytes}});
+}
+
 FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
                               FlowCallback done, FlowOptions options) {
   auto route = topo_.route(src, dst);
   if (!route) {
     ++flows_started_;
     ++flows_failed_;
+    if (ProfileSink* sink = sim_.profiler()) {
+      sink->instant("fabric", "flow-unroutable",
+                    {{"src", topo_.node(src).name},
+                     {"dst", topo_.node(dst).name}});
+    }
     FlowResult r{FlowStatus::Failed, 0, sim_.now(), sim_.now()};
     sim_.schedule(0.0, [cb = std::move(done), r] {
       if (cb) cb(r);
@@ -35,6 +50,7 @@ FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
     lf.bytes = bytes;
     lf.start = sim_.now();
     lf.done = std::move(done);
+    lf.span = beginFlowSpan(src, dst, bytes, options.tag);
     lf.event = sim_.schedule(latency, [this, id] { onLatencyFlowDone(id); });
     latency_flows_.emplace(id, std::move(lf));
     return id;
@@ -67,6 +83,7 @@ FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
   f.tag = std::move(options.tag);
   f.heap_pos = kNoPos;
   f.active_pos = kNoPos;
+  f.span = beginFlowSpan(src, dst, bytes, f.tag);
   id_to_slot_.emplace(id, slot);
   for (LinkId l : f.links) {
     ++topo_.counters(l).flows;
@@ -85,6 +102,9 @@ void FlowNetwork::onLatencyFlowDone(FlowId id) {
   LatencyFlow lf = std::move(it->second);
   latency_flows_.erase(it);
   ++flows_completed_;
+  if (ProfileSink* sink = sim_.profiler()) {
+    sink->endAsyncSpan(lf.span, {{"status", "completed"}});
+  }
   FlowResult r{FlowStatus::Completed, lf.bytes, lf.start, sim_.now()};
   if (lf.done) lf.done(r);
 }
@@ -95,6 +115,9 @@ bool FlowNetwork::cancelFlow(FlowId id) {
     latency_flows_.erase(lit);
     sim_.cancel(lf.event);
     ++flows_failed_;
+    if (ProfileSink* sink = sim_.profiler()) {
+      sink->endAsyncSpan(lf.span, {{"status", "failed"}});
+    }
     FlowResult r{FlowStatus::Failed, 0, lf.start, sim_.now()};
     if (lf.done) lf.done(r);
     return true;
@@ -221,8 +244,37 @@ void FlowNetwork::collectComponent(LinkId seed) {
             [this](std::uint32_t a, std::uint32_t b) { return slots_[a].id < slots_[b].id; });
 }
 
+const std::string& FlowNetwork::linkCounterName(LinkId l) {
+  const auto li = static_cast<std::size_t>(l);
+  if (link_counter_names_.size() <= li) link_counter_names_.resize(li + 1);
+  std::string& name = link_counter_names_[li];
+  if (name.empty()) {
+    const Link& link = topo_.link(l);
+    name = "link:" + topo_.node(link.src).name + "->" + topo_.node(link.dst).name;
+  }
+  return name;
+}
+
+void FlowNetwork::profileLinkCounters(ProfileSink& sink) {
+  for (LinkId l : comp_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    double used = 0.0;
+    for (std::uint32_t slot : link_flows_[li]) used += slots_[slot].rate;
+    const Bandwidth cap = topo_.link(l).capacity;
+    const std::string& name = linkCounterName(l);
+    sink.setCounter(name, "util_pct", cap > 0.0 ? 100.0 * used / cap : 0.0);
+    sink.setCounter(name, "flows",
+                    static_cast<double>(link_flows_[li].size()));
+  }
+}
+
 void FlowNetwork::solveComponent() {
-  if (comp_flows_.empty()) return;  // all flows on the seed links departed
+  ProfileSink* sink = sim_.profiler();
+  if (comp_flows_.empty()) {
+    // All flows on the seed links departed; publish the drop to idle.
+    if (sink != nullptr) profileLinkCounters(*sink);
+    return;
+  }
   ++component_solves_;
 
   if (naive_sharing_) {
@@ -237,6 +289,7 @@ void FlowNetwork::solveComponent() {
       }
       applyRate(slot, r);
     }
+    if (sink != nullptr) profileLinkCounters(*sink);
     return;
   }
 
@@ -301,6 +354,7 @@ void FlowNetwork::solveComponent() {
       break;  // defensive: no constraint found (should not happen)
     }
   }
+  if (sink != nullptr) profileLinkCounters(*sink);
 }
 
 void FlowNetwork::applyRate(std::uint32_t slot, Bandwidth rate) {
@@ -458,6 +512,13 @@ void FlowNetwork::finishFlow(std::uint32_t slot, FlowStatus status) {
   const Bytes carried = (status == FlowStatus::Completed)
                             ? f.total
                             : f.total - static_cast<Bytes>(std::llround(f.remaining));
+  if (ProfileSink* sink = sim_.profiler()) {
+    sink->endAsyncSpan(f.span,
+                       {{"status", status == FlowStatus::Completed
+                                       ? "completed"
+                                       : "failed"},
+                        {"carried_bytes", carried}});
+  }
   FlowResult result{status, carried, f.start, sim_.now() + f.arrival_latency};
   if (f.done) {
     if (status == FlowStatus::Completed) {

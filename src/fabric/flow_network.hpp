@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fabric/topology.hpp"
+#include "sim/profile.hpp"
 #include "sim/simulator.hpp"
 
 namespace composim::fabric {
@@ -140,6 +141,7 @@ class FlowNetwork {
     std::string tag;
     std::uint32_t heap_pos = kNoPos;    // position in completion_heap_
     std::uint32_t active_pos = kNoPos;  // position in active_ (rate > 0)
+    AsyncSpanId span = kInvalidAsyncSpan;
   };
 
   /// Latency-only transfer (zero bytes or same-node): a cancellable
@@ -149,10 +151,17 @@ class FlowNetwork {
     Bytes bytes = 0;
     SimTime start = 0.0;
     FlowCallback done;
+    AsyncSpanId span = kInvalidAsyncSpan;
   };
 
   void advanceProgress();
   void ensureLinkTables();
+  /// Open a profiling span for a flow (no-op when profiling is off).
+  AsyncSpanId beginFlowSpan(NodeId src, NodeId dst, Bytes bytes,
+                            const std::string& tag);
+  /// Publish utilization/queue counters for the links in comp_links_.
+  void profileLinkCounters(ProfileSink& sink);
+  const std::string& linkCounterName(LinkId l);
   /// Re-solve the connected component(s) reachable from `seeds`
   /// (or everything, in full/reference mode). Counts one recomputation.
   void resolveAfterChange(const std::vector<LinkId>& seeds);
@@ -203,6 +212,7 @@ class FlowNetwork {
   std::vector<std::uint32_t> completion_heap_;  // slots by projected_finish
   std::vector<std::uint32_t> done_scratch_;     // completion-event reuse
   std::vector<LinkId> seed_scratch_;
+  std::vector<std::string> link_counter_names_;  // lazy, profiling only
 
   FlowId next_id_ = 1;
   SimTime last_update_ = 0.0;

@@ -34,8 +34,12 @@ std::vector<BmcEvent> Bmc::exportEvents(const std::string& minSeverity) const {
   return out;
 }
 
-void Bmc::registerThermalSource(int drawer, std::function<double()> activity) {
-  thermal_.at(static_cast<std::size_t>(drawer)).push_back(std::move(activity));
+Status Bmc::registerThermalSource(int drawer, std::function<double()> activity) {
+  if (drawer < 0 || drawer >= FalconChassis::kDrawers) {
+    return Status::invalidArgument("no drawer " + std::to_string(drawer));
+  }
+  thermal_[static_cast<std::size_t>(drawer)].push_back(std::move(activity));
+  return Status::success();
 }
 
 TemperatureReading Bmc::readTemperatures() const {
@@ -68,10 +72,16 @@ void Bmc::sampleSensors() {
   }
 }
 
-void Bmc::startPeriodicSampling(SimTime interval) {
-  if (sampling_) return;
+Status Bmc::startPeriodicSampling(SimTime interval) {
+  if (interval <= 0.0) {
+    return Status::invalidArgument("sampling interval must be positive");
+  }
+  if (sampling_) {
+    return Status::failedPrecondition("periodic sampling already running");
+  }
   sampling_ = true;
   periodicSample(interval);
+  return Status::success();
 }
 
 void Bmc::periodicSample(SimTime interval) {

@@ -56,15 +56,18 @@ class Bmc {
 
   // --- sensors ---
   /// Register a 0..1 activity source for a drawer (e.g. a GPU's busy
-  /// fraction); temperature follows aggregate activity.
-  void registerThermalSource(int drawer, std::function<double()> activity);
+  /// fraction); temperature follows aggregate activity. InvalidArgument
+  /// for a drawer the chassis does not have.
+  Status registerThermalSource(int drawer, std::function<double()> activity);
   TemperatureReading readTemperatures() const;
   /// Temperature above which an "alert" event is recorded by sampleSensors.
   void setAlertThreshold(double celsius) { alert_threshold_ = celsius; }
   /// Poll sensors once; records an alert event on threshold excursion.
   void sampleSensors();
   /// Schedule periodic sensor sampling every `interval` simulated seconds.
-  void startPeriodicSampling(SimTime interval);
+  /// InvalidArgument for a non-positive interval; FailedPrecondition when
+  /// sampling is already running.
+  Status startPeriodicSampling(SimTime interval);
   void stopPeriodicSampling() { sampling_ = false; }
 
   // --- health / throughput ---

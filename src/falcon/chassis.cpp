@@ -62,7 +62,7 @@ void FalconChassis::logEvent(const std::string& severity,
 OpResult FalconChassis::validateSlotId(SlotId s) const {
   if (s.drawer < 0 || s.drawer >= kDrawers || s.index < 0 ||
       s.index >= kSlotsPerDrawer) {
-    return OpResult::failure("invalid slot id (drawer " +
+    return OpResult::invalidArgument("invalid slot id (drawer " +
                              std::to_string(s.drawer) + ", index " +
                              std::to_string(s.index) + ")");
   }
@@ -72,7 +72,7 @@ OpResult FalconChassis::validateSlotId(SlotId s) const {
 OpResult FalconChassis::connectHost(int portIdx, fabric::NodeId hostRoot,
                                     std::string hostName) {
   if (portIdx < 0 || portIdx >= kHostPorts) {
-    return OpResult::failure("invalid host port");
+    return OpResult::invalidArgument("invalid host port");
   }
   auto& port = ports_[static_cast<std::size_t>(portIdx)];
   if (port.connected) {
@@ -96,7 +96,7 @@ OpResult FalconChassis::connectHost(int portIdx, fabric::NodeId hostRoot,
 
 OpResult FalconChassis::disconnectHost(int portIdx) {
   if (portIdx < 0 || portIdx >= kHostPorts) {
-    return OpResult::failure("invalid host port");
+    return OpResult::invalidArgument("invalid host port");
   }
   auto& port = ports_[static_cast<std::size_t>(portIdx)];
   if (!port.connected) return OpResult::failure("port not connected");
@@ -158,7 +158,7 @@ const SlotInfo& FalconChassis::slot(SlotId s) const {
 }
 
 OpResult FalconChassis::setDrawerMode(int drawer, DrawerMode mode) {
-  if (drawer < 0 || drawer >= kDrawers) return OpResult::failure("invalid drawer");
+  if (drawer < 0 || drawer >= kDrawers) return OpResult::invalidArgument("invalid drawer");
   // Downgrading to Standard requires the current assignment to satisfy the
   // Standard constraints; simplest safe rule: no assignments present.
   if (mode == DrawerMode::Standard &&
@@ -241,7 +241,7 @@ OpResult FalconChassis::checkAttachAllowed(SlotId s, int portIdx) const {
 OpResult FalconChassis::attach(SlotId s, int portIdx) {
   if (auto r = validateSlotId(s); !r) return r;
   if (portIdx < 0 || portIdx >= kHostPorts) {
-    return OpResult::failure("invalid host port");
+    return OpResult::invalidArgument("invalid host port");
   }
   auto& info = slots_[static_cast<std::size_t>(s.drawer)][static_cast<std::size_t>(s.index)];
   if (!info.occupied) return OpResult::failure("slot is empty");

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "fabric/link_catalog.hpp"
 #include "fabric/topology.hpp"
 #include "sim/simulator.hpp"
@@ -41,14 +42,10 @@ struct SlotId {
   bool operator==(const SlotId&) const = default;
 };
 
-/// Outcome of a management operation; failures carry a reason.
-struct OpResult {
-  bool ok = true;
-  std::string message;
-  static OpResult success() { return {true, {}}; }
-  static OpResult failure(std::string why) { return {false, std::move(why)}; }
-  explicit operator bool() const { return ok; }
-};
+/// Outcome of a management operation; failures carry a code + reason.
+/// Alias of the repo-wide Status type so the management plane (chassis,
+/// MCS, BMC) reports errors the same way as the rest of the stack.
+using OpResult = Status;
 
 struct SlotInfo {
   bool occupied = false;

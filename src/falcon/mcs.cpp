@@ -24,9 +24,9 @@ bool Mcs::isAdmin(const std::string& user) const {
 }
 
 OpResult Mcs::addUser(const std::string& name, Role role) {
-  if (name.empty()) return OpResult::failure("empty user name");
+  if (name.empty()) return OpResult::invalidArgument("empty user name");
   if (!users_.emplace(name, role).second) {
-    return OpResult::failure("user '" + name + "' already exists");
+    return OpResult::alreadyExists("user '" + name + "' already exists");
   }
   return OpResult::success();
 }
@@ -34,9 +34,9 @@ OpResult Mcs::addUser(const std::string& name, Role role) {
 OpResult Mcs::removeUser(const std::string& actor, const std::string& name) {
   if (!isAdmin(actor)) {
     record(actor, "removeUser", false, "not an administrator");
-    return OpResult::failure("only administrators may remove users");
+    return OpResult::permissionDenied("only administrators may remove users");
   }
-  if (users_.erase(name) == 0) return OpResult::failure("no such user");
+  if (users_.erase(name) == 0) return OpResult::notFound("no such user");
   for (auto it = owners_.begin(); it != owners_.end();) {
     it = (it->second == name) ? owners_.erase(it) : std::next(it);
   }
@@ -66,13 +66,13 @@ std::vector<SlotId> Mcs::resourcesOwnedBy(const std::string& user) const {
 
 OpResult Mcs::claimResource(const std::string& user, SlotId slot,
                             const std::string& forUser) {
-  if (!users_.count(user)) return OpResult::failure("unknown user '" + user + "'");
+  if (!users_.count(user)) return OpResult::notFound("unknown user '" + user + "'");
   std::string target = forUser.empty() ? user : forUser;
   if (target != user && !isAdmin(user)) {
     record(user, "claim", false, "claim-for-other requires administrator");
-    return OpResult::failure("only administrators may claim for another user");
+    return OpResult::permissionDenied("only administrators may claim for another user");
   }
-  if (!users_.count(target)) return OpResult::failure("unknown user '" + target + "'");
+  if (!users_.count(target)) return OpResult::notFound("unknown user '" + target + "'");
   const auto& info = chassis_.slot(slot);
   if (!info.occupied) {
     record(user, "claim", false, "slot empty");
@@ -81,7 +81,7 @@ OpResult Mcs::claimResource(const std::string& user, SlotId slot,
   auto key = std::make_pair(slot.drawer, slot.index);
   if (auto it = owners_.find(key); it != owners_.end()) {
     record(user, "claim", false, "owned by " + it->second);
-    return OpResult::failure("resource already owned by '" + it->second + "'");
+    return OpResult::alreadyExists("resource already owned by '" + it->second + "'");
   }
   owners_[key] = target;
   record(user, "claim", true,
@@ -95,7 +95,7 @@ OpResult Mcs::releaseResource(const std::string& user, SlotId slot) {
   if (it == owners_.end()) return OpResult::failure("resource is not owned");
   if (it->second != user && !isAdmin(user)) {
     record(user, "release", false, "not owner");
-    return OpResult::failure("resource is owned by '" + it->second + "'");
+    return OpResult::permissionDenied("resource is owned by '" + it->second + "'");
   }
   record(user, "release", true, chassis_.slot(slot).device_name);
   owners_.erase(it);
@@ -106,13 +106,13 @@ OpResult Mcs::authorizeSlotOp(const std::string& user, SlotId slot,
                               const std::string& op) {
   if (!users_.count(user)) {
     record(user, op, false, "unknown user");
-    return OpResult::failure("unknown user '" + user + "'");
+    return OpResult::notFound("unknown user '" + user + "'");
   }
   if (isAdmin(user)) return OpResult::success();
   auto owner = ownerOf(slot);
   if (!owner || *owner != user) {
     record(user, op, false, "not resource owner");
-    return OpResult::failure(
+    return OpResult::permissionDenied(
         "operation requires ownership of the resource (enterprise isolation)");
   }
   return OpResult::success();
@@ -121,21 +121,21 @@ OpResult Mcs::authorizeSlotOp(const std::string& user, SlotId slot,
 OpResult Mcs::attach(const std::string& user, SlotId slot, int port) {
   if (auto r = authorizeSlotOp(user, slot, "attach"); !r) return r;
   auto r = chassis_.attach(slot, port);
-  record(user, "attach", r.ok, r.ok ? chassis_.slot(slot).device_name : r.message);
+  record(user, "attach", r.ok, r.ok ? chassis_.slot(slot).device_name : r.detail);
   return r;
 }
 
 OpResult Mcs::detach(const std::string& user, SlotId slot) {
   if (auto r = authorizeSlotOp(user, slot, "detach"); !r) return r;
   auto r = chassis_.detach(slot);
-  record(user, "detach", r.ok, r.ok ? chassis_.slot(slot).device_name : r.message);
+  record(user, "detach", r.ok, r.ok ? chassis_.slot(slot).device_name : r.detail);
   return r;
 }
 
 OpResult Mcs::setDrawerMode(const std::string& user, int drawer, DrawerMode mode) {
   if (!isAdmin(user)) {
     record(user, "setDrawerMode", false, "not an administrator");
-    return OpResult::failure("changing drawer modes requires administrator role");
+    return OpResult::permissionDenied("changing drawer modes requires administrator role");
   }
   auto r = chassis_.setDrawerMode(drawer, mode);
   record(user, "setDrawerMode", r.ok, toString(mode));
@@ -146,7 +146,7 @@ OpResult Mcs::exportEventLog(const std::string& user, const Bmc& bmc,
                              std::vector<BmcEvent>& out) const {
   if (!isAdmin(user)) {
     record(user, "exportEventLog", false, "not an administrator");
-    return OpResult::failure("event-log export is an administrator feature");
+    return OpResult::permissionDenied("event-log export is an administrator feature");
   }
   out = bmc.eventLog();
   record(user, "exportEventLog", true,
@@ -185,7 +185,7 @@ Json Mcs::exportConfig() const {
 OpResult Mcs::importConfig(const std::string& user, const Json& config) {
   if (!isAdmin(user)) {
     record(user, "importConfig", false, "not an administrator");
-    return OpResult::failure("configuration import requires administrator role");
+    return OpResult::permissionDenied("configuration import requires administrator role");
   }
   try {
     for (const auto& drawerJson : config.at("drawers").asArray()) {
@@ -225,7 +225,7 @@ OpResult Mcs::importConfig(const std::string& user, const Json& config) {
     }
   } catch (const JsonError& e) {
     record(user, "importConfig", false, e.what());
-    return OpResult::failure(std::string("malformed configuration: ") + e.what());
+    return OpResult::invalidArgument(std::string("malformed configuration: ") + e.what());
   }
   record(user, "importConfig", true, "applied");
   return OpResult::success();

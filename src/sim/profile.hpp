@@ -1,0 +1,82 @@
+// composim: span-based profiling hook for the simulation kernel.
+//
+// ProfileSink is the abstract interface components emit spans and counters
+// against; the Simulator owns an optional pointer to one (nullptr = off,
+// every call site guards on that, so a disabled profiler costs one branch).
+// The concrete implementation with Chrome-trace export lives in
+// telemetry/profiler.hpp; this header stays dependency-free so the fabric,
+// collectives and dl layers can instrument themselves without reaching
+// above the sim layer.
+//
+// Two span families, matching how time is structured in a discrete-event
+// simulation:
+//
+//  * Track spans (beginSpan/endSpan): strictly nested within a named
+//    track. Use for phases that are sequential per logical actor — a
+//    trainer's iteration phases, a communicator's in-order op queue. Each
+//    track renders as one "thread" row in chrome://tracing / Perfetto.
+//  * Async spans (beginAsyncSpan/endAsyncSpan): keyed by correlation id,
+//    free to overlap arbitrarily. Use for concurrent work — fabric flows,
+//    prefetch pipelines.
+//
+// Counters (setCounter) are time-weighted sampled values (link utilization,
+// queue depth): each update is timestamped at Simulator::now() and the sink
+// integrates value x time between updates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace composim {
+
+/// One key/value argument attached to a span, counter or instant event
+/// (a number or a string; numbers are carried as double).
+struct ProfileArg {
+  std::string key;
+  std::string str;
+  double num = 0.0;
+  bool is_string = false;
+
+  template <typename T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  ProfileArg(std::string k, T v)
+      : key(std::move(k)), num(static_cast<double>(v)) {}
+  ProfileArg(std::string k, std::string v)
+      : key(std::move(k)), str(std::move(v)), is_string(true) {}
+  ProfileArg(std::string k, const char* v)
+      : key(std::move(k)), str(v), is_string(true) {}
+};
+
+using ProfileArgs = std::vector<ProfileArg>;
+
+/// Correlation id for async spans; 0 is never issued.
+using AsyncSpanId = std::uint64_t;
+constexpr AsyncSpanId kInvalidAsyncSpan = 0;
+
+class ProfileSink {
+ public:
+  virtual ~ProfileSink() = default;
+
+  /// Open a nested span on `track`. Spans on one track must close in LIFO
+  /// order (endSpan closes the innermost open span of that track).
+  virtual void beginSpan(const std::string& track, const char* category,
+                         std::string name, ProfileArgs args = {}) = 0;
+  virtual void endSpan(const std::string& track, ProfileArgs args = {}) = 0;
+
+  /// Open an overlapping span; returns the id endAsyncSpan must be given.
+  virtual AsyncSpanId beginAsyncSpan(const char* category, std::string name,
+                                     ProfileArgs args = {}) = 0;
+  virtual void endAsyncSpan(AsyncSpanId id, ProfileArgs args = {}) = 0;
+
+  /// Set series `series` of counter `counter` to `value` as of now().
+  virtual void setCounter(const std::string& counter, const std::string& series,
+                          double value) = 0;
+
+  /// Zero-duration marker event.
+  virtual void instant(const char* category, std::string name,
+                       ProfileArgs args = {}) = 0;
+};
+
+}  // namespace composim

@@ -18,6 +18,8 @@
 
 namespace composim {
 
+class ProfileSink;
+
 /// Handle to a scheduled event; usable with Simulator::cancel().
 using EventId = std::uint64_t;
 
@@ -67,6 +69,11 @@ class Simulator {
 
   bool empty() const { return pendingEvents() == 0; }
 
+  /// Optional profiling hook (see sim/profile.hpp). Not owned; nullptr
+  /// means profiling is off and instrumented components skip all work.
+  void setProfiler(ProfileSink* sink) { profiler_ = sink; }
+  ProfileSink* profiler() const { return profiler_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -93,6 +100,7 @@ class Simulator {
   void compactTombstones();
   bool popNext(Entry& out);
 
+  ProfileSink* profiler_ = nullptr;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;

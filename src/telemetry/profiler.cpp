@@ -1,0 +1,217 @@
+#include "telemetry/profiler.hpp"
+
+#include <fstream>
+#include <utility>
+
+namespace composim::telemetry {
+
+namespace {
+
+constexpr int kTracePid = 1;
+
+falcon::Json argsToJson(const ProfileArgs& args) {
+  falcon::Json obj = falcon::Json::object();
+  for (const ProfileArg& a : args) {
+    if (a.is_string) {
+      obj.set(a.key, a.str);
+    } else {
+      obj.set(a.key, a.num);
+    }
+  }
+  return obj;
+}
+
+}  // namespace
+
+Profiler::Span& Profiler::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    prof_ = other.prof_;
+    track_ = std::move(other.track_);
+    other.prof_ = nullptr;
+  }
+  return *this;
+}
+
+void Profiler::Span::end(ProfileArgs args) {
+  if (prof_ == nullptr) return;
+  Profiler* p = std::exchange(prof_, nullptr);
+  p->endSpan(track_, std::move(args));
+}
+
+Profiler::Span Profiler::span(const char* category, std::string name,
+                              ProfileArgs args, std::string track) {
+  if (!recording()) return Span{};
+  if (track.empty()) track = category;
+  beginSpan(track, category, std::move(name), std::move(args));
+  return Span(this, std::move(track));
+}
+
+std::uint32_t Profiler::trackId(const std::string& track) {
+  auto it = track_ids_.find(track);
+  if (it != track_ids_.end()) return it->second;
+  const auto tid = static_cast<std::uint32_t>(track_names_.size());
+  track_names_.push_back(track);
+  track_ids_.emplace(track, tid);
+  return tid;
+}
+
+void Profiler::beginSpan(const std::string& track, const char* category,
+                         std::string name, ProfileArgs args) {
+  if (!recording()) return;
+  records_.push_back(Record{'B', now(), trackId(track), kInvalidAsyncSpan,
+                            category, std::move(name), std::move(args)});
+}
+
+void Profiler::endSpan(const std::string& track, ProfileArgs args) {
+  if (!recording()) return;
+  records_.push_back(Record{'E', now(), trackId(track), kInvalidAsyncSpan,
+                            {}, {}, std::move(args)});
+}
+
+AsyncSpanId Profiler::beginAsyncSpan(const char* category, std::string name,
+                                     ProfileArgs args) {
+  if (!recording()) return kInvalidAsyncSpan;
+  const AsyncSpanId id = next_async_++;
+  open_async_.emplace(id, records_.size());
+  records_.push_back(Record{'b', now(), trackId(category), id, category,
+                            std::move(name), std::move(args)});
+  return id;
+}
+
+void Profiler::endAsyncSpan(AsyncSpanId id, ProfileArgs args) {
+  if (!recording() || id == kInvalidAsyncSpan) return;
+  auto it = open_async_.find(id);
+  if (it == open_async_.end()) return;  // unknown or already closed
+  // Chrome pairs async begin/end by (category, id); category/name are
+  // repeated from the begin record for readability in raw JSON.
+  const Record& open = records_[it->second];
+  Record end{'e', now(), open.tid, id, open.category, open.name,
+             std::move(args)};
+  open_async_.erase(it);
+  records_.push_back(std::move(end));
+}
+
+void Profiler::setCounter(const std::string& counter, const std::string& series,
+                          double value) {
+  if (!recording()) return;
+  const SimTime t = now();
+  auto& state_map = counters_[counter];
+  auto it = state_map.find(series);
+  if (it == state_map.end()) {
+    state_map.emplace(series, CounterState{value, t, t, 0.0});
+  } else {
+    CounterState& s = it->second;
+    if (s.value == value) return;  // no change: skip the duplicate record
+    s.weighted_sum += s.value * (t - s.since);
+    s.value = value;
+    s.since = t;
+  }
+  records_.push_back(Record{'C', t, trackId(counter), kInvalidAsyncSpan,
+                            "counter", counter,
+                            ProfileArgs{{series, value}}});
+}
+
+void Profiler::instant(const char* category, std::string name,
+                       ProfileArgs args) {
+  if (!recording()) return;
+  records_.push_back(Record{'i', now(), trackId(category), kInvalidAsyncSpan,
+                            category, std::move(name), std::move(args)});
+}
+
+double Profiler::counterValue(const std::string& counter,
+                              const std::string& series) const {
+  auto c = counters_.find(counter);
+  if (c == counters_.end()) return 0.0;
+  auto s = c->second.find(series);
+  return s == c->second.end() ? 0.0 : s->second.value;
+}
+
+double Profiler::counterMean(const std::string& counter,
+                             const std::string& series) const {
+  auto c = counters_.find(counter);
+  if (c == counters_.end()) return 0.0;
+  auto s = c->second.find(series);
+  if (s == c->second.end()) return 0.0;
+  const CounterState& st = s->second;
+  const SimTime end = now();
+  const SimTime span = end - st.first;
+  if (span <= 0.0) return st.value;
+  const double integral = st.weighted_sum + st.value * (end - st.since);
+  return integral / span;
+}
+
+void Profiler::finalize() {
+  if (sim_ == nullptr) return;
+  end_time_ = sim_->now();
+  // Close every counter integral at the end time so means computed after
+  // the Simulator is gone cover the full run.
+  for (auto& [counter, series_map] : counters_) {
+    for (auto& [series, st] : series_map) {
+      st.weighted_sum += st.value * (end_time_ - st.since);
+      st.since = end_time_;
+    }
+  }
+  sim_ = nullptr;
+}
+
+falcon::Json Profiler::chromeTrace() const {
+  falcon::Json events = falcon::Json::array();
+  // Process + per-track thread names so Perfetto labels the rows.
+  {
+    falcon::Json meta = falcon::Json::object();
+    meta.set("ph", "M");
+    meta.set("pid", kTracePid);
+    meta.set("tid", 0);
+    meta.set("name", "process_name");
+    falcon::Json args = falcon::Json::object();
+    args.set("name", "composim");
+    meta.set("args", std::move(args));
+    events.push(std::move(meta));
+  }
+  for (std::size_t tid = 0; tid < track_names_.size(); ++tid) {
+    falcon::Json meta = falcon::Json::object();
+    meta.set("ph", "M");
+    meta.set("pid", kTracePid);
+    meta.set("tid", static_cast<std::int64_t>(tid));
+    meta.set("name", "thread_name");
+    falcon::Json args = falcon::Json::object();
+    args.set("name", track_names_[tid]);
+    meta.set("args", std::move(args));
+    events.push(std::move(meta));
+  }
+  for (const Record& r : records_) {
+    falcon::Json ev = falcon::Json::object();
+    ev.set("ph", std::string(1, r.phase));
+    ev.set("ts", r.time * 1e6);  // trace_event timestamps are microseconds
+    ev.set("pid", kTracePid);
+    ev.set("tid", static_cast<std::int64_t>(r.tid));
+    if (!r.name.empty()) ev.set("name", r.name);
+    if (!r.category.empty()) ev.set("cat", r.category);
+    if (r.id != kInvalidAsyncSpan) {
+      ev.set("id", static_cast<std::int64_t>(r.id));
+    }
+    if (r.phase == 'i') ev.set("s", "t");  // instant scope: thread
+    if (!r.args.empty()) ev.set("args", argsToJson(r.args));
+    events.push(std::move(ev));
+  }
+  falcon::Json doc = falcon::Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  doc.set("otherData", [] {
+    falcon::Json d = falcon::Json::object();
+    d.set("producer", "composim.telemetry.Profiler");
+    return d;
+  }());
+  return doc;
+}
+
+Status Profiler::writeChromeTrace(const std::string& path, int indent) const {
+  std::ofstream out(path);
+  if (!out) return Status::internal("cannot open '" + path + "' for writing");
+  out << chromeTrace().dump(indent) << '\n';
+  if (!out) return Status::internal("short write to '" + path + "'");
+  return Status::success();
+}
+
+}  // namespace composim::telemetry

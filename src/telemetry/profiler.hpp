@@ -1,0 +1,132 @@
+// composim: span/counter profiler with Chrome trace_event export.
+//
+// The concrete ProfileSink (sim/profile.hpp): records spans, async spans,
+// instants and time-weighted counters against Simulator::now(), and dumps
+// the standard Chrome trace_event JSON that chrome://tracing and Perfetto
+// load directly. Tracks map to trace "threads" (one row each, named via
+// thread_name metadata); async spans use the 'b'/'e' phases keyed by
+// correlation id so overlapping fabric flows render as interval tracks;
+// counters use the 'C' phase and also keep a time-weighted integral so
+// tests and reports can ask for a mean utilization without replaying the
+// trace.
+//
+// Everything is a no-op while disabled, and components only reach the
+// profiler through Simulator::profiler() (nullptr when absent), so an
+// untraced run pays one branch per potential record.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "falcon/json.hpp"
+#include "sim/profile.hpp"
+#include "sim/simulator.hpp"
+
+namespace composim::telemetry {
+
+class Profiler final : public ProfileSink {
+ public:
+  /// Construction does NOT install the profiler; call
+  /// sim.setProfiler(&profiler) to start receiving component spans.
+  explicit Profiler(Simulator& sim) : sim_(&sim) {}
+
+  void setEnabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// RAII complete-span handle for synchronous scopes that drive the
+  /// simulator (an experiment run, a measurement window). Records a span
+  /// from construction to end()/destruction on `track`.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+    /// Close early; extra args are merged into the closing record.
+    void end(ProfileArgs args = {});
+
+   private:
+    friend class Profiler;
+    Span(Profiler* prof, std::string track) : prof_(prof), track_(std::move(track)) {}
+    Profiler* prof_ = nullptr;
+    std::string track_;
+  };
+
+  /// Open a RAII span on `track` (defaults to the category name).
+  Span span(const char* category, std::string name, ProfileArgs args = {},
+            std::string track = {});
+
+  // --- ProfileSink ---
+  void beginSpan(const std::string& track, const char* category,
+                 std::string name, ProfileArgs args = {}) override;
+  void endSpan(const std::string& track, ProfileArgs args = {}) override;
+  AsyncSpanId beginAsyncSpan(const char* category, std::string name,
+                             ProfileArgs args = {}) override;
+  void endAsyncSpan(AsyncSpanId id, ProfileArgs args = {}) override;
+  void setCounter(const std::string& counter, const std::string& series,
+                  double value) override;
+  void instant(const char* category, std::string name,
+               ProfileArgs args = {}) override;
+
+  /// Number of records captured so far (spans count begin+end separately).
+  std::size_t recordCount() const { return records_.size(); }
+
+  /// Latest value of a counter series (0 if never set).
+  double counterValue(const std::string& counter,
+                      const std::string& series) const;
+  /// Time-weighted mean of a counter series from its first update to
+  /// now() (or to the finalize() time once finalized). 0 if never set.
+  double counterMean(const std::string& counter,
+                     const std::string& series) const;
+
+  /// Freeze the trace: closes the counter integrals at the current time
+  /// and detaches from the Simulator, so the Profiler may safely outlive
+  /// the system that produced the trace (Experiment hands it back to the
+  /// caller this way). Recording stops.
+  void finalize();
+
+  /// The trace as a Chrome trace_event JSON document.
+  falcon::Json chromeTrace() const;
+  /// Write chromeTrace() to `path`; Internal status on I/O failure.
+  Status writeChromeTrace(const std::string& path, int indent = -1) const;
+
+ private:
+  struct Record {
+    char phase = 'B';  // B/E nested, b/e async, C counter, i instant
+    SimTime time = 0.0;
+    std::uint32_t tid = 0;
+    AsyncSpanId id = kInvalidAsyncSpan;
+    std::string category;
+    std::string name;
+    ProfileArgs args;
+  };
+  struct CounterState {
+    double value = 0.0;
+    SimTime since = 0.0;
+    SimTime first = 0.0;
+    double weighted_sum = 0.0;  // integral of value dt up to `since`
+  };
+
+  bool recording() const { return enabled_ && sim_ != nullptr; }
+  SimTime now() const { return sim_ != nullptr ? sim_->now() : end_time_; }
+  std::uint32_t trackId(const std::string& track);
+
+  Simulator* sim_;  // null after finalize()
+  bool enabled_ = true;
+  SimTime end_time_ = 0.0;
+  std::vector<Record> records_;
+  std::vector<std::string> track_names_;  // index = tid
+  std::unordered_map<std::string, std::uint32_t> track_ids_;
+  std::unordered_map<AsyncSpanId, std::size_t> open_async_;  // id -> begin idx
+  // Ordered so export and mean queries iterate deterministically.
+  std::map<std::string, std::map<std::string, CounterState>> counters_;
+  AsyncSpanId next_async_ = 1;
+};
+
+}  // namespace composim::telemetry

@@ -10,7 +10,7 @@ namespace {
 ExperimentOptions fastOptions() {
   ExperimentOptions opt;
   opt.trainer.epochs = 1;
-  opt.iterations_per_epoch_cap = 6;
+  opt.trainer.max_iterations_per_epoch = 6;
   opt.sample_interval = 0.25;
   return opt;
 }

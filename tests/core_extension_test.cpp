@@ -156,7 +156,7 @@ TEST(ExperimentConfig, ParsesFullSuite) {
   EXPECT_EQ(specs[0].config, SystemConfig::LocalGpus);
   EXPECT_EQ(specs[1].config, SystemConfig::FalconGpus);
   EXPECT_EQ(specs[1].options.trainer.epochs, 1);
-  EXPECT_EQ(specs[1].options.iterations_per_epoch_cap, 5);
+  EXPECT_EQ(specs[1].options.trainer.max_iterations_per_epoch, 5);
   EXPECT_EQ(specs[1].options.trainer.batch_per_gpu, 4);
   EXPECT_EQ(specs[1].options.trainer.strategy, dl::Strategy::DataParallel);
   EXPECT_EQ(specs[1].options.trainer.precision, devices::Precision::FP32);

@@ -11,7 +11,7 @@ namespace {
 core::ExperimentResult runOnce(core::SystemConfig cfg) {
   core::ExperimentOptions opt;
   opt.trainer.epochs = 1;
-  opt.iterations_per_epoch_cap = 6;
+  opt.trainer.max_iterations_per_epoch = 6;
   return core::Experiment::run(cfg, dl::resNet50(), opt);
 }
 
@@ -87,7 +87,7 @@ TEST(Determinism, SeedChangesOnlyStochasticOutputs) {
   auto run = [](std::uint64_t seed) {
     core::ExperimentOptions opt;
     opt.trainer.epochs = 1;
-    opt.iterations_per_epoch_cap = 6;
+    opt.trainer.max_iterations_per_epoch = 6;
     opt.trainer.seed = seed;
     return core::Experiment::run(core::SystemConfig::LocalGpus, dl::resNet50(),
                                  opt);

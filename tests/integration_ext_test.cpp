@@ -12,7 +12,7 @@ namespace {
 TEST(ExtendedIntegration, SixteenGpuExperimentRuns) {
   ExperimentOptions opt;
   opt.trainer.epochs = 1;
-  opt.iterations_per_epoch_cap = 5;
+  opt.trainer.max_iterations_per_epoch = 5;
   const auto r = Experiment::run(SystemConfig::AllGpus16, dl::resNet50(), opt);
   EXPECT_TRUE(r.training.completed);
   // 16 GPUs at ~1000 img/s each, minus pipeline-priming noise in a
@@ -27,7 +27,7 @@ TEST(ExtendedIntegration, DataParallelSuffersMoreOnFalcon) {
   auto ratio = [](dl::Strategy strategy) {
     ExperimentOptions opt;
     opt.trainer.epochs = 1;
-    opt.iterations_per_epoch_cap = 5;
+    opt.trainer.max_iterations_per_epoch = 5;
     opt.trainer.strategy = strategy;
     opt.trainer.batch_per_gpu = 4;
     const auto local =
@@ -84,7 +84,7 @@ TEST(ExtendedIntegration, HybridUsesFlatRingNotHierarchical) {
 TEST(ExtendedIntegration, CheckpointTraversesFalconForFalconNvme) {
   ExperimentOptions opt;
   opt.trainer.epochs = 1;
-  opt.iterations_per_epoch_cap = 3;
+  opt.trainer.max_iterations_per_epoch = 3;
   const auto r = Experiment::run(SystemConfig::FalconNvme, dl::resNet50(), opt);
   EXPECT_TRUE(r.training.completed);
   EXPECT_GT(r.training.checkpoint_bytes, 0);

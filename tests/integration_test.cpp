@@ -11,7 +11,7 @@ namespace {
 ExperimentOptions cappedOptions(int iters = 10) {
   ExperimentOptions opt;
   opt.trainer.epochs = 1;
-  opt.iterations_per_epoch_cap = iters;
+  opt.trainer.max_iterations_per_epoch = iters;
   return opt;
 }
 

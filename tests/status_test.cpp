@@ -1,0 +1,82 @@
+// Tests for the shared Status type used across the management plane and
+// the profiler export path.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "falcon/chassis.hpp"
+
+namespace composim {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok);
+  EXPECT_EQ(s.code, StatusCode::Ok);
+  EXPECT_TRUE(s.detail.empty());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(Status, SuccessFactoryMatchesDefault) {
+  const Status s = Status::success();
+  EXPECT_TRUE(s.ok);
+  EXPECT_EQ(s.code, StatusCode::Ok);
+}
+
+TEST(Status, TypedFactoriesSetCodes) {
+  EXPECT_EQ(Status::invalidArgument("x").code, StatusCode::InvalidArgument);
+  EXPECT_EQ(Status::notFound("x").code, StatusCode::NotFound);
+  EXPECT_EQ(Status::alreadyExists("x").code, StatusCode::AlreadyExists);
+  EXPECT_EQ(Status::permissionDenied("x").code, StatusCode::PermissionDenied);
+  EXPECT_EQ(Status::failedPrecondition("x").code, StatusCode::FailedPrecondition);
+  EXPECT_EQ(Status::unavailable("x").code, StatusCode::Unavailable);
+  EXPECT_EQ(Status::internal("x").code, StatusCode::Internal);
+  for (const Status& s : {Status::invalidArgument("x"), Status::internal("x")}) {
+    EXPECT_FALSE(s.ok);
+    EXPECT_FALSE(static_cast<bool>(s));
+    EXPECT_EQ(s.detail, "x");
+  }
+}
+
+TEST(Status, GenericFailureDefaultsToFailedPrecondition) {
+  const Status s = Status::failure("nope");
+  EXPECT_FALSE(s.ok);
+  EXPECT_EQ(s.code, StatusCode::FailedPrecondition);
+  EXPECT_EQ(s.detail, "nope");
+}
+
+TEST(Status, ToStringIncludesCodeAndDetail) {
+  EXPECT_EQ(Status::permissionDenied("admins only").toString(),
+            "PERMISSION_DENIED: admins only");
+  EXPECT_EQ(Status::notFound("no such user").toString(),
+            "NOT_FOUND: no such user");
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(toString(StatusCode::Ok), "OK");
+  EXPECT_STREQ(toString(StatusCode::InvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(toString(StatusCode::NotFound), "NOT_FOUND");
+  EXPECT_STREQ(toString(StatusCode::AlreadyExists), "ALREADY_EXISTS");
+  EXPECT_STREQ(toString(StatusCode::PermissionDenied), "PERMISSION_DENIED");
+  EXPECT_STREQ(toString(StatusCode::FailedPrecondition), "FAILED_PRECONDITION");
+  EXPECT_STREQ(toString(StatusCode::Unavailable), "UNAVAILABLE");
+  EXPECT_STREQ(toString(StatusCode::Internal), "INTERNAL");
+}
+
+// The falcon management plane's OpResult is an alias of Status, so chassis
+// failures now carry machine-checkable codes.
+TEST(Status, ChassisOpResultCarriesCodes) {
+  Simulator sim;
+  fabric::Topology topo;
+  falcon::FalconChassis chassis(sim, topo, "falcon0");
+  const falcon::OpResult bad_slot =
+      chassis.attach(falcon::SlotId{5, 99}, 0);
+  EXPECT_FALSE(bad_slot.ok);
+  EXPECT_EQ(bad_slot.code, StatusCode::InvalidArgument);
+  const falcon::OpResult bad_port = chassis.disconnectHost(42);
+  EXPECT_FALSE(bad_port.ok);
+  EXPECT_EQ(bad_port.code, StatusCode::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace composim
