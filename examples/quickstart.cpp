@@ -7,18 +7,52 @@
 //
 //   $ ./examples/quickstart
 //   $ ./examples/quickstart --trace   # also writes quickstart_trace.json
+//   $ ./examples/quickstart --faults '{"spare_gpus": 1,
+//       "gpu_falloffs": [{"gpu": 0, "at": 2.0}]}'
 //
 // With --trace, the span profiler records every training phase, collective
 // op, and fabric link and exports a Chrome trace_event file you can open in
-// chrome://tracing or Perfetto.
+// chrome://tracing or Perfetto. With --faults <spec> (inline JSON or a
+// path to a JSON file), the run executes under a fault schedule with the
+// recovery orchestrator active; note the fault schedule targets Falcon
+// GPUs, so pair it with a Falcon-composed configuration.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "core/experiment.hpp"
+#include "core/experiment_config.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 
 using namespace composim;
+
+namespace {
+
+/// `spec` is inline JSON (starts with '{') or a path to a JSON file.
+bool loadFaults(const std::string& spec, core::FaultsConfig* out) {
+  std::string text = spec;
+  if (text.empty() || text[0] != '{') {
+    std::ifstream in(spec);
+    if (!in) {
+      std::fprintf(stderr, "cannot open faults spec %s\n", spec.c_str());
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  try {
+    *out = core::parseFaultsConfig(falcon::Json::parse(text));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "faults spec error: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const dl::ModelSpec model = dl::resNet50();
@@ -26,17 +60,24 @@ int main(int argc, char** argv) {
   core::ExperimentOptions opt;
   opt.trainer.epochs = 1;
   opt.trainer.max_iterations_per_epoch = 25;
+  core::SystemConfig config = core::SystemConfig::LocalGpus;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) opt.trace = true;
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      if (!loadFaults(argv[++i], &opt.faults)) return 1;
+      // Fault schedules target Falcon devices; compose the GPUs from the
+      // chassis so there is something to fail and re-attach.
+      config = core::SystemConfig::FalconGpus;
+    }
   }
 
   std::printf("composim quickstart: training %s (%lld params, %d layers) on "
-              "the localGPUs configuration...\n\n",
+              "the %s configuration...\n\n",
               model.name.c_str(),
-              static_cast<long long>(model.totalParams()), model.layerCount());
+              static_cast<long long>(model.totalParams()), model.layerCount(),
+              core::toString(config));
 
-  const auto result =
-      core::Experiment::run(core::SystemConfig::LocalGpus, model, opt);
+  const auto result = core::Experiment::run(config, model, opt);
 
   std::printf("iterations simulated      : %lld\n",
               static_cast<long long>(result.training.iterations_run));
@@ -52,6 +93,21 @@ int main(int argc, char** argv) {
   std::printf("host memory utilization   : %.1f %%\n", result.host_mem_util_pct);
   std::printf("data-loader stall time    : %s\n",
               formatTime(result.training.data_stall_time).c_str());
+
+  if (result.recovery.enabled) {
+    std::printf("faults injected           : %llu\n",
+                static_cast<unsigned long long>(result.recovery.faults_injected));
+    std::printf("detections                : %llu\n",
+                static_cast<unsigned long long>(result.recovery.detections));
+    std::printf("recovery incidents        : %zu\n",
+                result.recovery.incidents.size());
+    std::printf("mean MTTR                 : %s\n",
+                formatTime(result.recovery.mean_mttr).c_str());
+    std::printf("iterations replayed       : %lld\n",
+                static_cast<long long>(result.training.lost_iterations));
+    std::printf("final gang size           : %zu\n",
+                result.recovery.final_gang_size);
+  }
 
   if (result.profiler) {
     const char* path = "quickstart_trace.json";

@@ -7,11 +7,15 @@
 //
 //   $ ./examples/run_suite my_suite.json /tmp/results
 //   $ ./examples/run_suite --trace my_suite.json /tmp/results
+//   $ ./examples/run_suite --faults storm.json my_suite.json /tmp/results
 //   $ ./examples/run_suite            # runs a built-in demonstration suite
 //
 // With --trace, every experiment runs with the span profiler enabled and a
 // <name>_trace.json Chrome trace (open in chrome://tracing or Perfetto) is
-// written next to the CSV artifacts.
+// written next to the CSV artifacts. With --faults <spec> (inline JSON or
+// a file path), every experiment runs under that fault schedule with the
+// recovery orchestrator active; individual experiments can instead carry
+// their own "faults" object in the suite file.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -45,12 +49,36 @@ const char* kDemoSuite = R"({
 
 int main(int argc, char** argv) {
   bool trace = false;
+  std::string faults_spec;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace") {
       trace = true;
+    } else if (std::string(argv[i]) == "--faults" && i + 1 < argc) {
+      faults_spec = argv[++i];
     } else {
       pos.push_back(argv[i]);
+    }
+  }
+
+  core::FaultsConfig shared_faults;
+  if (!faults_spec.empty()) {
+    std::string text = faults_spec;
+    if (text.empty() || text[0] != '{') {
+      std::ifstream fin(faults_spec);
+      if (!fin) {
+        std::fprintf(stderr, "cannot open faults spec %s\n", faults_spec.c_str());
+        return 1;
+      }
+      std::ostringstream fbuf;
+      fbuf << fin.rdbuf();
+      text = fbuf.str();
+    }
+    try {
+      shared_faults = core::parseFaultsConfig(falcon::Json::parse(text));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "faults spec error: %s\n", e.what());
+      return 1;
     }
   }
 
@@ -82,6 +110,9 @@ int main(int argc, char** argv) {
                           "samples/s", "GPU util %"});
   for (auto& spec : specs) {
     if (trace) spec.options.trace = true;
+    if (shared_faults.enabled && !spec.options.faults.enabled) {
+      spec.options.faults = shared_faults;
+    }
     std::printf("running '%s' (%s on %s)...\n", spec.name.c_str(),
                 spec.benchmark.c_str(), core::toString(spec.config));
     const auto r = core::runExperimentSpec(spec);
@@ -100,6 +131,15 @@ int main(int argc, char** argv) {
     run.setSummary("samples_per_second", r.training.samples_per_second);
     run.setSummary("gpu_util_pct", r.gpu_util_pct);
     run.setSummary("falcon_pcie_gbs", r.falcon_pcie_gbs);
+    if (r.recovery.enabled) {
+      run.setSummary("faults_injected",
+                     static_cast<double>(r.recovery.faults_injected));
+      run.setSummary("mean_mttr_s", r.recovery.mean_mttr);
+      run.setSummary("lost_iterations",
+                     static_cast<double>(r.training.lost_iterations));
+      run.setSummary("final_gang_size",
+                     static_cast<double>(r.recovery.final_gang_size));
+    }
     const auto& util = r.sampler->series("gpu_util_pct");
     for (std::size_t i = 0; i < util.size(); ++i) {
       run.log("gpu_util_pct", util.timeAt(i), util.valueAt(i));

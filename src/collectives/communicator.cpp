@@ -201,19 +201,25 @@ void Communicator::runRing(std::shared_ptr<Op> op,
   // One step: every member forwards a chunk to its ring successor; the
   // step completes when the slowest transfer lands (NCCL's pipeline is
   // modelled at chunk granularity).
+  // The step closure must not own itself (a shared_ptr cycle would leak
+  // every op abandoned mid-flight, e.g. a communicator retired by fault
+  // recovery): it holds a weak self-reference, and each in-flight
+  // continuation keeps it alive by capturing the locked pointer.
   auto step = std::make_shared<std::function<void(int)>>();
-  *step = [this, op, members, chunkBytes, steps_total, done, step, n](int s) {
+  *step = [this, op, members, chunkBytes, steps_total, done, n,
+           weak_step = std::weak_ptr<std::function<void(int)>>(step)](int s) {
     if (s == steps_total) {
       sim_.schedule(0.0, done);
       return;
     }
+    auto self = weak_step.lock();
     auto remaining = std::make_shared<int>(n);
     for (int i = 0; i < n; ++i) {
       const int from = members[static_cast<std::size_t>(i)];
       const int to = members[static_cast<std::size_t>((i + 1) % n)];
-      sendChunk(op, from, to, chunkBytes, [this, remaining, step, s] {
+      sendChunk(op, from, to, chunkBytes, [this, remaining, self, s] {
         if (--*remaining == 0) {
-          sim_.schedule(options_.step_overhead, [step, s] { (*step)(s + 1); });
+          sim_.schedule(options_.step_overhead, [self, s] { (*self)(s + 1); });
         }
       });
     }
@@ -247,12 +253,16 @@ void Communicator::runFanSequential(std::shared_ptr<Op> op, int root,
     return;
   }
 
+  // Weak self-reference for the same reason as runRing: the closure must
+  // not keep itself alive once every continuation is gone.
   auto round = std::make_shared<std::function<void(int)>>();
-  *round = [this, op, members, bytes, toRoot, done, round, n, rounds](int r) {
+  *round = [this, op, members, bytes, toRoot, done, n, rounds,
+            weak_round = std::weak_ptr<std::function<void(int)>>(round)](int r) {
     if (r == rounds) {
       sim_.schedule(0.0, done);
       return;
     }
+    auto self = weak_round.lock();
     // For a broadcast rounds ascend (1, 2, 4 ... senders); for a reduce
     // the same schedule runs in reverse with flow direction flipped.
     const int level = toRoot ? (rounds - 1 - r) : r;
@@ -264,14 +274,14 @@ void Communicator::runFanSequential(std::shared_ptr<Op> op, int root,
       pairs.emplace_back(toRoot ? b : a, toRoot ? a : b);
     }
     if (pairs.empty()) {
-      (*round)(r + 1);
+      (*self)(r + 1);
       return;
     }
     auto remaining = std::make_shared<int>(static_cast<int>(pairs.size()));
     for (const auto& [from, to] : pairs) {
-      sendChunk(op, from, to, bytes, [this, remaining, round, r] {
+      sendChunk(op, from, to, bytes, [this, remaining, self, r] {
         if (--*remaining == 0) {
-          sim_.schedule(options_.step_overhead, [round, r] { (*round)(r + 1); });
+          sim_.schedule(options_.step_overhead, [self, r] { (*self)(r + 1); });
         }
       });
     }

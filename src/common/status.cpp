@@ -12,6 +12,7 @@ const char* toString(StatusCode code) {
     case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::Unavailable: return "UNAVAILABLE";
     case StatusCode::Internal: return "INTERNAL";
+    case StatusCode::Retryable: return "RETRYABLE";
   }
   return "?";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   FailedPrecondition,  // state forbids the operation (mode, occupancy)
   Unavailable,         // resource present but not usable right now
   Internal,            // I/O or invariant failure inside the simulator
+  Retryable,           // transient failure; the same call may succeed later
 };
 
 const char* toString(StatusCode code);
@@ -59,6 +60,9 @@ struct Status {
   }
   static Status internal(std::string why) {
     return failure(std::move(why), StatusCode::Internal);
+  }
+  static Status retryable(std::string why) {
+    return failure(std::move(why), StatusCode::Retryable);
   }
 
   explicit operator bool() const { return ok; }

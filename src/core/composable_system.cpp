@@ -204,6 +204,41 @@ std::vector<devices::Gpu*> ComposableSystem::trainingGpus() {
   return out;
 }
 
+devices::Gpu* ComposableSystem::installSpareGpu(falcon::SlotId slot) {
+  const std::string name = "gpu.spare.d" + std::to_string(slot.drawer) + "s" +
+                           std::to_string(slot.index);
+  const fabric::NodeId node = topo_.addNode(name, fabric::NodeKind::Gpu);
+  if (auto r = chassis_->installDevice(slot, falcon::DeviceType::Gpu, name, node);
+      !r) {
+    throw std::runtime_error("installSpareGpu: " + r.detail);
+  }
+  spare_gpus_.push_back(
+      std::make_unique<devices::Gpu>(sim_, node, devices::specs::v100_pcie(), name));
+  spare_gpu_slots_.push_back(slot);
+  return spare_gpus_.back().get();
+}
+
+std::optional<falcon::SlotId> ComposableSystem::slotOfGpu(
+    const devices::Gpu* gpu) const {
+  for (std::size_t i = 0; i < falcon_gpus_.size(); ++i) {
+    if (falcon_gpus_[i].get() == gpu) return falcon_gpu_slots_[i];
+  }
+  for (std::size_t i = 0; i < spare_gpus_.size(); ++i) {
+    if (spare_gpus_[i].get() == gpu) return spare_gpu_slots_[i];
+  }
+  return std::nullopt;
+}
+
+devices::Gpu* ComposableSystem::gpuInSlot(falcon::SlotId slot) {
+  for (std::size_t i = 0; i < falcon_gpus_.size(); ++i) {
+    if (falcon_gpu_slots_[i] == slot) return falcon_gpus_[i].get();
+  }
+  for (std::size_t i = 0; i < spare_gpus_.size(); ++i) {
+    if (spare_gpu_slots_[i] == slot) return spare_gpus_[i].get();
+  }
+  return nullptr;
+}
+
 ComposableSystem::SecondHost ComposableSystem::attachSecondHost() {
   if (second_host_.root != fabric::kInvalidNode) return second_host_;
   second_host_.root = topo_.addNode("host2.root", fabric::NodeKind::CpuRootComplex);

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,21 @@ class ComposableSystem {
   falcon::Bmc& bmc() { return *bmc_; }
   falcon::Mcs& mcs() { return *mcs_; }
 
+  /// Install a spare V100-PCIE in an empty Falcon slot, occupied but
+  /// unassigned — exactly the inventory the AllocationPlanner draws on
+  /// when the recovery orchestrator asks for a replacement. Returns the
+  /// device (owned by the system); throws on an occupied slot.
+  devices::Gpu* installSpareGpu(falcon::SlotId slot);
+
+  /// Slot a Falcon GPU (training or spare) was installed in; nullopt for
+  /// local GPUs. The mapping is fixed at install time and survives
+  /// quarantine (removeDevice), so recovery code can name the slot of a
+  /// device that already fell off the bus.
+  std::optional<falcon::SlotId> slotOfGpu(const devices::Gpu* gpu) const;
+
+  /// Falcon GPU (training or spare) installed in `slot`; nullptr if none.
+  devices::Gpu* gpuInSlot(falcon::SlotId slot);
+
   /// Cumulative ingress+egress payload bytes over the PCIe links of the
   /// *Falcon GPU slots* (what the paper measured for Fig 12).
   Bytes falconGpuPortBytes() const;
@@ -118,6 +134,8 @@ class ComposableSystem {
   std::vector<std::unique_ptr<devices::Gpu>> local_gpus_;
   std::vector<std::unique_ptr<devices::Gpu>> falcon_gpus_;
   std::vector<falcon::SlotId> falcon_gpu_slots_;
+  std::vector<std::unique_ptr<devices::Gpu>> spare_gpus_;
+  std::vector<falcon::SlotId> spare_gpu_slots_;
   std::unique_ptr<devices::StorageDevice> local_nvme_;
   std::unique_ptr<devices::StorageDevice> falcon_nvme_;
   std::unique_ptr<devices::StorageDevice> boot_ssd_;

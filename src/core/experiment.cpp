@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 namespace composim::core {
@@ -22,6 +23,52 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
                       system.cpu(), system.hostMemory(),
                       system.trainingStorage(), model, dl::datasetFor(model),
                       options.trainer);
+
+  // Recovery stack (fault model -> health monitor -> orchestrator), built
+  // only when a fault schedule is present.
+  std::unique_ptr<fabric::FaultInjector> injector;
+  std::unique_ptr<falcon::HealthMonitor> monitor;
+  std::unique_ptr<RecoveryOrchestrator> orchestrator;
+  if (options.faults.enabled) {
+    const FaultsConfig& faults = options.faults;
+    // Pre-install spares in the free Falcon slots (the NVMe slot {1,4} is
+    // taken); quarantined devices free their slots but are never reused.
+    static constexpr falcon::SlotId kSpareSlots[] = {
+        {0, 4}, {0, 5}, {0, 6}, {0, 7}, {1, 5}, {1, 6}, {1, 7}};
+    for (int i = 0; i < faults.spare_gpus &&
+                    i < static_cast<int>(std::size(kSpareSlots));
+         ++i) {
+      system.installSpareGpu(kSpareSlots[static_cast<std::size_t>(i)]);
+    }
+    system.chassis().setTransientAttachFailureRate(faults.attach_failure_rate,
+                                                   faults.seed + 1);
+    injector = std::make_unique<fabric::FaultInjector>(
+        system.sim(), system.topology(), system.network(), faults.seed);
+    monitor = std::make_unique<falcon::HealthMonitor>(
+        system.sim(), system.chassis(), system.bmc());
+    monitor->setErrorStormThreshold(faults.error_storm_threshold);
+    orchestrator = std::make_unique<RecoveryOrchestrator>(
+        system, *monitor, trainer, faults.policy);
+
+    for (const auto& f : faults.gpu_falloffs) {
+      const auto& g = system.falconGpus().at(static_cast<std::size_t>(f.gpu_index));
+      const auto slot = system.slotOfGpu(g.get());
+      const auto& info = system.chassis().slot(*slot);
+      injector->scheduleDeviceFalloff(info.link_up, info.link_down, f.at);
+    }
+    for (const auto& s : faults.ecc_storms) {
+      const auto& g = system.falconGpus().at(static_cast<std::size_t>(s.gpu_index));
+      const auto slot = system.slotOfGpu(g.get());
+      injector->scheduleErrorBurst(system.chassis().slot(*slot).link_up, s.at,
+                                   s.errors);
+    }
+    for (const auto& h : faults.host_port_flaps) {
+      const auto& port = system.chassis().hostPort(h.port);
+      injector->scheduleHostPortFlap(port.link_in, port.link_out, h.at,
+                                     h.downtime);
+    }
+    monitor->start(faults.health_poll_interval);
+  }
 
   auto sampler = std::make_shared<telemetry::MetricsSampler>(
       system.sim(), options.sample_interval);
@@ -80,6 +127,7 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
     sampler->sampleOnce();
     sampler->stop();
     system.bmc().stopPeriodicSampling();
+    if (monitor) monitor->stop();
   });
   system.sim().run();
   if (!finished) {
@@ -98,6 +146,19 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
   result.training = training;
   result.sampler = sampler;
   result.profiler = profiler;
+
+  if (orchestrator) {
+    result.recovery.enabled = true;
+    result.recovery.faults_injected = injector->faultsInjected();
+    result.recovery.detections = monitor->detections();
+    result.recovery.reattach_retries = orchestrator->reattachRetries();
+    result.recovery.degradations = orchestrator->degradations();
+    result.recovery.final_gang_size = orchestrator->gangSize();
+    result.recovery.mean_mttr = orchestrator->meanMttr();
+    result.recovery.incidents = orchestrator->incidents();
+    result.recovery.fault_history = injector->history();
+    result.recovery.detections_log = monitor->log();
+  }
 
   // Steady-state window: skip the priming phase and exclude checkpoint
   // time (the final checkpoint's idle tail would otherwise dominate the

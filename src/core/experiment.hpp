@@ -9,14 +9,65 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/composable_system.hpp"
+#include "core/recovery_orchestrator.hpp"
 #include "dl/trainer.hpp"
 #include "dl/zoo.hpp"
+#include "fabric/failures.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/sampler.hpp"
 
 namespace composim::core {
+
+/// Fault schedule for an experiment: which components fail, when, and how
+/// much recovery capacity (spares, health polling) the run has. Indices
+/// refer to the system's Falcon GPUs in install order (drawer 0 slots
+/// 0-3, then drawer 1 slots 0-3); ports are host-port indices (0 = H1).
+struct FaultsConfig {
+  bool enabled = false;
+  std::uint64_t seed = 99;                 // fault injector + attach noise
+  SimTime health_poll_interval = 0.5;      // BMC telemetry poll cadence
+  std::uint64_t error_storm_threshold = 100;
+  int spare_gpus = 0;                      // spares pre-installed, unassigned
+  double attach_failure_rate = 0.0;        // transient attach failures
+  RecoveryPolicy policy;
+
+  struct GpuFalloff {
+    int gpu_index = 0;  // falcon GPU install order
+    SimTime at = 0.0;
+  };
+  std::vector<GpuFalloff> gpu_falloffs;
+
+  struct EccStorm {
+    int gpu_index = 0;
+    SimTime at = 0.0;
+    std::uint64_t errors = 500;
+  };
+  std::vector<EccStorm> ecc_storms;
+
+  struct HostPortFlap {
+    int port = 0;
+    SimTime at = 0.0;
+    SimTime downtime = 1.0;
+  };
+  std::vector<HostPortFlap> host_port_flaps;
+};
+
+/// What the recovery subsystem did during a faulted run.
+struct RecoverySummary {
+  bool enabled = false;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t reattach_retries = 0;
+  int degradations = 0;
+  std::size_t final_gang_size = 0;
+  SimTime mean_mttr = 0.0;  // detection -> training resumed
+  std::vector<RecoveryIncident> incidents;
+  std::vector<fabric::FaultRecord> fault_history;
+  std::vector<falcon::FaultEvent> detections_log;
+};
 
 struct ExperimentOptions {
   /// Default trainer.max_iterations_per_epoch: capping keeps runs fast;
@@ -31,6 +82,9 @@ struct ExperimentOptions {
   /// Record a span/counter profile of the run (result.profiler holds the
   /// finalized trace, exportable as Chrome trace_event JSON).
   bool trace = false;
+  /// Fault schedule + recovery capacity; faults.enabled = false runs the
+  /// experiment exactly as before (no monitor, no orchestrator).
+  FaultsConfig faults;
 };
 
 struct ExperimentResult {
@@ -51,6 +105,9 @@ struct ExperimentResult {
 
   /// Finalized profiler when options.trace was set (null otherwise).
   std::shared_ptr<telemetry::Profiler> profiler;
+
+  /// Recovery accounting when options.faults.enabled was set.
+  RecoverySummary recovery;
 };
 
 class Experiment {

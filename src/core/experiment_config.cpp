@@ -35,6 +35,54 @@ devices::Precision precisionFromName(const std::string& name) {
 
 }  // namespace
 
+FaultsConfig parseFaultsConfig(const falcon::Json& doc) {
+  FaultsConfig faults;
+  faults.enabled = true;
+  if (const auto* v = doc.find("seed")) {
+    faults.seed = static_cast<std::uint64_t>(v->asInt());
+  }
+  if (const auto* v = doc.find("poll_interval")) {
+    faults.health_poll_interval = v->asDouble();
+  }
+  if (const auto* v = doc.find("error_storm_threshold")) {
+    faults.error_storm_threshold = static_cast<std::uint64_t>(v->asInt());
+  }
+  if (const auto* v = doc.find("spare_gpus")) {
+    faults.spare_gpus = static_cast<int>(v->asInt());
+  }
+  if (const auto* v = doc.find("attach_failure_rate")) {
+    faults.attach_failure_rate = v->asDouble();
+  }
+  if (const auto* v = doc.find("max_attach_retries")) {
+    faults.policy.max_attach_retries = static_cast<int>(v->asInt());
+  }
+  if (const auto* v = doc.find("gpu_falloffs")) {
+    for (const auto& f : v->asArray()) {
+      faults.gpu_falloffs.push_back({static_cast<int>(f.at("gpu").asInt()),
+                                     f.at("at").asDouble()});
+    }
+  }
+  if (const auto* v = doc.find("ecc_storms")) {
+    for (const auto& f : v->asArray()) {
+      FaultsConfig::EccStorm storm;
+      storm.gpu_index = static_cast<int>(f.at("gpu").asInt());
+      storm.at = f.at("at").asDouble();
+      if (const auto* e = f.find("errors")) {
+        storm.errors = static_cast<std::uint64_t>(e->asInt());
+      }
+      faults.ecc_storms.push_back(storm);
+    }
+  }
+  if (const auto* v = doc.find("host_port_flaps")) {
+    for (const auto& f : v->asArray()) {
+      faults.host_port_flaps.push_back({static_cast<int>(f.at("port").asInt()),
+                                        f.at("at").asDouble(),
+                                        f.at("downtime").asDouble()});
+    }
+  }
+  return faults;
+}
+
 std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
   std::vector<ExperimentSpec> specs;
   for (const auto& e : doc.at("experiments").asArray()) {
@@ -69,6 +117,9 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
     }
     if (const auto* v = e.find("trace")) {
       s.options.trace = v->asBool();
+    }
+    if (const auto* v = e.find("faults")) {
+      s.options.faults = parseFaultsConfig(*v);
     }
     specs.push_back(std::move(s));
   }

@@ -42,6 +42,18 @@ SystemConfig configFromName(const std::string& name);
 /// Resolve a Table II benchmark name to its model spec.
 dl::ModelSpec benchmarkFromName(const std::string& name);
 
+/// Parse a fault-schedule object (the "faults" key of an experiment, or a
+/// standalone --faults document):
+///
+///   {"seed": 7, "poll_interval": 0.5, "spare_gpus": 2,
+///    "attach_failure_rate": 0.3,
+///    "gpu_falloffs":    [{"gpu": 5, "at": 30.0}],
+///    "ecc_storms":      [{"gpu": 1, "at": 12.0, "errors": 500}],
+///    "host_port_flaps": [{"port": 2, "at": 60.0, "downtime": 2.0}]}
+///
+/// Parsing a faults object always sets enabled = true.
+FaultsConfig parseFaultsConfig(const falcon::Json& doc);
+
 /// Run one parsed spec.
 ExperimentResult runExperimentSpec(const ExperimentSpec& spec);
 

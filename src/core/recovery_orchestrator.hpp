@@ -1,0 +1,118 @@
+// composim: MTTR-aware recovery orchestrator (paper §III-B.3 made live).
+//
+// The composable test bed's pitch is that a failed GPU, NVMe, or host link
+// is a management-plane event, not a maintenance window: detach the dead
+// slot, attach a spare, resume from checkpoint — no cabling, no reboot.
+// RecoveryOrchestrator is the policy engine that drives that loop. It
+// subscribes to falcon::HealthMonitor fault events and runs a per-incident
+// state machine:
+//
+//   Detected ──► Quarantined ──► Attaching ──► Restoring ──► Recovered
+//                    │              │(retries      ▲
+//                    │              │ exhausted /  │
+//                    │              ▼ no spare)    │
+//                    └────────► Degrading ─────────┘ (shrunk gang)
+//
+//   HostPortLost ──► WaitingForLink ──► Restoring ──► Recovered
+//
+// Quarantine = Chassis::detach + removeDevice, so the AllocationPlanner
+// can never hand the dead device back as a "spare". Attach retries use
+// bounded exponential backoff because the management plane itself can fail
+// transiently (Status code Retryable). When no spare exists the gang
+// shrinks (graceful degradation) and the Trainer re-composes DDP over the
+// survivors. Every path ends in Trainer::requestRestore: model state is
+// re-read from storage over the fabric, so recovery cost is
+// topology-dependent like everything else in the simulator.
+//
+// MTTR here is detection-to-resume: the health monitor's polling already
+// models detection latency, and the bench reports injection-to-detection
+// separately by joining the injector's history against the monitor log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/composable_system.hpp"
+#include "dl/trainer.hpp"
+#include "falcon/allocation_planner.hpp"
+#include "falcon/health_monitor.hpp"
+
+namespace composim::core {
+
+struct RecoveryPolicy {
+  int max_attach_retries = 6;
+  SimTime attach_backoff_initial = 0.25;  // seconds; doubled per retry
+  double attach_backoff_multiplier = 2.0;
+  /// Treat an ECC error storm on a gang GPU as a failure prediction and
+  /// swap the device out before it falls off the bus.
+  bool proactive_on_error_storm = true;
+};
+
+struct RecoveryIncident {
+  falcon::FaultEvent fault;     // the detection that opened the incident
+  SimTime detected_at = 0.0;
+  SimTime recovered_at = -1.0;  // < 0 while open
+  enum class Path {
+    None,            // resolved without action (e.g. training already done)
+    SpareAttach,     // quarantined, spare attached, restored
+    Degraded,        // no spare: gang shrank, restored
+    WaitForLink,     // host port: waited out the outage, restored
+    StorageRetarget, // NVMe: spare attached, storage re-pointed, restored
+  } path = Path::None;
+  int attach_retries = 0;
+  bool resolved() const { return recovered_at >= 0.0; }
+  SimTime mttr() const { return recovered_at - detected_at; }
+};
+
+const char* toString(RecoveryIncident::Path p);
+
+class RecoveryOrchestrator {
+ public:
+  RecoveryOrchestrator(ComposableSystem& system, falcon::HealthMonitor& monitor,
+                       dl::Trainer& trainer, RecoveryPolicy policy = {});
+
+  RecoveryOrchestrator(const RecoveryOrchestrator&) = delete;
+  RecoveryOrchestrator& operator=(const RecoveryOrchestrator&) = delete;
+
+  const std::vector<RecoveryIncident>& incidents() const { return incidents_; }
+  std::uint64_t reattachRetries() const { return reattach_retries_; }
+  int degradations() const { return degradations_; }
+  std::size_t gangSize() const { return gang_.size(); }
+  /// Mean detection-to-resume time over resolved incidents (0 if none).
+  SimTime meanMttr() const;
+
+ private:
+  void onFault(const falcon::FaultEvent& ev);
+  bool inGang(const devices::Gpu* gpu) const;
+  /// True while an unresolved incident already covers this slot (one
+  /// physical fault may be detected via several signals in one poll).
+  bool slotHasOpenIncident(falcon::SlotId slot) const;
+  /// Quarantine the slot and either swap in a spare or degrade.
+  void handleGpuLoss(std::size_t inc, devices::Gpu* failed,
+                     falcon::SlotId slot);
+  void handleNvmeLoss(std::size_t inc, falcon::SlotId slot);
+  void quarantine(falcon::SlotId slot);
+  /// Attach `slot` to `port` with bounded exponential backoff; `onDone`
+  /// runs with true on success, false when retries are exhausted or the
+  /// failure is not retryable.
+  void attachWithRetry(std::size_t inc, falcon::SlotId slot, int port,
+                       SimTime backoff, std::function<void(bool)> onDone);
+  void degrade(std::size_t inc, devices::Gpu* failed);
+  /// Restore training on the current gang; closes every open incident at
+  /// the moment the first post-restore iteration begins.
+  void resumeTraining();
+  void closeOpenIncidents();
+  void instant(const char* name, ProfileArgs args = {});
+
+  ComposableSystem& system_;
+  falcon::HealthMonitor& monitor_;
+  dl::Trainer& trainer_;
+  RecoveryPolicy policy_;
+  std::vector<devices::Gpu*> gang_;
+  std::vector<RecoveryIncident> incidents_;
+  std::uint64_t reattach_retries_ = 0;
+  int degradations_ = 0;
+};
+
+}  // namespace composim::core

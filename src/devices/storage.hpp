@@ -34,6 +34,12 @@ class StorageDevice {
   fabric::NodeId node() const { return node_; }
   const StorageSpec& spec() const { return spec_; }
 
+  /// Re-point the device at a different fabric node — an NVMe spare
+  /// mounted in a new slot after the original fell off the bus. In-flight
+  /// ops finish (or fail) against the old node; queued ops dispatch
+  /// against the new one.
+  void retarget(fabric::NodeId node) { node_ = node; }
+
   /// Read `bytes` into the memory at `destination` (a fabric node).
   void read(Bytes bytes, fabric::NodeId destination, AccessPattern pattern,
             std::function<void(const fabric::FlowResult&)> done);

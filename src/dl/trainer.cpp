@@ -110,6 +110,7 @@ std::int64_t Trainer::iterationsPerEpochFull() const {
 
 void Trainer::start(std::function<void(const TrainingResult&)> done) {
   done_ = std::move(done);
+  started_ = true;
   run_start_ = sim_.now();
 
   const Bytes need = perGpuMemoryNeeded(batch_per_gpu_);
@@ -140,12 +141,14 @@ void Trainer::start(std::function<void(const TrainingResult&)> done) {
 }
 
 void Trainer::beginTrackSpan(const char* name, ProfileArgs args) {
+  ++track_depth_;
   if (ProfileSink* sink = sim_.profiler()) {
     sink->beginSpan(track_, "trainer", name, std::move(args));
   }
 }
 
 void Trainer::endTrackSpan(ProfileArgs args) {
+  --track_depth_;
   if (ProfileSink* sink = sim_.profiler()) {
     sink->endSpan(track_, std::move(args));
   }
@@ -158,25 +161,29 @@ void Trainer::prefetchNextInput() {
   if (ProfileSink* sink = sim_.profiler()) {
     prefetch_span = sink->beginAsyncSpan("trainer", "prefetch");
   }
-  pipeline_->requestBatch([this, prefetch_span] {
+  pipeline_->requestBatch([this, prefetch_span, gen = gen_] {
     // Batch is staged in host memory: copy each rank's shard to its GPU.
     AsyncSpanId h2d_span = kInvalidAsyncSpan;
     if (ProfileSink* sink = sim_.profiler()) {
       sink->endAsyncSpan(prefetch_span);
-      h2d_span = sink->beginAsyncSpan("trainer", "h2d",
-                                      {{"bytes_per_gpu", h2dBytesPerGpu()}});
+      if (gen == gen_) {
+        h2d_span = sink->beginAsyncSpan("trainer", "h2d",
+                                        {{"bytes_per_gpu", h2dBytesPerGpu()}});
+      }
     }
+    if (gen != gen_) return;  // batch for a composition a restore replaced
     auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
     for (auto* g : gpus_) {
       fabric::FlowOptions fo;
       fo.tag = "h2d";
       fo.extraLatency = fabric::catalog::dmaEndpointOverhead();
       net_.startFlow(host_memory_, g->node(), h2dBytesPerGpu(),
-                     [this, remaining, h2d_span](const fabric::FlowResult&) {
+                     [this, remaining, h2d_span, gen](const fabric::FlowResult&) {
                        if (--*remaining > 0) return;
                        if (ProfileSink* sink = sim_.profiler()) {
                          sink->endAsyncSpan(h2d_span);
                        }
+                       if (gen != gen_) return;
                        input_ready_ = true;
                        if (input_waiter_) {
                          auto w = std::move(input_waiter_);
@@ -243,8 +250,9 @@ void Trainer::runForward(int group) {
                      : model_.fp32_efficiency;
   auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
   for (auto* gpu : gpus_) {
-    gpu->launchKernel(k, [this, remaining, group] {
-      if (--*remaining == 0) runForward(group + 1);
+    gpu->launchKernel(k, [this, remaining, group, gen = gen_] {
+      if (--*remaining > 0 || gen != gen_) return;
+      runForward(group + 1);
     });
   }
 }
@@ -279,8 +287,8 @@ void Trainer::runBackwardDdp(int group) {
       micro_step_ >= std::max(1, options_.gradient_accumulation_steps) - 1;
   auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
   for (auto* gpu : gpus_) {
-    gpu->launchKernel(k, [this, remaining, group, sync_step] {
-      if (--*remaining > 0) return;
+    gpu->launchKernel(k, [this, remaining, group, sync_step, gen = gen_] {
+      if (--*remaining > 0 || gen != gen_) return;
       // DDP hook: buckets whose last group just finished its backward pass
       // start their all-reduce, overlapping the remaining backward work.
       if (sync_step) {
@@ -288,7 +296,8 @@ void Trainer::runBackwardDdp(int group) {
           if (bucket.last_group == group && bucket.bytes > 0) {
             ++pending_allreduce_;
             comm_->allReduce(bucket.bytes,
-                             [this](const collectives::CollectiveResult&) {
+                             [this, gen](const collectives::CollectiveResult&) {
+                               if (gen != gen_) return;
                                if (--pending_allreduce_ == 0 && backward_done_) {
                                  onComputeAndCommDone();
                                }
@@ -306,7 +315,8 @@ void Trainer::runDataParallelIteration() {
   // DP: scatter the replica parameters from the master GPU, run the whole
   // forward+backward with no overlap, gather gradients to the master.
   const Bytes param_bytes = model_.paramBytes(options_.precision);
-  comm_->broadcast(param_bytes, 0, [this](const collectives::CollectiveResult&) {
+  comm_->broadcast(param_bytes, 0, [this, gen = gen_](const collectives::CollectiveResult&) {
+    if (gen != gen_) return;
     // Forward+backward as one fused pass per GPU (no hooks in DP).
     devices::KernelDesc k;
     k.flops = 3.0 * model_.forwardFlopsPerSample() * batch_per_gpu_;
@@ -317,10 +327,11 @@ void Trainer::runDataParallelIteration() {
                        : model_.fp32_efficiency;
     auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
     for (auto* gpu : gpus_) {
-      gpu->launchKernel(k, [this, remaining] {
-        if (--*remaining > 0) return;
+      gpu->launchKernel(k, [this, remaining, gen] {
+        if (--*remaining > 0 || gen != gen_) return;
         comm_->reduce(gradBytes(), 0,
-                      [this](const collectives::CollectiveResult&) {
+                      [this, gen](const collectives::CollectiveResult&) {
+                        if (gen != gen_) return;
                         onComputeAndCommDone();
                       });
       });
@@ -359,16 +370,14 @@ void Trainer::optimizerStep(std::function<void()> then) {
 
   auto counter = std::make_shared<int>(master_only ? 1 : static_cast<int>(gpus_.size()));
   auto cont = std::make_shared<std::function<void()>>(std::move(then));
+  auto step_done = [this, counter, cont, gen = gen_] {
+    if (--*counter > 0 || gen != gen_) return;
+    (*cont)();
+  };
   if (master_only) {
-    gpus_.front()->launchKernel(k, [counter, cont] {
-      if (--*counter == 0) (*cont)();
-    });
+    gpus_.front()->launchKernel(k, step_done);
   } else {
-    for (auto* gpu : gpus_) {
-      gpu->launchKernel(k, [counter, cont] {
-        if (--*counter == 0) (*cont)();
-      });
-    }
+    for (auto* gpu : gpus_) gpu->launchKernel(k, step_done);
   }
 }
 
@@ -379,7 +388,8 @@ void Trainer::endIteration() {
   cpu_.submit(options_.step_overhead, nullptr);
   cpu_.submit(options_.step_overhead, nullptr);
   beginTrackSpan("step-overhead");
-  sim_.schedule(options_.step_overhead, [this] {
+  sim_.schedule(options_.step_overhead, [this, gen = gen_] {
+    if (gen != gen_) return;
     endTrackSpan();  // step-overhead
     const SimTime dt = sim_.now() - iteration_start_;
     endTrackSpan({{"dt_s", dt}});  // iteration
@@ -436,12 +446,19 @@ void Trainer::checkpoint(std::function<void()> then) {
   fabric::FlowOptions fo;
   fo.tag = "checkpoint-d2h";
   net_.startFlow(gpus_.front()->node(), host_memory_, ckpt,
-                 [this, ckpt, started, cont](const fabric::FlowResult&) {
+                 [this, ckpt, started, cont, gen = gen_](const fabric::FlowResult&) {
+                   if (gen != gen_) return;
                    storage_.write(ckpt, host_memory_,
-                                  [this, ckpt, started, cont](const fabric::FlowResult&) {
+                                  [this, ckpt, started, cont, gen](const fabric::FlowResult&) {
+                                    if (gen != gen_) return;
                                     checkpointing_ = false;
                                     result_.checkpoint_bytes += ckpt;
                                     result_.checkpoint_time += sim_.now() - started;
+                                    // The checkpoint is durable: this is
+                                    // now the restore/replay point.
+                                    ckpt_epoch_ = epoch_;
+                                    ckpt_iter_in_epoch_ = iter_in_epoch_;
+                                    ckpt_iters_done_ = iterations_done_;
                                     endTrackSpan();  // checkpoint
                                     (*cont)();
                                   });
@@ -479,9 +496,15 @@ void Trainer::applyPendingResize() {
     return;
   }
 
+  recomposeGang();
+  prefetchNextInput();
+}
+
+void Trainer::recomposeGang() {
   std::vector<fabric::NodeId> ranks;
   ranks.reserve(gpus_.size());
   for (const auto* g : gpus_) ranks.push_back(g->node());
+  retired_comms_.push_back(std::move(comm_));
   comm_ = std::make_unique<collectives::Communicator>(sim_, net_, topo_, ranks);
 
   // New global batch -> new pipeline; the old one is retired (it may
@@ -502,7 +525,84 @@ void Trainer::applyPendingResize() {
     iters_per_epoch_sim_ = std::min<std::int64_t>(
         iters_per_epoch_sim_, options_.max_iterations_per_epoch);
   }
-  prefetchNextInput();
+}
+
+bool Trainer::requestRestore(std::vector<devices::Gpu*> gpus,
+                             std::function<void()> onResumed) {
+  if (!started_ || finished_ || gpus.empty()) return false;
+
+  // Orphan every in-flight continuation: kernels, flows, collectives and
+  // scheduled events captured the old generation and will no-op.
+  ++gen_;
+  // Keep the trace well-formed: whatever phase spans the abandoned
+  // iteration had open must close before the restore span opens.
+  while (track_depth_ > 0) endTrackSpan({{"aborted", 1}});
+  checkpointing_ = false;
+  input_ready_ = false;
+  input_waiter_ = nullptr;
+  backward_done_ = false;
+  pending_allreduce_ = 0;
+  micro_step_ = 0;
+
+  // Rewind to the replay window. Iterations completed since the last
+  // durable checkpoint are lost work: they will be re-run.
+  const std::int64_t lost = iterations_done_ - ckpt_iters_done_;
+  result_.lost_iterations += lost;
+  ++result_.restores;
+  iterations_done_ = ckpt_iters_done_;
+  iter_in_epoch_ = ckpt_iter_in_epoch_;
+  epoch_ = ckpt_epoch_;
+  if (result_.loss_curve.size() > static_cast<std::size_t>(ckpt_iters_done_)) {
+    result_.loss_curve.resize(static_cast<std::size_t>(ckpt_iters_done_));
+  }
+
+  // Swap the gang. free() clamps, so GPUs that already fell off the bus
+  // release cleanly too.
+  for (auto* g : gpus_) g->free(allocated_per_gpu_);
+  allocated_per_gpu_ = 0;
+  gpus_ = std::move(gpus);
+  const Bytes need = perGpuMemoryNeeded(batch_per_gpu_);
+  try {
+    for (auto* g : gpus_) g->allocate(need);
+    allocated_per_gpu_ = need;
+  } catch (const devices::GpuOutOfMemory& oom) {
+    for (auto* g : gpus_) g->free(need);
+    allocated_per_gpu_ = 0;
+    finish(false, std::string("restore failed: ") + oom.what());
+    return true;  // the request was accepted; it ended the run
+  }
+  recomposeGang();
+
+  // Restore I/O over the fabric: read the FP32 state_dict from storage
+  // into host memory, then broadcast it to every rank. Recovery cost is
+  // topology-dependent like everything else.
+  const SimTime restore_start = sim_.now();
+  const Bytes ckpt = model_.totalParams() * 4;
+  beginTrackSpan("restore", {{"bytes", ckpt}, {"gang", gpus_.size()}});
+  auto resumed = std::make_shared<std::function<void()>>(std::move(onResumed));
+  storage_.read(ckpt, host_memory_, devices::AccessPattern::Sequential,
+                [this, ckpt, restore_start, resumed,
+                 gen = gen_](const fabric::FlowResult&) {
+    if (gen != gen_) return;
+    auto remaining = std::make_shared<int>(static_cast<int>(gpus_.size()));
+    for (auto* g : gpus_) {
+      fabric::FlowOptions fo;
+      fo.tag = "restore-h2d";
+      fo.extraLatency = fabric::catalog::dmaEndpointOverhead();
+      net_.startFlow(host_memory_, g->node(), ckpt,
+                     [this, remaining, restore_start, resumed,
+                      gen](const fabric::FlowResult&) {
+                       if (--*remaining > 0 || gen != gen_) return;
+                       result_.restore_time += sim_.now() - restore_start;
+                       endTrackSpan();  // restore
+                       prefetchNextInput();
+                       if (*resumed) (*resumed)();
+                       beginIteration();
+                     },
+                     std::move(fo));
+    }
+  });
+  return true;
 }
 
 void Trainer::finish(bool completed, const std::string& error) {

@@ -83,6 +83,12 @@ struct TrainingResult {
   SimTime data_stall_time = 0.0;
   SimTime checkpoint_time = 0.0;
   Bytes checkpoint_bytes = 0;
+  // Recovery accounting (requestRestore): checkpoint rollbacks performed,
+  // completed iterations discarded to the replay window, and total time
+  // spent in restore I/O (storage read + parameter broadcast).
+  int restores = 0;
+  std::int64_t lost_iterations = 0;
+  SimTime restore_time = 0.0;
   std::vector<double> loss_curve;      // one entry per simulated iteration
 };
 
@@ -117,6 +123,20 @@ class Trainer {
   /// is empty or training already finished.
   bool requestResize(std::vector<devices::Gpu*> gpus);
 
+  /// Failure recovery (the composable test bed's raison d'être): abandon
+  /// the current iteration immediately, rewind to the last checkpoint, and
+  /// resume on `gpus` — the old gang with a spare swapped in, or a smaller
+  /// gang for graceful degradation. Unlike requestResize this does NOT
+  /// wait for an epoch boundary: in-flight kernels, flows and collectives
+  /// are orphaned (their completions become no-ops), model state is
+  /// re-read from storage over the fabric and broadcast to every new rank,
+  /// and iterations completed since the checkpoint are replayed (counted
+  /// in result.lost_iterations). `onResumed` fires when the first
+  /// post-restore iteration begins. Fails (returns false) if training has
+  /// not started, already finished, or `gpus` is empty.
+  bool requestRestore(std::vector<devices::Gpu*> gpus,
+                      std::function<void()> onResumed = nullptr);
+
   int batchPerGpu() const { return batch_per_gpu_; }
   int epochs() const { return epochs_; }
   std::int64_t iterationsPerEpochFull() const;
@@ -124,7 +144,11 @@ class Trainer {
   int currentEpoch() const { return epoch_; }
   bool checkpointing() const { return checkpointing_; }
   int resizeCount() const { return resize_count_; }
+  int restoreCount() const { return result_.restores; }
+  std::int64_t lostIterations() const { return result_.lost_iterations; }
+  bool finished() const { return finished_; }
   std::size_t groupSize() const { return gpus_.size(); }
+  const std::vector<devices::Gpu*>& gpuGroup() const { return gpus_; }
   const ModelSpec& model() const { return model_; }
   collectives::Communicator& communicator() { return *comm_; }
   DataPipeline& pipeline() { return *pipeline_; }
@@ -151,6 +175,10 @@ class Trainer {
   void endIteration();
   void checkpoint(std::function<void()> then);
   void applyPendingResize();
+  /// Rebuild communicator + data pipeline for the current gpus_ (shared by
+  /// resize and restore); the old ones are retired, not destroyed, because
+  /// in-flight callbacks still reference them.
+  void recomposeGang();
   void finish(bool completed, const std::string& error);
 
   Bytes gradBytes() const { return model_.gradientBytes(options_.precision); }
@@ -190,9 +218,26 @@ class Trainer {
   /// Stopped pipelines from before a resize; kept alive until the trainer
   /// dies because their in-flight storage callbacks reference them.
   std::vector<std::unique_ptr<DataPipeline>> retired_pipelines_;
+  /// Communicators from before a restore, kept alive for the same reason:
+  /// orphaned collective flows still call back into them.
+  std::vector<std::unique_ptr<collectives::Communicator>> retired_comms_;
   std::int64_t iter_in_epoch_ = 0;
   std::int64_t iterations_done_ = 0;
   bool checkpointing_ = false;
+  bool started_ = false;
+  /// Continuation generation: bumped by requestRestore so every callback
+  /// captured before the restore (kernels, flows, collectives, scheduled
+  /// events) returns without touching trainer state.
+  std::uint64_t gen_ = 0;
+  /// Open spans on track_ (so a mid-iteration restore can close them all
+  /// and keep the trace B/E-balanced).
+  int track_depth_ = 0;
+  // Replay window: what the last durable checkpoint captured. Zero-state
+  // (fresh initialization) counts as a checkpoint, so a restore before the
+  // first write replays from iteration 0.
+  int ckpt_epoch_ = 0;
+  std::int64_t ckpt_iter_in_epoch_ = 0;
+  std::int64_t ckpt_iters_done_ = 0;
   bool input_ready_ = false;               // H2D for current iteration done
   std::function<void()> input_waiter_;
   int pending_compute_ = 0;                // outstanding kernels/collectives

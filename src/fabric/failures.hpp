@@ -4,10 +4,24 @@
 // and link health (paper §II-B); this module generates the faults those
 // views exist for: scheduled link flaps (down for a duration, killing
 // in-flight flows), transient error bursts that only bump the error
-// counters, and permanent degradation (renegotiated width/speed).
+// counters, permanent degradation (renegotiated width/speed), and the
+// device-level faults the composable test bed exists to survive — a GPU
+// or NVMe falling off the bus (both slot-link directions down for good)
+// and a host port losing its CDFP cable for a while.
+//
+// Every injected fault appends a FaultRecord carrying its parameters, and
+// link restores append a Restore record, so history() is a complete,
+// replayable log of everything the injector did to the fabric.
+//
+// Overlapping flaps on one link compose: the link stays down until the
+// *last* outstanding flap's downtime elapses (a per-link down-depth
+// counter), and a capacity degrade applied while the link is down
+// survives the restore — restore only raises the link, it never touches
+// capacity.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "fabric/flow_network.hpp"
@@ -18,8 +32,22 @@ namespace composim::fabric {
 struct FaultRecord {
   SimTime time = 0.0;
   LinkId link = kInvalidLink;
-  enum class Kind { Flap, ErrorBurst, Degrade, Restore } kind = Kind::Flap;
+  /// Second affected direction (falloffs and host-port flaps take both
+  /// directions of a duplex pair down); kInvalidLink otherwise.
+  LinkId link2 = kInvalidLink;
+  enum class Kind {
+    Flap,          // link down for a bounded time
+    ErrorBurst,    // correctable errors only
+    Degrade,       // permanent capacity reduction
+    Falloff,       // device fell off the bus: both directions down for good
+    HostPortLoss,  // host adapter cable out: both directions down, bounded
+    Restore,       // a flap / port loss ended and the link(s) came back up
+  } kind = Kind::Flap;
+  double factor = 1.0;         // Degrade: capacity multiplier applied
+  std::uint64_t errors = 0;    // ErrorBurst: errors added to the counter
 };
+
+const char* toString(FaultRecord::Kind k);
 
 class FaultInjector {
  public:
@@ -31,16 +59,29 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Take `link` down at `at`, failing flows that cross it, and bring it
-  /// back up `downtime` later.
+  /// back up `downtime` later. Overlapping flaps on the same link hold it
+  /// down until the last one's downtime elapses.
   void scheduleLinkFlap(LinkId link, SimTime at, SimTime downtime);
 
   /// Add `errors` to the link's accumulated error counter at `at`
   /// (correctable errors: traffic keeps flowing, health view degrades).
+  /// Also models a GPU ECC error storm when aimed at a slot link.
   void scheduleErrorBurst(LinkId link, SimTime at, std::uint64_t errors);
 
   /// Permanently reduce the link's capacity by `factor` (0,1] at `at`,
   /// modelling a PCIe width/speed renegotiation after faults.
   void scheduleDegrade(LinkId link, SimTime at, double factor);
+
+  /// Device fall-off-the-bus at `at`: both directions of the device's
+  /// slot link go down permanently, killing in-flight flows. Models a GPU
+  /// dropping off PCIe after uncorrectable errors, or an NVMe dying.
+  void scheduleDeviceFalloff(LinkId up, LinkId down, SimTime at);
+
+  /// Host-port loss at `at`: both directions of a host-adapter link pair
+  /// go down (CDFP cable pulled / adapter reset) and come back `downtime`
+  /// later. Composes with other flaps via the down-depth counter.
+  void scheduleHostPortFlap(LinkId in, LinkId out, SimTime at,
+                            SimTime downtime);
 
   /// Poisson-arrival error bursts on `link` with the given mean interval,
   /// until `until`.
@@ -49,12 +90,24 @@ class FaultInjector {
 
   const std::vector<FaultRecord>& history() const { return history_; }
 
+  /// Faults injected so far (Restore records excluded).
+  std::uint64_t faultsInjected() const { return faults_injected_; }
+
  private:
+  void record(FaultRecord r);
+  /// Take one link direction down (depth-counted) and fail its flows.
+  void bringDown(LinkId link);
+  /// Release one hold on the link; raises it when no flap still holds it.
+  /// Returns true when the link actually came back up.
+  bool release(LinkId link);
+
   Simulator& sim_;
   Topology& topo_;
   FlowNetwork& net_;
   Rng rng_;
   std::vector<FaultRecord> history_;
+  std::unordered_map<LinkId, int> down_depth_;
+  std::uint64_t faults_injected_ = 0;
 };
 
 }  // namespace composim::fabric

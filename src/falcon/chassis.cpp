@@ -238,6 +238,12 @@ OpResult FalconChassis::checkAttachAllowed(SlotId s, int portIdx) const {
   return OpResult::success();
 }
 
+void FalconChassis::setTransientAttachFailureRate(double rate,
+                                                  std::uint64_t seed) {
+  transient_attach_failure_rate_ = rate;
+  attach_rng_.reseed(seed);
+}
+
 OpResult FalconChassis::attach(SlotId s, int portIdx) {
   if (auto r = validateSlotId(s); !r) return r;
   if (portIdx < 0 || portIdx >= kHostPorts) {
@@ -252,6 +258,12 @@ OpResult FalconChassis::attach(SlotId s, int portIdx) {
                              ports_[static_cast<std::size_t>(info.assigned_port)].label);
   }
   if (auto r = checkAttachAllowed(s, portIdx); !r) return r;
+  if (transient_attach_failure_rate_ > 0.0 &&
+      attach_rng_.uniform() < transient_attach_failure_rate_) {
+    logEvent("warning", "attach of '" + info.device_name +
+                            "' timed out (transient); retry");
+    return OpResult::retryable("management plane timed out; retry attach");
+  }
   info.assigned_port = portIdx;
   logEvent("info", "device '" + info.device_name + "' attached to host '" +
                        ports_[static_cast<std::size_t>(portIdx)].host_name + "' (port " +

@@ -24,6 +24,7 @@
 #include "common/status.hpp"
 #include "fabric/link_catalog.hpp"
 #include "fabric/topology.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
 namespace composim::falcon {
@@ -105,6 +106,12 @@ class FalconChassis {
   DrawerMode drawerMode(int drawer) const;
 
   // --- composability: assignment of devices to hosts ---
+  /// Make `attach` fail transiently (Status code Retryable, no state
+  /// change) with probability `rate` per call, from a seeded stream —
+  /// models the management plane timing out on a busy switch firmware.
+  /// Validation errors still take precedence; only an attach that would
+  /// have succeeded can fail transiently. rate = 0 disables (default).
+  void setTransientAttachFailureRate(double rate, std::uint64_t seed = 7);
   OpResult attach(SlotId slot, int port);
   OpResult detach(SlotId slot);
   int assignedPort(SlotId slot) const { return this->slot(slot).assigned_port; }
@@ -139,6 +146,8 @@ class FalconChassis {
   std::array<DrawerMode, kDrawers> mode_{};
   std::array<std::array<SlotInfo, kSlotsPerDrawer>, kDrawers> slots_{};
   std::array<HostPortInfo, kHostPorts> ports_{};
+  double transient_attach_failure_rate_ = 0.0;
+  Rng attach_rng_{7};
 };
 
 }  // namespace composim::falcon

@@ -1,0 +1,102 @@
+// composim: health monitor polling BMC telemetry for fault detection.
+//
+// The Falcon BMC exposes link health and accumulated PCIe error counters
+// (paper §II-B); an operator — or an orchestrator — watches those views to
+// decide when a device has failed and the composable re-allocation story
+// (§III-B.3) should kick in. HealthMonitor models that watcher: it polls
+// the BMC's link-health table and the chassis host ports on a simulated
+// interval, diffs against the previous snapshot, and emits typed
+// FaultEvents to a subscriber.
+//
+// Detection is therefore *not* instantaneous: a fault injected between two
+// polls is seen at the next poll, so detection latency is uniform in
+// (0, interval] — exactly the telemetry-lag term a real MTTR breakdown has.
+// Error storms use a rate threshold (errors accumulated since the last
+// poll), so correctable-error noise below the threshold never alarms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "falcon/bmc.hpp"
+#include "falcon/chassis.hpp"
+
+namespace composim::falcon {
+
+enum class FaultEventType {
+  DeviceLost,        // slot link down (fall-off-the-bus)
+  DeviceRestored,    // slot link back up after a loss
+  ErrorStorm,        // accumulated errors jumped >= threshold in one poll
+  HostPortLost,      // host adapter link down
+  HostPortRestored,  // host adapter link back up
+};
+
+const char* toString(FaultEventType t);
+
+struct FaultEvent {
+  SimTime time = 0.0;  // detection time (the poll that saw it)
+  FaultEventType type = FaultEventType::DeviceLost;
+  SlotId slot;              // device events; undefined for host-port events
+  int port = -1;            // host-port events; -1 for device events
+  std::string device_name;  // device or host name
+  DeviceType device_type = DeviceType::Custom;
+  std::uint64_t error_delta = 0;  // ErrorStorm: errors since last poll
+};
+
+class HealthMonitor {
+ public:
+  using Handler = std::function<void(const FaultEvent&)>;
+
+  HealthMonitor(Simulator& sim, FalconChassis& chassis, Bmc& bmc)
+      : sim_(sim), chassis_(chassis), bmc_(bmc) {}
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Subscribe to fault events. Handlers run after a full poll pass, so a
+  /// handler may mutate the chassis (detach/attach) without corrupting the
+  /// scan that detected the fault.
+  void subscribe(Handler handler) { handlers_.push_back(std::move(handler)); }
+
+  /// Errors accumulated within one poll interval at or above this count
+  /// raise an ErrorStorm event (default 100 — well above random noise).
+  void setErrorStormThreshold(std::uint64_t errors) { storm_threshold_ = errors; }
+
+  /// Start polling every `interval` simulated seconds. InvalidArgument for
+  /// a non-positive interval; FailedPrecondition when already running.
+  Status start(SimTime interval);
+  void stop() { running_ = false; }
+
+  /// One poll pass (also what the periodic schedule runs). Snapshot link
+  /// health, diff against the previous snapshot, dispatch events.
+  void poll();
+
+  std::uint64_t detections() const { return detections_; }
+  const std::vector<FaultEvent>& log() const { return log_; }
+
+ private:
+  struct SlotHealth {
+    bool up = true;
+    std::uint64_t errors = 0;
+  };
+
+  void emit(FaultEvent ev);
+  void periodicPoll(SimTime interval);
+
+  Simulator& sim_;
+  FalconChassis& chassis_;
+  Bmc& bmc_;
+  std::vector<Handler> handlers_;
+  // Keyed by drawer * kSlotsPerDrawer + index.
+  std::unordered_map<int, SlotHealth> slot_state_;
+  std::unordered_map<int, bool> port_state_;
+  std::vector<FaultEvent> log_;
+  std::uint64_t storm_threshold_ = 100;
+  std::uint64_t detections_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace composim::falcon

@@ -15,11 +15,12 @@ struct FaultFixture : ::testing::Test {
   NodeId a = topo.addNode("a", NodeKind::Gpu);
   NodeId b = topo.addNode("b", NodeKind::Gpu);
   LinkId ab = kInvalidLink;
+  LinkId ba = kInvalidLink;
 
   void SetUp() override {
     auto [fwd, rev] = topo.addDuplexLink(a, b, units::GBps(10), 0.0, LinkKind::PCIe4);
     ab = fwd;
-    (void)rev;
+    ba = rev;
   }
 };
 
@@ -95,6 +96,96 @@ TEST_F(FaultFixture, FailLinkWithManyActiveFlowsKillsOnlyCrossers) {
   EXPECT_EQ(topo.link(ab).counters.errors, 1u);
   EXPECT_EQ(net.flowsFailed(), static_cast<std::uint64_t>(crossers));
   EXPECT_EQ(net.activeFlows(), 0u);
+}
+
+TEST_F(FaultFixture, RecordsCarryFaultParameters) {
+  // Regression: FaultRecord used to drop the degrade factor and burst
+  // error count, making history() unreplayable.
+  faults.scheduleDegrade(ab, 0.1, 0.25);
+  faults.scheduleErrorBurst(ab, 0.2, 77);
+  sim.run();
+  ASSERT_EQ(faults.history().size(), 2u);
+  EXPECT_EQ(faults.history()[0].kind, FaultRecord::Kind::Degrade);
+  EXPECT_DOUBLE_EQ(faults.history()[0].factor, 0.25);
+  EXPECT_EQ(faults.history()[1].kind, FaultRecord::Kind::ErrorBurst);
+  EXPECT_EQ(faults.history()[1].errors, 77u);
+  EXPECT_EQ(faults.faultsInjected(), 2u);
+}
+
+TEST_F(FaultFixture, DegradeDuringFlapComposesAndSurvivesRestore) {
+  // A width/speed renegotiation landing while the link is flapped must
+  // stick: the restore only raises the link, never resets capacity.
+  faults.scheduleLinkFlap(ab, 0.1, 0.3);
+  faults.scheduleDegrade(ab, 0.2, 0.5);  // 10 -> 5 GB/s, mid-outage
+  FlowResult res;
+  sim.schedule(0.5, [&] {
+    net.startFlow(a, b, units::GB(1), [&](const FlowResult& r) { res = r; });
+  });
+  sim.run();
+  EXPECT_EQ(res.status, FlowStatus::Completed);
+  EXPECT_NEAR(res.duration(), 0.2, 1e-3);  // 1 GB at the degraded 5 GB/s
+  EXPECT_DOUBLE_EQ(topo.link(ab).capacity, units::GBps(5));
+}
+
+TEST_F(FaultFixture, OverlappingFlapsHoldLinkUntilLastRestore) {
+  faults.scheduleLinkFlap(ab, 0.1, 0.3);  // would restore at 0.4
+  faults.scheduleLinkFlap(ab, 0.2, 0.5);  // holds it down until 0.7
+  bool down_mid = false, up_after = false;
+  sim.schedule(0.45, [&] { down_mid = !topo.link(ab).up; });
+  sim.schedule(0.75, [&] { up_after = topo.link(ab).up; });
+  sim.run();
+  EXPECT_TRUE(down_mid);  // first flap's restore must not raise the link
+  EXPECT_TRUE(up_after);
+  int restores = 0;
+  SimTime restore_at = 0.0;
+  for (const auto& f : faults.history()) {
+    if (f.kind == FaultRecord::Kind::Restore) {
+      ++restores;
+      restore_at = f.time;
+    }
+  }
+  EXPECT_EQ(restores, 1);  // exactly one, when the link actually came up
+  EXPECT_NEAR(restore_at, 0.7, 1e-9);
+}
+
+TEST_F(FaultFixture, DeviceFalloffKillsBothDirectionsForGood) {
+  FlowStatus fwd = FlowStatus::Completed, rev = FlowStatus::Completed;
+  net.startFlow(a, b, units::GB(10), [&](const FlowResult& r) { fwd = r.status; });
+  net.startFlow(b, a, units::GB(10), [&](const FlowResult& r) { rev = r.status; });
+  faults.scheduleDeviceFalloff(ab, ba, 0.05);
+  bool still_down = false;
+  sim.schedule(5.0, [&] { still_down = !topo.link(ab).up && !topo.link(ba).up; });
+  sim.run();
+  EXPECT_EQ(fwd, FlowStatus::Failed);
+  EXPECT_EQ(rev, FlowStatus::Failed);
+  EXPECT_TRUE(still_down);  // permanent: no restore ever
+  EXPECT_GE(topo.link(ab).counters.errors, 1000u);
+  ASSERT_EQ(faults.history().size(), 1u);
+  EXPECT_EQ(faults.history()[0].kind, FaultRecord::Kind::Falloff);
+  EXPECT_EQ(faults.history()[0].link, ab);
+  EXPECT_EQ(faults.history()[0].link2, ba);
+  EXPECT_EQ(faults.faultsInjected(), 1u);
+}
+
+TEST_F(FaultFixture, HostPortFlapTakesBothDirectionsAndRestores) {
+  faults.scheduleHostPortFlap(ab, ba, 0.1, 0.2);
+  bool down_mid = false;
+  sim.schedule(0.2, [&] { down_mid = !topo.link(ab).up && !topo.link(ba).up; });
+  FlowResult res;
+  sim.schedule(0.5, [&] {
+    net.startFlow(a, b, units::MiB(1), [&](const FlowResult& r) { res = r; });
+  });
+  sim.run();
+  EXPECT_TRUE(down_mid);
+  EXPECT_EQ(res.status, FlowStatus::Completed);  // healthy after restore
+  EXPECT_GE(topo.link(ab).counters.errors, 10u);  // +10 burst, +1 from failLink
+  ASSERT_EQ(faults.history().size(), 2u);
+  EXPECT_EQ(faults.history()[0].kind, FaultRecord::Kind::HostPortLoss);
+  EXPECT_EQ(faults.history()[1].kind, FaultRecord::Kind::Restore);
+  EXPECT_EQ(faults.history()[1].link, ab);
+  EXPECT_EQ(faults.history()[1].link2, ba);
+  EXPECT_THROW(faults.scheduleHostPortFlap(ab, ba, 0.0, 0.0),
+               std::invalid_argument);
 }
 
 TEST_F(FaultFixture, RandomErrorNoiseStopsAtDeadline) {

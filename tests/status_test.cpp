@@ -31,6 +31,7 @@ TEST(Status, TypedFactoriesSetCodes) {
   EXPECT_EQ(Status::failedPrecondition("x").code, StatusCode::FailedPrecondition);
   EXPECT_EQ(Status::unavailable("x").code, StatusCode::Unavailable);
   EXPECT_EQ(Status::internal("x").code, StatusCode::Internal);
+  EXPECT_EQ(Status::retryable("x").code, StatusCode::Retryable);
   for (const Status& s : {Status::invalidArgument("x"), Status::internal("x")}) {
     EXPECT_FALSE(s.ok);
     EXPECT_FALSE(static_cast<bool>(s));
@@ -61,6 +62,16 @@ TEST(Status, CodeNames) {
   EXPECT_STREQ(toString(StatusCode::FailedPrecondition), "FAILED_PRECONDITION");
   EXPECT_STREQ(toString(StatusCode::Unavailable), "UNAVAILABLE");
   EXPECT_STREQ(toString(StatusCode::Internal), "INTERNAL");
+  EXPECT_STREQ(toString(StatusCode::Retryable), "RETRYABLE");
+}
+
+// Retryable is the one failure a caller is invited to repeat verbatim
+// (transient management-plane faults); it must still read as failure.
+TEST(Status, RetryableIsAFailure) {
+  const Status s = Status::retryable("management plane timed out");
+  EXPECT_FALSE(s.ok);
+  EXPECT_FALSE(static_cast<bool>(s));
+  EXPECT_EQ(s.toString(), "RETRYABLE: management plane timed out");
 }
 
 // The falcon management plane's OpResult is an alias of Status, so chassis
