@@ -1,10 +1,20 @@
 // composim bench: shared helpers for the table/figure reproduction
 // binaries. Each binary prints the paper artifact it regenerates plus the
 // paper's reference values so the shape comparison is one glance.
+//
+// Every bench that replays independent experiments takes `--jobs N` (or
+// the COMPOSIM_JOBS environment variable) and fans them out through the
+// core::WorkStealingPool; results come back in submission order, so the
+// printed artifact is byte-identical at any job count.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/sweep_runner.hpp"
 
 namespace composim::bench {
 
@@ -14,6 +24,41 @@ inline void banner(const std::string& artifact, const std::string& caption) {
   std::printf("(composim reproduction of 'Performance Analysis of Deep Learning\n");
   std::printf(" Workloads on a Composable System', IPPS 2021)\n");
   std::printf("================================================================\n\n");
+}
+
+/// Worker count for a bench: `--jobs N` wins, then COMPOSIM_JOBS, then 0
+/// (auto = hardware_concurrency, resolved by the pool).
+inline int jobsFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") return std::atoi(argv[i + 1]);
+  }
+  if (const char* env = std::getenv("COMPOSIM_JOBS")) return std::atoi(env);
+  return 0;
+}
+
+/// Fan `count` independent measurements across `jobs` workers and return
+/// their values in submission order. `fn(i)` must build its whole
+/// simulation stack locally (no shared mutable state) — every bench
+/// measurement already does, since each one constructs a private
+/// ComposableSystem/Trainer.
+template <typename Fn>
+auto sweep(int jobs, std::size_t count, Fn&& fn)
+    -> decltype(core::sweepOrdered(jobs, count, static_cast<Fn&&>(fn))) {
+  return core::sweepOrdered(jobs, count, static_cast<Fn&&>(fn));
+}
+
+/// The benches' staple shape: a (benchmark x configuration) measurement
+/// matrix with shared options, returned row-major in (model-major,
+/// config-minor) order — result[m * configs.size() + c].
+inline std::vector<core::ExperimentResult> experimentMatrix(
+    int jobs, const std::vector<dl::ModelSpec>& models,
+    const std::vector<core::SystemConfig>& configs,
+    const core::ExperimentOptions& opt) {
+  return core::sweepOrdered(
+      jobs, models.size() * configs.size(), [&](std::size_t i) {
+        return core::Experiment::run(configs[i % configs.size()],
+                                     models[i / configs.size()], opt);
+      });
 }
 
 }  // namespace composim::bench

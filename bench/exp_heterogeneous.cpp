@@ -56,25 +56,35 @@ double throughput(core::ComposableSystem& sys, std::vector<devices::Gpu*> gpus,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Heterogeneous pool",
                 "4x V100 + 4x composed P100 vs homogeneous pools (ResNet-50)");
 
   const auto model = dl::resNet50();
 
-  core::ComposableSystem homo8(core::SystemConfig::LocalGpus);
-  const double v100x8 = throughput(homo8, homo8.trainingGpus(), model);
-
-  core::ComposableSystem homo4(core::SystemConfig::LocalGpus);
-  auto four = homo4.trainingGpus();
-  four.resize(4);
-  const double v100x4 = throughput(homo4, four, model);
-
-  HeteroTestbed hetero;
-  auto mixed = hetero.sys.trainingGpus();
-  mixed.resize(4);
-  for (auto& p : hetero.p100s) mixed.push_back(p.get());
-  const double mixedSps = throughput(hetero.sys, mixed, model);
+  // Three independent testbeds: each lambda builds its own system so the
+  // pools can be measured on worker threads.
+  const auto sps = bench::sweep(
+      bench::jobsFromArgs(argc, argv), 3, [&model](std::size_t i) {
+        if (i == 0) {
+          core::ComposableSystem homo8(core::SystemConfig::LocalGpus);
+          return throughput(homo8, homo8.trainingGpus(), model);
+        }
+        if (i == 1) {
+          core::ComposableSystem homo4(core::SystemConfig::LocalGpus);
+          auto four = homo4.trainingGpus();
+          four.resize(4);
+          return throughput(homo4, four, model);
+        }
+        HeteroTestbed hetero;
+        auto mixed = hetero.sys.trainingGpus();
+        mixed.resize(4);
+        for (auto& p : hetero.p100s) mixed.push_back(p.get());
+        return throughput(hetero.sys, mixed, model);
+      });
+  const double v100x8 = sps[0];
+  const double v100x4 = sps[1];
+  const double mixedSps = sps[2];
 
   telemetry::Table t({"Pool", "samples/s", "vs 8x V100 %"});
   t.addRow({"8x V100 (local)", telemetry::fmt(v100x8, 0), "100.0"});

@@ -36,17 +36,28 @@ double throughput(const dl::ModelSpec& model, int gpuCount) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Scaling study",
                 "Throughput vs GPU count, composing past the 8-GPU host");
 
-  for (const auto& model : {dl::resNet50(), dl::bertLarge()}) {
+  const std::vector<dl::ModelSpec> models = {dl::resNet50(), dl::bertLarge()};
+  const std::vector<int> counts = {2, 4, 8, 12, 16};
+  // Every (model, GPU count) cell is an independent training run; fan the
+  // grid out and read it back row-major.
+  const auto grid = bench::sweep(
+      bench::jobsFromArgs(argc, argv), models.size() * counts.size(),
+      [&](std::size_t i) {
+        return throughput(models[i / counts.size()], counts[i % counts.size()]);
+      });
+
+  for (std::size_t m = 0; m < models.size(); ++m) {
     std::printf("%s (samples/s, and efficiency vs perfect scaling from 2):\n",
-                model.name.c_str());
-    const double base = throughput(model, 2);
+                models[m].name.c_str());
+    const double base = grid[m * counts.size()];  // the 2-GPU cell
     std::vector<std::pair<std::string, double>> bars;
-    for (const int n : {2, 4, 8, 12, 16}) {
-      const double sps = throughput(model, n);
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      const int n = counts[c];
+      const double sps = grid[m * counts.size() + c];
       const double eff = 100.0 * sps / (base / 2.0 * n);
       const char* kind = (n <= 8) ? "local" : "local+falcon";
       char label[64];

@@ -15,18 +15,23 @@
 
 using namespace composim;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 10", "GPU Performance on the Composable Configurations");
+
+  const auto models = dl::benchmarkZoo();
+  const auto configs = core::gpuConfigs();
+  core::ExperimentOptions opt;
+  opt.trainer.max_iterations_per_epoch = 15;
+  opt.trainer.epochs = 1;
+  const auto results =
+      bench::experimentMatrix(bench::jobsFromArgs(argc, argv), models, configs, opt);
 
   telemetry::Table t({"Benchmark", "Config", "GPU util %", "GPU mem util %",
                       "Mem access %"});
-  for (const auto& model : dl::benchmarkZoo()) {
-    for (const auto config : core::gpuConfigs()) {
-      core::ExperimentOptions opt;
-      opt.trainer.max_iterations_per_epoch = 15;
-      opt.trainer.epochs = 1;
-      const auto r = core::Experiment::run(config, model, opt);
-      t.addRow({model.name, core::toString(config),
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const auto& r = results[m * configs.size() + c];
+      t.addRow({models[m].name, core::toString(configs[c]),
                 telemetry::fmt(r.gpu_util_pct, 1),
                 telemetry::fmt(r.gpu_mem_util_pct, 1),
                 telemetry::fmt(r.gpu_mem_access_pct, 1)});

@@ -17,29 +17,31 @@
 
 using namespace composim;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 11", "Percentage Change of Training Time vs localGPUs");
+
+  const auto models = dl::benchmarkZoo();
+  const std::vector<core::SystemConfig> configs = {
+      core::SystemConfig::LocalGpus, core::SystemConfig::HybridGpus,
+      core::SystemConfig::FalconGpus};
+  const auto results = bench::experimentMatrix(
+      bench::jobsFromArgs(argc, argv), models, configs, core::ExperimentOptions{});
 
   telemetry::Table t({"Benchmark", "localGPUs (s, extrapolated)",
                       "hybridGPUs %", "falconGPUs %"});
   std::vector<std::pair<std::string, double>> bars;
-
-  for (const auto& model : dl::benchmarkZoo()) {
-    core::ExperimentOptions opt;
-    const auto base =
-        core::Experiment::run(core::SystemConfig::LocalGpus, model, opt);
-    const auto hybrid =
-        core::Experiment::run(core::SystemConfig::HybridGpus, model, opt);
-    const auto falcon =
-        core::Experiment::run(core::SystemConfig::FalconGpus, model, opt);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const auto& base = results[m * 3];
+    const auto& hybrid = results[m * 3 + 1];
+    const auto& falcon = results[m * 3 + 2];
 
     const double dh = core::Experiment::trainingTimeChangePct(hybrid, base);
     const double df = core::Experiment::trainingTimeChangePct(falcon, base);
-    t.addRow({model.name,
+    t.addRow({models[m].name,
               telemetry::fmt(base.training.extrapolated_total_time, 1),
               telemetry::fmt(dh, 2), telemetry::fmt(df, 2)});
-    bars.emplace_back(model.name + " hybrid", dh);
-    bars.emplace_back(model.name + " falcon", df);
+    bars.emplace_back(models[m].name + " hybrid", dh);
+    bars.emplace_back(models[m].name + " falcon", df);
   }
 
   std::printf("%s\n", t.render().c_str());

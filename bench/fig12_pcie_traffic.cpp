@@ -13,20 +13,26 @@
 
 using namespace composim;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 12", "PCIe Data Transfer Rate for Falcon-attached GPUs");
+
+  const auto models = dl::benchmarkZoo();
+  const std::vector<core::SystemConfig> configs = {
+      core::SystemConfig::HybridGpus, core::SystemConfig::FalconGpus};
+  core::ExperimentOptions opt;
+  opt.trainer.max_iterations_per_epoch = 15;
+  opt.trainer.epochs = 1;
+  const auto results =
+      bench::experimentMatrix(bench::jobsFromArgs(argc, argv), models, configs, opt);
 
   telemetry::Table t({"Benchmark", "hybridGPUs GB/s", "falconGPUs GB/s"});
   std::vector<std::pair<std::string, double>> bars;
-  for (const auto& model : dl::benchmarkZoo()) {
-    core::ExperimentOptions opt;
-    opt.trainer.max_iterations_per_epoch = 15;
-    opt.trainer.epochs = 1;
-    const auto hybrid = core::Experiment::run(core::SystemConfig::HybridGpus, model, opt);
-    const auto falcon = core::Experiment::run(core::SystemConfig::FalconGpus, model, opt);
-    t.addRow({model.name, telemetry::fmt(hybrid.falcon_pcie_gbs),
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const auto& hybrid = results[m * 2];
+    const auto& falcon = results[m * 2 + 1];
+    t.addRow({models[m].name, telemetry::fmt(hybrid.falcon_pcie_gbs),
               telemetry::fmt(falcon.falcon_pcie_gbs)});
-    bars.emplace_back(model.name + " falcon", falcon.falcon_pcie_gbs);
+    bars.emplace_back(models[m].name + " falcon", falcon.falcon_pcie_gbs);
   }
   std::printf("%s\n", t.render().c_str());
   std::printf("%s\n", telemetry::barChart(bars, "GB/s").c_str());

@@ -13,21 +13,26 @@
 
 using namespace composim;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 13", "CPU Utilization of the DL Benchmarks");
+
+  const auto models = dl::benchmarkZoo();
+  const auto configs = core::gpuConfigs();
+  core::ExperimentOptions opt;
+  opt.trainer.max_iterations_per_epoch = 15;
+  opt.trainer.epochs = 1;
+  const auto results =
+      bench::experimentMatrix(bench::jobsFromArgs(argc, argv), models, configs, opt);
 
   telemetry::Table t({"Benchmark", "localGPUs %", "hybridGPUs %", "falconGPUs %"});
   std::vector<std::pair<std::string, double>> bars;
-  for (const auto& model : dl::benchmarkZoo()) {
-    std::vector<std::string> row{model.name};
-    for (const auto config : core::gpuConfigs()) {
-      core::ExperimentOptions opt;
-      opt.trainer.max_iterations_per_epoch = 15;
-      opt.trainer.epochs = 1;
-      const auto r = core::Experiment::run(config, model, opt);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    std::vector<std::string> row{models[m].name};
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const auto& r = results[m * configs.size() + c];
       row.push_back(telemetry::fmt(r.cpu_util_pct, 1));
-      if (config == core::SystemConfig::LocalGpus) {
-        bars.emplace_back(model.name, r.cpu_util_pct);
+      if (configs[c] == core::SystemConfig::LocalGpus) {
+        bars.emplace_back(models[m].name, r.cpu_util_pct);
       }
     }
     t.addRow(std::move(row));

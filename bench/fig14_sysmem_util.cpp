@@ -12,18 +12,23 @@
 
 using namespace composim;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 14", "System Memory Utilization of the DL Benchmarks");
 
+  const auto models = dl::benchmarkZoo();
+  const auto configs = core::gpuConfigs();
+  core::ExperimentOptions opt;
+  opt.trainer.max_iterations_per_epoch = 15;
+  opt.trainer.epochs = 1;
+  const auto results =
+      bench::experimentMatrix(bench::jobsFromArgs(argc, argv), models, configs, opt);
+
   telemetry::Table t({"Benchmark", "localGPUs %", "hybridGPUs %", "falconGPUs %"});
-  for (const auto& model : dl::benchmarkZoo()) {
-    std::vector<std::string> row{model.name};
-    for (const auto config : core::gpuConfigs()) {
-      core::ExperimentOptions opt;
-      opt.trainer.max_iterations_per_epoch = 15;
-      opt.trainer.epochs = 1;
-      const auto r = core::Experiment::run(config, model, opt);
-      row.push_back(telemetry::fmt(r.host_mem_util_pct, 2));
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    std::vector<std::string> row{models[m].name};
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      row.push_back(
+          telemetry::fmt(results[m * configs.size() + c].host_mem_util_pct, 2));
     }
     t.addRow(std::move(row));
   }

@@ -5,6 +5,7 @@
 // view of why BERT-large (670 MB of gradients) feels the fabric while
 // MobileNetV2 (7 MB) does not.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "collectives/communicator.hpp"
@@ -14,9 +15,17 @@ using namespace composim;
 
 namespace {
 
-void sweep(core::SystemConfig config) {
-  std::printf("--- %s (8 ranks, ring/auto) ---\n", core::toString(config));
-  std::printf("  %10s %12s %10s %10s\n", "size", "time", "algbw", "busbw");
+// Builds the per-fabric table into a buffer instead of printing, so the
+// three fabrics can run on worker threads and emit in submission order.
+std::string sweep(core::SystemConfig config) {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "--- %s (8 ranks, ring/auto) ---\n",
+                core::toString(config));
+  out += line;
+  std::snprintf(line, sizeof(line), "  %10s %12s %10s %10s\n", "size", "time",
+                "algbw", "busbw");
+  out += line;
   core::ComposableSystem sys(config);
   std::vector<fabric::NodeId> ranks;
   for (auto* g : sys.trainingGpus()) ranks.push_back(g->node());
@@ -26,21 +35,27 @@ void sweep(core::SystemConfig config) {
     comm.allReduce(size, [&](const collectives::CollectiveResult& r) { res = r; });
     sys.sim().run();
     const double t = res.duration();
-    std::printf("  %10s %12s %7.2f GB/s %7.2f GB/s\n",
-                formatBytes(size).c_str(), formatTime(t).c_str(),
-                units::to_GBps(static_cast<double>(size) / t),
-                units::to_GBps(res.busBandwidth(8)));
+    std::snprintf(line, sizeof(line), "  %10s %12s %7.2f GB/s %7.2f GB/s\n",
+                  formatBytes(size).c_str(), formatTime(t).c_str(),
+                  units::to_GBps(static_cast<double>(size) / t),
+                  units::to_GBps(res.busBandwidth(8)));
+    out += line;
   }
-  std::printf("\n");
+  out += "\n";
+  return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("NCCL sweep", "all-reduce size sweep across the fabrics");
-  sweep(core::SystemConfig::LocalGpus);
-  sweep(core::SystemConfig::FalconGpus);
-  sweep(core::SystemConfig::HybridGpus);
+  const std::vector<core::SystemConfig> fabrics = {
+      core::SystemConfig::LocalGpus, core::SystemConfig::FalconGpus,
+      core::SystemConfig::HybridGpus};
+  const auto tables =
+      bench::sweep(bench::jobsFromArgs(argc, argv), fabrics.size(),
+                   [&](std::size_t i) { return sweep(fabrics[i]); });
+  for (const auto& table : tables) std::printf("%s", table.c_str());
   std::printf("Shape: busbw saturates at the protocol-derated fabric rate —\n");
   std::printf("NVLink ~4-5x the Falcon fabric — and small messages are\n");
   std::printf("latency-bound everywhere (the 14-step ring handshake).\n");

@@ -1,0 +1,182 @@
+// composim bench: parallel sweep engine acceptance gate.
+//
+// Runs the same 8-spec suite twice through core::SweepRunner — serial
+// (--jobs 1) and parallel (--jobs 4) — and verifies the engine's two
+// promises:
+//   (a) equivalence: serial and parallel runs produce byte-identical
+//       RunTracker manifests AND byte-identical Chrome trace exports
+//       (hard gate, exit nonzero on any divergence);
+//   (b) speed: the parallel replay is >= 3x faster wall-clock on a
+//       >= 4-core host (the gate is recorded as "skipped" on smaller
+//       hosts, where the speedup is physically unobtainable, instead of
+//       failing the suite).
+//
+// The suite is eight equal-cost specs (same benchmark/config, distinct
+// names) so a 4-worker replay has a balanced 2-runs-per-worker schedule
+// and the speedup measurement reflects the engine, not scheduling luck.
+//
+//   $ ./bench/sweep_parallel [BENCH_sweep.json]
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/sweep_runner.hpp"
+#include "telemetry/run_tracker.hpp"
+
+using namespace composim;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  if (!ok) ++g_failures;
+}
+
+constexpr int kSuiteSize = 8;
+constexpr int kParallelJobs = 4;
+
+std::vector<core::ExperimentSpec> buildSuite() {
+  std::vector<core::ExperimentSpec> specs;
+  for (int i = 0; i < kSuiteSize; ++i) {
+    core::ExperimentSpec s;
+    s.name = "sweep-" + std::to_string(i);
+    s.benchmark = "ResNet-50";
+    s.config = core::SystemConfig::FalconGpus;
+    s.options.trainer.epochs = 1;
+    s.options.trainer.max_iterations_per_epoch = 12;
+    s.options.trace = true;  // trace exports participate in the equivalence gate
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+struct SweepArtifacts {
+  double wall_seconds = 0.0;
+  std::string manifest;                  // RunTracker manifest JSON
+  std::vector<std::string> traces;       // per-run Chrome trace JSON text
+  bool all_ok = true;
+};
+
+SweepArtifacts replay(int jobs, const std::string& trace_dir) {
+  SweepArtifacts art;
+  core::SweepRunner runner({jobs});
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcomes = runner.run(buildSuite());
+  art.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Aggregation happens here, post-barrier, exactly as run_suite does it.
+  telemetry::RunTracker tracker;
+  for (const auto& done : outcomes) {
+    if (!done.status) {
+      art.all_ok = false;
+      continue;
+    }
+    auto& run = tracker.run(done.spec.name);
+    run.setConfig("benchmark", done.spec.benchmark);
+    run.setConfig("config", core::toString(done.spec.config));
+    run.setSummary("mean_iteration_s", done.result.training.mean_iteration_time);
+    run.setSummary("samples_per_second", done.result.training.samples_per_second);
+    run.setSummary("gpu_util_pct", done.result.gpu_util_pct);
+    run.setSummary("falcon_pcie_gbs", done.result.falcon_pcie_gbs);
+    const auto& util = done.result.sampler->series("gpu_util_pct");
+    for (std::size_t i = 0; i < util.size(); ++i) {
+      run.log("gpu_util_pct", util.timeAt(i), util.valueAt(i));
+    }
+    const std::string path =
+        trace_dir + "/" + done.spec.name + "_trace.json";
+    if (done.result.profiler &&
+        done.result.profiler->writeChromeTrace(path)) {
+      std::ifstream in(path);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      art.traces.push_back(buf.str());
+    } else {
+      art.all_ok = false;
+    }
+  }
+  art.manifest = tracker.manifest().dump(2);
+  return art;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("Sweep engine",
+                "serial vs parallel replay: equivalence + speedup");
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+  const std::string trace_root =
+      std::filesystem::path(out_path).parent_path().string();
+  const std::string serial_dir =
+      (trace_root.empty() ? "." : trace_root) + "/sweep_serial";
+  const std::string parallel_dir =
+      (trace_root.empty() ? "." : trace_root) + "/sweep_parallel_traces";
+  std::filesystem::create_directories(serial_dir);
+  std::filesystem::create_directories(parallel_dir);
+
+  std::printf("replaying %d specs serially (--jobs 1)...\n", kSuiteSize);
+  const auto serial = replay(1, serial_dir);
+  std::printf("replaying %d specs in parallel (--jobs %d)...\n", kSuiteSize,
+              kParallelJobs);
+  const auto parallel = replay(kParallelJobs, parallel_dir);
+
+  const double speedup =
+      parallel.wall_seconds > 0.0 ? serial.wall_seconds / parallel.wall_seconds
+                                  : 0.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool enough_cores = hw >= static_cast<unsigned>(kParallelJobs);
+
+  std::printf("\nserial   : %.3f s wall\n", serial.wall_seconds);
+  std::printf("parallel : %.3f s wall (%u hardware threads)\n",
+              parallel.wall_seconds, hw);
+  std::printf("speedup  : %.2fx\n\n", speedup);
+
+  check(serial.all_ok && parallel.all_ok, "all runs completed");
+  check(serial.manifest == parallel.manifest,
+        "RunTracker manifests are byte-identical");
+  check(serial.traces.size() == static_cast<std::size_t>(kSuiteSize) &&
+            parallel.traces == serial.traces,
+        "Chrome trace exports are byte-identical");
+  if (enough_cores) {
+    check(speedup >= 3.0, "parallel replay >= 3x faster at --jobs 4");
+  } else {
+    std::printf("  [SKIP] speedup gate (%u hardware thread(s) < %d; a "
+                "parallel speedup is physically unobtainable here)\n",
+                hw, kParallelJobs);
+  }
+
+  auto doc = falcon::Json::object();
+  doc.set("bench", "sweep_parallel");
+  doc.set("suite_size", static_cast<std::int64_t>(kSuiteSize));
+  doc.set("jobs", static_cast<std::int64_t>(kParallelJobs));
+  doc.set("serial_seconds", serial.wall_seconds);
+  doc.set("parallel_seconds", parallel.wall_seconds);
+  doc.set("speedup", speedup);
+  doc.set("byte_identical", serial.manifest == parallel.manifest &&
+                                parallel.traces == serial.traces);
+  doc.set("hardware_concurrency", static_cast<std::int64_t>(hw));
+  doc.set("speedup_gate", enough_cores ? "enforced" : "skipped: <4 cores");
+  std::ofstream out(out_path);
+  out << doc.dump(2) << "\n";
+  const bool wrote = out.good();
+  out.close();
+  check(wrote, "BENCH_sweep.json written");
+  std::printf("\nreport written to %s\n", out_path.c_str());
+
+  if (g_failures) {
+    std::printf("\n%d acceptance check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("\nall acceptance checks passed\n");
+  return 0;
+}

@@ -5,18 +5,33 @@
 //
 //   $ ./examples/config_sweep            # BERT-large (the stress case)
 //   $ ./examples/config_sweep ResNet-50  # any Table II benchmark name
+//   $ ./examples/config_sweep --jobs 4 BERT-L
+//
+// The five configurations are independent runs, so they fan out across
+// --jobs worker threads (default: hardware_concurrency); the report is
+// assembled on the main thread in configuration order and is byte-
+// identical at any job count.
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/recommender.hpp"
+#include "core/sweep_runner.hpp"
 #include "telemetry/report.hpp"
 
 using namespace composim;
 
 int main(int argc, char** argv) {
-  const std::string wanted = argc > 1 ? argv[1] : "BERT-L";
+  int jobs = 0;  // 0 = hardware_concurrency
+  std::string wanted = "BERT-L";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      wanted = argv[i];
+    }
+  }
   dl::ModelSpec model;
   bool found = false;
   for (const auto& m : dl::benchmarkZoo()) {
@@ -37,14 +52,20 @@ int main(int argc, char** argv) {
   std::printf("Sweeping all five host configurations for %s...\n\n",
               model.name.c_str());
 
+  const auto configs = core::allConfigs();
+  const auto results = core::sweepOrdered(
+      jobs, configs.size(), [&configs, &model](std::size_t i) {
+        core::ExperimentOptions opt;
+        return core::Experiment::run(configs[i], model, opt);
+      });
+
   core::Recommender recommender;
   telemetry::Table t({"Configuration", "mean iter", "samples/s", "GPU util %",
                       "falcon PCIe GB/s", "extrapolated total"});
-  for (const auto config : core::allConfigs()) {
-    core::ExperimentOptions opt;
-    const auto r = core::Experiment::run(config, model, opt);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = results[i];
     recommender.addRun(r, model);
-    t.addRow({core::toString(config),
+    t.addRow({core::toString(configs[i]),
               formatTime(r.training.mean_iteration_time),
               telemetry::fmt(r.training.samples_per_second, 0),
               telemetry::fmt(r.gpu_util_pct, 1),

@@ -8,6 +8,7 @@
 //   $ ./examples/run_suite my_suite.json /tmp/results
 //   $ ./examples/run_suite --trace my_suite.json /tmp/results
 //   $ ./examples/run_suite --faults storm.json my_suite.json /tmp/results
+//   $ ./examples/run_suite --jobs 4 my_suite.json /tmp/results
 //   $ ./examples/run_suite            # runs a built-in demonstration suite
 //
 // With --trace, every experiment runs with the span profiler enabled and a
@@ -16,13 +17,21 @@
 // a file path), every experiment runs under that fault schedule with the
 // recovery orchestrator active; individual experiments can instead carry
 // their own "faults" object in the suite file.
+//
+// --jobs N fans the suite out across N worker threads (default:
+// hardware_concurrency). Each run owns a private simulation stack and all
+// output — per-run log lines, trace files, tracker rows — is buffered and
+// emitted on the main thread in suite order, so serial and parallel
+// invocations produce byte-identical artifacts and stdout.
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "core/experiment_config.hpp"
+#include "core/sweep_runner.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/run_tracker.hpp"
@@ -49,6 +58,7 @@ const char* kDemoSuite = R"({
 
 int main(int argc, char** argv) {
   bool trace = false;
+  int jobs = 0;  // 0 = hardware_concurrency
   std::string faults_spec;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
@@ -56,6 +66,8 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (std::string(argv[i]) == "--faults" && i + 1 < argc) {
       faults_spec = argv[++i];
+    } else if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else {
       pos.push_back(argv[i]);
     }
@@ -105,17 +117,32 @@ int main(int argc, char** argv) {
   const std::string outdir = pos.size() > 1 ? pos[1] : ".";
   if (pos.size() > 1 || trace) std::filesystem::create_directories(outdir);
 
-  telemetry::RunTracker tracker;
-  telemetry::Table table({"Run", "Benchmark", "Config", "iter time",
-                          "samples/s", "GPU util %"});
   for (auto& spec : specs) {
     if (trace) spec.options.trace = true;
     if (shared_faults.enabled && !spec.options.faults.enabled) {
       spec.options.faults = shared_faults;
     }
+  }
+
+  telemetry::RunTracker tracker;
+  telemetry::Table table({"Run", "Benchmark", "Config", "iter time",
+                          "samples/s", "GPU util %"});
+  bool any_failed = false;
+  // Workers only simulate; every emission below — log lines, trace-file
+  // writes, tracker rows — happens here on the main thread, in suite
+  // order, as each run's prefix completes. Serial (--jobs 1) and parallel
+  // invocations therefore produce byte-identical output.
+  core::SweepRunner runner({jobs});
+  runner.run(std::move(specs), [&](const core::SweepRun& done) {
+    const core::ExperimentSpec& spec = done.spec;
     std::printf("running '%s' (%s on %s)...\n", spec.name.c_str(),
                 spec.benchmark.c_str(), core::toString(spec.config));
-    const auto r = core::runExperimentSpec(spec);
+    if (!done.status) {
+      std::fprintf(stderr, "  run failed: %s\n", done.status.toString().c_str());
+      any_failed = true;
+      return;
+    }
+    const core::ExperimentResult& r = done.result;
     if (r.profiler) {
       const std::string path = outdir + "/" + spec.name + "_trace.json";
       if (const Status s = r.profiler->writeChromeTrace(path); !s) {
@@ -148,7 +175,7 @@ int main(int argc, char** argv) {
                   formatTime(r.training.mean_iteration_time),
                   telemetry::fmt(r.training.samples_per_second, 0),
                   telemetry::fmt(r.gpu_util_pct, 1)});
-  }
+  });
   std::printf("\n%s", table.render().c_str());
 
   if (pos.size() > 1) {
@@ -156,5 +183,5 @@ int main(int argc, char** argv) {
     std::printf("\nartifacts written to %s (manifest.json + per-metric CSVs)\n",
                 outdir.c_str());
   }
-  return 0;
+  return any_failed ? 1 : 0;
 }

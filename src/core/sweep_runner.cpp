@@ -1,0 +1,173 @@
+#include "core/sweep_runner.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace composim::core {
+
+namespace {
+
+/// Per-worker deque with its own lock. Contention is negligible at
+/// experiment granularity (milliseconds to minutes per task), so plain
+/// mutexes keep the pool obviously correct under TSan instead of
+/// cleverly lock-free.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> tasks;  // indices into the shared task vector
+};
+
+struct PoolState {
+  explicit PoolState(std::size_t workers, std::size_t ntasks)
+      : queues(workers), done(ntasks, 0) {}
+
+  std::vector<WorkerQueue> queues;
+
+  // Completion ledger, guarded by done_mu; the caller drains it in
+  // submission order.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::vector<char> done;
+};
+
+/// Pop from the worker's own deque (LIFO keeps its round-robin share
+/// cache-warm); steal FIFO from siblings when empty so the oldest —
+/// typically longest-waiting — work migrates first.
+bool nextTask(PoolState& state, std::size_t self, std::size_t& out) {
+  {
+    WorkerQueue& mine = state.queues[self];
+    std::lock_guard<std::mutex> lock(mine.mu);
+    if (!mine.tasks.empty()) {
+      out = mine.tasks.back();
+      mine.tasks.pop_back();
+      return true;
+    }
+  }
+  const std::size_t n = state.queues.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    WorkerQueue& victim = state.queues[(self + off) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      out = victim.tasks.front();
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void workerLoop(PoolState& state, std::size_t self,
+                std::vector<WorkStealingPool::Task>& tasks) {
+  std::size_t idx = 0;
+  // The batch is fixed up front — running tasks never enqueue more — so
+  // an empty sweep over every queue means this worker is finished.
+  while (nextTask(state, self, idx)) {
+    tasks[idx]();
+    {
+      std::lock_guard<std::mutex> lock(state.done_mu);
+      state.done[idx] = 1;
+    }
+    state.done_cv.notify_one();
+  }
+}
+
+}  // namespace
+
+int WorkStealingPool::resolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void WorkStealingPool::runAll(std::vector<Task> tasks, int jobs,
+                              const std::function<void(std::size_t)>& onTaskDone) {
+  const std::size_t n = tasks.size();
+  if (n == 0) return;
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(resolveJobs(jobs)), n);
+
+  if (workers <= 1) {
+    // The serial reference path: no threads, identical observable order.
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks[i]();
+      if (onTaskDone) onTaskDone(i);
+    }
+    return;
+  }
+
+  PoolState state(workers, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state.queues[i % workers].tasks.push_back(i);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back(
+        [&state, &tasks, w] { workerLoop(state, w, tasks); });
+  }
+
+  // Drain completions in submission order on the calling thread; the
+  // callback therefore observes exactly the serial emission order.
+  std::size_t next_emit = 0;
+  {
+    std::unique_lock<std::mutex> lock(state.done_mu);
+    while (next_emit < n) {
+      state.done_cv.wait(lock, [&] { return state.done[next_emit] != 0; });
+      while (next_emit < n && state.done[next_emit]) {
+        const std::size_t i = next_emit++;
+        if (onTaskDone) {
+          lock.unlock();
+          onTaskDone(i);
+          lock.lock();
+        }
+      }
+    }
+  }
+  for (auto& t : threads) t.join();
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : jobs_(WorkStealingPool::resolveJobs(options.jobs)) {}
+
+std::vector<SweepRun> SweepRunner::run(
+    std::vector<ExperimentSpec> specs,
+    const std::function<void(const SweepRun&)>& onReady) {
+  const std::size_t n = specs.size();
+  std::vector<SweepRun> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].spec = std::move(specs[i]);
+  }
+
+  std::vector<WorkStealingPool::Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back([&out, i] {
+      SweepRun& run = out[i];
+      try {
+        run.result = runExperimentSpec(run.spec);
+        run.status = Status::success();
+      } catch (const std::exception& e) {
+        run.status = Status::internal(std::string("sweep run '") +
+                                      run.spec.name + "' failed: " + e.what());
+      } catch (...) {
+        run.status = Status::internal(std::string("sweep run '") +
+                                      run.spec.name +
+                                      "' failed: unknown exception");
+      }
+    });
+  }
+
+  if (onReady) {
+    WorkStealingPool::runAll(std::move(tasks), jobs_,
+                             [&out, &onReady](std::size_t i) { onReady(out[i]); });
+  } else {
+    WorkStealingPool::runAll(std::move(tasks), jobs_);
+  }
+  return out;
+}
+
+}  // namespace composim::core

@@ -1,7 +1,6 @@
 #include "fabric/topology.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
 namespace composim::fabric {
@@ -37,6 +36,7 @@ NodeId Topology::addNode(std::string name, NodeKind kind) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{std::move(name), kind});
   adjacency_.emplace_back();
+  reverse_adjacency_.emplace_back();
   ++generation_;
   return id;
 }
@@ -52,6 +52,7 @@ LinkId Topology::addLink(NodeId src, NodeId dst, Bandwidth capacity,
   const LinkId id = static_cast<LinkId>(links_.size());
   links_.push_back(Link{src, dst, capacity, latency, kind, true, {}});
   adjacency_[static_cast<std::size_t>(src)].push_back(id);
+  reverse_adjacency_[static_cast<std::size_t>(dst)].push_back(id);
   ++generation_;
   return id;
 }
@@ -65,8 +66,11 @@ std::pair<LinkId, LinkId> Topology::addDuplexLink(NodeId a, NodeId b,
 }
 
 void Topology::isolateNode(NodeId n) {
-  for (auto& link : links_) {
-    if (link.src == n || link.dst == n) link.up = false;
+  for (LinkId l : adjacency_.at(static_cast<std::size_t>(n))) {
+    links_[static_cast<std::size_t>(l)].up = false;
+  }
+  for (LinkId l : reverse_adjacency_.at(static_cast<std::size_t>(n))) {
+    links_[static_cast<std::size_t>(l)].up = false;
   }
   ++generation_;
 }
@@ -87,12 +91,34 @@ const std::vector<LinkId>& Topology::linksFrom(NodeId n) const {
   return adjacency_.at(static_cast<std::size_t>(n));
 }
 
-std::vector<LinkId> Topology::linksInto(NodeId n) const {
-  std::vector<LinkId> out;
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    if (links_[i].dst == n) out.push_back(static_cast<LinkId>(i));
+const std::vector<LinkId>& Topology::linksInto(NodeId n) const {
+  return reverse_adjacency_.at(static_cast<std::size_t>(n));
+}
+
+void Topology::rebindRouteOwner() const {
+  route_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+}
+
+void Topology::checkRouteOwner() const {
+  // The route cache and Dijkstra scratch are mutated from this const
+  // method without locks; correctness rests on single-owner-thread use
+  // (each parallel sweep run owns a private Topology). Pin the first
+  // caller and fail loudly — instead of racing silently — on any other.
+  const std::thread::id me = std::this_thread::get_id();
+  std::thread::id owner = route_owner_.load(std::memory_order_relaxed);
+  if (owner == std::thread::id()) {
+    if (route_owner_.compare_exchange_strong(owner, me,
+                                             std::memory_order_relaxed)) {
+      return;
+    }
+    // Lost the pin race: `owner` now holds the winner's id.
   }
-  return out;
+  if (owner != me) {
+    throw std::logic_error(
+        "Topology::route: called from a thread other than the routing "
+        "owner; give each worker its own Topology or call "
+        "rebindRouteOwner() after a handoff");
+  }
 }
 
 std::optional<Route> Topology::route(NodeId src, NodeId dst) const {
@@ -100,6 +126,7 @@ std::optional<Route> Topology::route(NodeId src, NodeId dst) const {
       static_cast<std::size_t>(dst) >= nodes_.size()) {
     return std::nullopt;
   }
+  checkRouteOwner();
   if (cache_generation_ != generation_) {
     route_cache_.clear();
     cache_generation_ = generation_;
@@ -110,26 +137,51 @@ std::optional<Route> Topology::route(NodeId src, NodeId dst) const {
   if (auto it = route_cache_.find(key); it != route_cache_.end()) return it->second;
 
   // Dijkstra weighted by latency; ties broken deterministically by node id.
+  // dist/via/heap are per-instance scratch reused across calls; a slot is
+  // valid only when its stamp matches the current epoch, so "reset" is
+  // one counter bump instead of an O(nodes) refill.
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(nodes_.size(), kInf);
-  std::vector<LinkId> via(nodes_.size(), kInvalidLink);
+  if (scratch_stamp_.size() < nodes_.size()) {
+    scratch_dist_.resize(nodes_.size(), kInf);
+    scratch_via_.resize(nodes_.size(), kInvalidLink);
+    scratch_stamp_.resize(nodes_.size(), 0);
+  }
+  if (++scratch_epoch_ == 0) {  // epoch wrap: stale stamps could collide
+    std::fill(scratch_stamp_.begin(), scratch_stamp_.end(), 0u);
+    scratch_epoch_ = 1;
+  }
+  const auto distAt = [&](NodeId n) {
+    const auto i = static_cast<std::size_t>(n);
+    return scratch_stamp_[i] == scratch_epoch_ ? scratch_dist_[i] : kInf;
+  };
+  const auto touch = [&](NodeId n, double d, LinkId via) {
+    const auto i = static_cast<std::size_t>(n);
+    scratch_stamp_[i] = scratch_epoch_;
+    scratch_dist_[i] = d;
+    scratch_via_[i] = via;
+  };
+
   using QE = std::pair<double, NodeId>;
-  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
-  dist[static_cast<std::size_t>(src)] = 0.0;
-  pq.push({0.0, src});
-  while (!pq.empty()) {
-    auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[static_cast<std::size_t>(u)]) continue;
+  scratch_heap_.clear();
+  const auto push = [&](QE e) {
+    scratch_heap_.push_back(e);
+    std::push_heap(scratch_heap_.begin(), scratch_heap_.end(), std::greater<>{});
+  };
+  touch(src, 0.0, kInvalidLink);
+  push({0.0, src});
+  while (!scratch_heap_.empty()) {
+    std::pop_heap(scratch_heap_.begin(), scratch_heap_.end(), std::greater<>{});
+    const auto [d, u] = scratch_heap_.back();
+    scratch_heap_.pop_back();
+    if (d > distAt(u)) continue;
     if (u == dst) break;
     for (LinkId lid : adjacency_[static_cast<std::size_t>(u)]) {
       const Link& l = links_[static_cast<std::size_t>(lid)];
       if (!l.up) continue;
       const double nd = d + l.latency;
-      if (nd < dist[static_cast<std::size_t>(l.dst)]) {
-        dist[static_cast<std::size_t>(l.dst)] = nd;
-        via[static_cast<std::size_t>(l.dst)] = lid;
-        pq.push({nd, l.dst});
+      if (nd < distAt(l.dst)) {
+        touch(l.dst, nd, lid);
+        push({nd, l.dst});
       }
     }
   }
@@ -137,10 +189,11 @@ std::optional<Route> Topology::route(NodeId src, NodeId dst) const {
   std::optional<Route> result;
   if (src == dst) {
     result = Route{};  // empty route: same endpoint
-  } else if (via[static_cast<std::size_t>(dst)] != kInvalidLink) {
+  } else if (scratch_stamp_[static_cast<std::size_t>(dst)] == scratch_epoch_ &&
+             scratch_via_[static_cast<std::size_t>(dst)] != kInvalidLink) {
     Route r;
     for (NodeId cur = dst; cur != src;) {
-      const LinkId lid = via[static_cast<std::size_t>(cur)];
+      const LinkId lid = scratch_via_[static_cast<std::size_t>(cur)];
       r.links.push_back(lid);
       cur = links_[static_cast<std::size_t>(lid)].src;
     }

@@ -7,10 +7,12 @@
 // dynamic attach/detach (the composable part) recomputes paths lazily.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -109,24 +111,54 @@ class Topology {
 
   /// Shortest path by cumulative latency over up-links. Returns nullopt if
   /// unreachable. Results are cached until the topology changes.
+  ///
+  /// Thread-ownership: route() mutates per-instance caches (the route
+  /// cache and reused Dijkstra scratch) from a const method, so a
+  /// Topology is single-owner-thread for routing: the first route() call
+  /// pins the owning thread and calls from any other thread throw
+  /// std::logic_error. Parallel sweeps give every run a private
+  /// Topology; a deliberate handoff (build here, route there) must call
+  /// rebindRouteOwner() from the new owner.
   std::optional<Route> route(NodeId src, NodeId dst) const;
+
+  /// Re-pin route() ownership to the calling thread. The caller is
+  /// responsible for the cross-thread happens-before edge (e.g. the
+  /// thread-start or join that handed the Topology over).
+  void rebindRouteOwner() const;
 
   /// All directed links leaving `n` (includes down links). The reference
   /// is invalidated by addNode/addLink.
   const std::vector<LinkId>& linksFrom(NodeId n) const;
-  /// All directed links arriving at `n`.
-  std::vector<LinkId> linksInto(NodeId n) const;
+  /// All directed links arriving at `n` (includes down links), from the
+  /// reverse-adjacency table maintained alongside `adjacency_`. The
+  /// reference is invalidated by addNode/addLink.
+  const std::vector<LinkId>& linksInto(NodeId n) const;
 
   std::uint64_t generation() const { return generation_; }
 
  private:
+  void checkRouteOwner() const;
+
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> adjacency_;  // per node: outgoing links
+  std::vector<std::vector<LinkId>> reverse_adjacency_;  // per node: incoming
   std::uint64_t generation_ = 0;
 
   mutable std::uint64_t cache_generation_ = ~0ULL;
   mutable std::unordered_map<std::uint64_t, std::optional<Route>> route_cache_;
+
+  // route() owner-thread pin; default id = unowned.
+  mutable std::atomic<std::thread::id> route_owner_{};
+
+  // Dijkstra scratch, reused across route() calls so the hot path stops
+  // allocating dist/via/heap per call. Entries are valid only when their
+  // stamp matches scratch_epoch_ (O(1) reset instead of O(nodes) refill).
+  mutable std::vector<double> scratch_dist_;
+  mutable std::vector<LinkId> scratch_via_;
+  mutable std::vector<std::uint32_t> scratch_stamp_;
+  mutable std::vector<std::pair<double, NodeId>> scratch_heap_;
+  mutable std::uint32_t scratch_epoch_ = 0;
 };
 
 }  // namespace composim::fabric

@@ -1,6 +1,9 @@
 // Unit tests for the topology graph and its routing.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <thread>
+
 #include "fabric/link_catalog.hpp"
 #include "fabric/topology.hpp"
 #include "sim/units.hpp"
@@ -113,6 +116,90 @@ TEST_F(TopologyTest, CountersDoNotInvalidateRouteCache) {
   auto g0 = topo.generation();
   topo.counters(0).bytes += 100;
   EXPECT_EQ(topo.generation(), g0);
+}
+
+TEST_F(TopologyTest, ReverseAdjacencyMatchesBruteForceScan) {
+  topo.addDuplexLink(a, b, units::GBps(10), 0.0, LinkKind::PCIe4);
+  topo.addLink(c, b, units::GBps(10), 0.0, LinkKind::PCIe4);
+  topo.addLink(a, c, units::GBps(10), 0.0, LinkKind::NVLink);
+  // Down links must still appear (same contract as the old O(E) scan).
+  topo.setLinkUp(topo.linksInto(b).front(), false);
+  for (NodeId n : {a, b, c}) {
+    std::vector<LinkId> brute;
+    for (std::size_t l = 0; l < topo.linkCount(); ++l) {
+      if (topo.link(static_cast<LinkId>(l)).dst == n) {
+        brute.push_back(static_cast<LinkId>(l));
+      }
+    }
+    EXPECT_EQ(topo.linksInto(n), brute) << "node " << n;
+  }
+  // The table tracks later additions too.
+  const NodeId d = topo.addNode("d", NodeKind::Storage);
+  EXPECT_TRUE(topo.linksInto(d).empty());
+  const LinkId l = topo.addLink(b, d, units::GBps(1), 0.0, LinkKind::PCIe4);
+  ASSERT_EQ(topo.linksInto(d).size(), 1u);
+  EXPECT_EQ(topo.linksInto(d).front(), l);
+}
+
+// route() mutates its per-instance cache/scratch from a const method, so
+// a Topology is pinned to the first routing thread; cross-thread calls
+// must fail loudly instead of racing (DESIGN.md §12 ownership model).
+TEST_F(TopologyTest, RouteFromForeignThreadThrows) {
+  topo.addDuplexLink(a, b, units::GBps(10), 0.0, LinkKind::PCIe4);
+  ASSERT_TRUE(topo.route(a, b).has_value());  // pins this thread as owner
+
+  bool threw = false;
+  std::thread other([&] {
+    try {
+      (void)topo.route(a, b);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+  // The pinned owner keeps working.
+  EXPECT_TRUE(topo.route(a, b).has_value());
+}
+
+TEST_F(TopologyTest, RebindRouteOwnerAllowsHandoff) {
+  topo.addDuplexLink(a, b, units::GBps(10), 0.0, LinkKind::PCIe4);
+  ASSERT_TRUE(topo.route(a, b).has_value());  // pin the main thread
+
+  bool routed = false;
+  std::thread other([&] {
+    topo.rebindRouteOwner();  // deliberate handoff
+    routed = topo.route(a, b).has_value();
+  });
+  other.join();
+  EXPECT_TRUE(routed);
+  // Ownership moved: the original thread is now the foreign one.
+  EXPECT_THROW((void)topo.route(a, b), std::logic_error);
+  topo.rebindRouteOwner();
+  EXPECT_TRUE(topo.route(a, b).has_value());
+}
+
+TEST_F(TopologyTest, ScratchReuseSurvivesRepeatedRoutesAndMutations) {
+  // Regression for the reused Dijkstra scratch: stale dist/via entries
+  // from an earlier call must never leak into a later route.
+  topo.addDuplexLink(a, b, units::GBps(10), units::microseconds(2), LinkKind::PCIe4);
+  topo.addDuplexLink(b, c, units::GBps(10), units::microseconds(2), LinkKind::PCIe4);
+  for (int i = 0; i < 100; ++i) {
+    auto r = topo.route(a, c);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->links.size(), 2u);
+  }
+  // A new shorter path must win immediately after the mutation.
+  topo.addLink(a, c, units::GBps(1), units::microseconds(1), LinkKind::NVLink);
+  auto r = topo.route(a, c);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->links.size(), 1u);
+  // And growing the graph keeps the (resized) scratch consistent.
+  const NodeId d = topo.addNode("d", NodeKind::Gpu);
+  topo.addLink(c, d, units::GBps(10), units::microseconds(1), LinkKind::NVLink);
+  auto rd = topo.route(a, d);
+  ASSERT_TRUE(rd.has_value());
+  EXPECT_EQ(rd->links.size(), 2u);
 }
 
 TEST(LinkCatalog, CalibratedValues) {
