@@ -61,4 +61,16 @@ inline std::vector<core::ExperimentResult> experimentMatrix(
       });
 }
 
+/// The Fig 10/12/13/14 staple: the same matrix at the short capped run
+/// every per-metric figure uses (15 iterations of a single epoch — the
+/// steady-state pattern, not the wall-clock, is the artifact).
+inline std::vector<core::ExperimentResult> figureMatrix(
+    int jobs, const std::vector<dl::ModelSpec>& models,
+    const std::vector<core::SystemConfig>& configs) {
+  core::ExperimentOptions opt;
+  opt.trainer.max_iterations_per_epoch = 15;
+  opt.trainer.epochs = 1;
+  return experimentMatrix(jobs, models, configs, opt);
+}
+
 }  // namespace composim::bench

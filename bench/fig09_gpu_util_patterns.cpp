@@ -29,7 +29,7 @@ int main() {
 
     // Plateau utilization: mean of the samples in the busy band (the
     // figure's visual plateau), excluding the checkpoint dips.
-    const auto& series = r.sampler->series("gpu_util_pct");
+    const auto& series = r.metrics->series("gpu_util_pct");
     const double peak = series.stats().max;
     double plateau = 0.0;
     int n = 0;

@@ -20,11 +20,8 @@ int main(int argc, char** argv) {
 
   const auto models = dl::benchmarkZoo();
   const auto configs = core::gpuConfigs();
-  core::ExperimentOptions opt;
-  opt.trainer.max_iterations_per_epoch = 15;
-  opt.trainer.epochs = 1;
   const auto results =
-      bench::experimentMatrix(bench::jobsFromArgs(argc, argv), models, configs, opt);
+      bench::figureMatrix(bench::jobsFromArgs(argc, argv), models, configs);
 
   telemetry::Table t({"Benchmark", "Config", "GPU util %", "GPU mem util %",
                       "Mem access %"});

@@ -19,11 +19,8 @@ int main(int argc, char** argv) {
   const auto models = dl::benchmarkZoo();
   const std::vector<core::SystemConfig> configs = {
       core::SystemConfig::HybridGpus, core::SystemConfig::FalconGpus};
-  core::ExperimentOptions opt;
-  opt.trainer.max_iterations_per_epoch = 15;
-  opt.trainer.epochs = 1;
   const auto results =
-      bench::experimentMatrix(bench::jobsFromArgs(argc, argv), models, configs, opt);
+      bench::figureMatrix(bench::jobsFromArgs(argc, argv), models, configs);
 
   telemetry::Table t({"Benchmark", "hybridGPUs GB/s", "falconGPUs GB/s"});
   std::vector<std::pair<std::string, double>> bars;

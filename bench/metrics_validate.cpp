@@ -1,0 +1,271 @@
+// Structurally validates the metrics pipeline's two exports as written by
+// metrics_capture. The Prometheus text exposition must interleave
+// `# HELP`/`# TYPE` headers and samples correctly: every sample belongs to
+// a declared family of a known type, label strings are sorted by key with
+// no duplicates, histogram families expose `_bucket` samples whose
+// cumulative counts are monotone in `le` and end at an `le="+Inf"` bucket
+// equal to `_count`, alongside a `_sum`, and counter samples are
+// non-negative. The JSONL dump must be one {"metric", "t", "value"} object
+// per line with timestamps non-decreasing per metric. Exit code 0 on
+// success, 1 with a diagnostic on stderr otherwise. Used by the
+// bench_metrics_validate ctest.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "falcon/json.hpp"
+
+using composim::falcon::Json;
+using composim::falcon::JsonError;
+
+namespace {
+
+int fail(const std::string& why) {
+  std::fprintf(stderr, "metrics_validate: %s\n", why.c_str());
+  return 1;
+}
+
+bool parseDouble(const std::string& text, double* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stod(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Splits `name{k="v",...}` into the bare name and the label pairs;
+/// returns false on malformed label syntax.
+bool splitLabels(const std::string& series, std::string* name,
+                 std::vector<std::pair<std::string, std::string>>* labels) {
+  const std::size_t brace = series.find('{');
+  if (brace == std::string::npos) {
+    *name = series;
+    return true;
+  }
+  if (series.back() != '}') return false;
+  *name = series.substr(0, brace);
+  std::string body = series.substr(brace + 1, series.size() - brace - 2);
+  while (!body.empty()) {
+    const std::size_t eq = body.find("=\"");
+    if (eq == std::string::npos) return false;
+    const std::string key = body.substr(0, eq);
+    // Find the closing quote, honouring backslash escapes.
+    std::size_t end = eq + 2;
+    while (end < body.size() && body[end] != '"') {
+      end += body[end] == '\\' ? 2 : 1;
+    }
+    if (end >= body.size()) return false;
+    labels->emplace_back(key, body.substr(eq + 2, end - eq - 2));
+    body = body.substr(end + 1);
+    if (!body.empty()) {
+      if (body[0] != ',') return false;
+      body = body.substr(1);
+    }
+  }
+  return true;
+}
+
+struct HistogramSeries {
+  // le -> cumulative count, in sample order (exposition order == le order).
+  std::vector<std::pair<double, double>> buckets;
+  bool has_sum = false;
+  double count = -1.0;
+};
+
+int validatePrometheus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return fail("cannot open " + path);
+
+  std::map<std::string, std::string> family_type;  // family -> type
+  std::map<std::string, HistogramSeries> histograms;  // base + labels (no le)
+  std::size_t samples = 0;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string where = path + ":" + std::to_string(lineno);
+    if (line.empty()) return fail(where + ": blank line in exposition");
+    if (line[0] == '#') {
+      std::istringstream hdr(line);
+      std::string hash, kind, family;
+      hdr >> hash >> kind >> family;
+      if (kind == "HELP") continue;
+      if (kind != "TYPE") return fail(where + ": unknown comment " + line);
+      std::string type;
+      hdr >> type;
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail(where + ": unknown metric type " + type);
+      }
+      if (family_type.count(family) != 0) {
+        return fail(where + ": duplicate TYPE for " + family);
+      }
+      family_type[family] = type;
+      continue;
+    }
+
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) return fail(where + ": malformed sample");
+    const std::string series = line.substr(0, space);
+    double value = 0.0;
+    if (!parseDouble(line.substr(space + 1), &value)) {
+      return fail(where + ": unparsable sample value");
+    }
+    ++samples;
+
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+    if (!splitLabels(series, &name, &labels)) {
+      return fail(where + ": malformed label set");
+    }
+    // User labels are strictly sorted by key; the synthetic `le` bucket
+    // label is appended last, outside the sort (Prometheus convention).
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i].first == "le" && i + 1 != labels.size()) {
+        return fail(where + ": le is not the last label");
+      }
+      if (i > 0 && labels[i].first != "le" &&
+          !(labels[i - 1].first < labels[i].first)) {
+        return fail(where + ": labels not strictly sorted by key");
+      }
+    }
+
+    // Histogram samples expose the family under _bucket/_sum/_count; map
+    // the sample back to its declared family.
+    std::string family = name;
+    std::string suffix;
+    for (const char* s : {"_bucket", "_sum", "_count"}) {
+      const std::string tail = s;
+      if (name.size() > tail.size() &&
+          name.compare(name.size() - tail.size(), tail.size(), tail) == 0) {
+        const std::string base = name.substr(0, name.size() - tail.size());
+        if (family_type.count(base) != 0 &&
+            family_type[base] == "histogram") {
+          family = base;
+          suffix = tail;
+          break;
+        }
+      }
+    }
+    if (family_type.count(family) == 0) {
+      return fail(where + ": sample before any TYPE line for " + family);
+    }
+    const std::string& type = family_type[family];
+    if (type == "counter" && value < 0.0) {
+      return fail(where + ": negative counter sample");
+    }
+    if (type == "histogram") {
+      if (suffix.empty()) {
+        return fail(where + ": bare sample for histogram family " + family);
+      }
+      // Key the sub-series by family + labels minus `le`.
+      std::string le;
+      std::string key = family;
+      for (const auto& [k, v] : labels) {
+        if (k == "le") {
+          le = v;
+        } else {
+          key += "," + k + "=" + v;
+        }
+      }
+      HistogramSeries& h = histograms[key];
+      if (suffix == "_bucket") {
+        if (le.empty()) return fail(where + ": _bucket sample without le");
+        double bound = 0.0;
+        if (le == "+Inf") {
+          bound = std::numeric_limits<double>::infinity();
+        } else if (!parseDouble(le, &bound)) {
+          return fail(where + ": unparsable le bound " + le);
+        }
+        h.buckets.emplace_back(bound, value);
+      } else if (suffix == "_sum") {
+        h.has_sum = true;
+      } else {
+        h.count = value;
+      }
+    }
+  }
+  if (samples == 0) return fail("no samples in " + path);
+
+  for (const auto& [key, h] : histograms) {
+    if (h.buckets.empty()) return fail(key + ": histogram without buckets");
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0 && !(h.buckets[i - 1].first < h.buckets[i].first)) {
+        return fail(key + ": bucket bounds not increasing");
+      }
+      if (i > 0 && h.buckets[i - 1].second > h.buckets[i].second) {
+        return fail(key + ": cumulative bucket counts decreasing");
+      }
+    }
+    if (!std::isinf(h.buckets.back().first)) {
+      return fail(key + ": histogram missing the +Inf bucket");
+    }
+    if (!h.has_sum || h.count < 0.0) {
+      return fail(key + ": histogram missing _sum or _count");
+    }
+    if (h.buckets.back().second != h.count) {
+      return fail(key + ": +Inf bucket disagrees with _count");
+    }
+  }
+  return 0;
+}
+
+int validateJsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return fail("cannot open " + path);
+
+  std::map<std::string, double> last_t;
+  std::size_t rows = 0;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string where = path + ":" + std::to_string(lineno);
+    Json row;
+    try {
+      row = Json::parse(line);
+    } catch (const JsonError& e) {
+      return fail(where + ": parse error: " + e.what());
+    }
+    if (!row.isObject()) return fail(where + ": row is not an object");
+    const Json* metric = row.find("metric");
+    const Json* t = row.find("t");
+    const Json* value = row.find("value");
+    if (metric == nullptr || !metric->isString()) {
+      return fail(where + ": missing string 'metric'");
+    }
+    if (t == nullptr || !t->isNumber() || t->asDouble() < 0.0) {
+      return fail(where + ": missing non-negative 't'");
+    }
+    if (value == nullptr || !value->isNumber()) {
+      return fail(where + ": missing numeric 'value'");
+    }
+    const std::string name = metric->asString();
+    if (last_t.count(name) != 0 && t->asDouble() < last_t[name]) {
+      return fail(where + ": timestamps go backwards for " + name);
+    }
+    last_t[name] = t->asDouble();
+    ++rows;
+  }
+  if (rows == 0) return fail("no rows in " + path);
+  if (last_t.count("gpu_util_pct") == 0) {
+    return fail(path + ": expected gpu_util_pct series absent");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return fail("usage: metrics_validate <out.prom> <out.jsonl>");
+  if (const int rc = validatePrometheus(argv[1]); rc != 0) return rc;
+  if (const int rc = validateJsonl(argv[2]); rc != 0) return rc;
+  return 0;
+}

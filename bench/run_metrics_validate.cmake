@@ -1,0 +1,37 @@
+# Runs metrics_capture (an instrumented ResNet-50 falconGPUs experiment
+# under an ECC storm) and then metrics_validate over the Prometheus and
+# JSONL exports it wrote. Invoked as the bench_metrics_validate ctest with
+# -DCAPTURE_BIN / -DVALIDATE_BIN / -DOUT_PROM / -DOUT_JSONL / -DOUT_JSON.
+foreach(var CAPTURE_BIN VALIDATE_BIN OUT_PROM OUT_JSONL OUT_JSON)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_metrics_validate.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE "${OUT_PROM}" "${OUT_JSONL}" "${OUT_JSON}")
+
+execute_process(
+  COMMAND "${CAPTURE_BIN}" "${OUT_PROM}" "${OUT_JSONL}" "${OUT_JSON}"
+  RESULT_VARIABLE capture_rc
+  OUTPUT_VARIABLE capture_out
+  ERROR_VARIABLE capture_err)
+if(NOT capture_rc EQUAL 0)
+  message(FATAL_ERROR
+          "metrics_capture exited with ${capture_rc}\n${capture_out}\n${capture_err}")
+endif()
+
+foreach(out OUT_PROM OUT_JSONL OUT_JSON)
+  if(NOT EXISTS "${${out}}")
+    message(FATAL_ERROR "metrics_capture did not produce ${${out}}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${VALIDATE_BIN}" "${OUT_PROM}" "${OUT_JSONL}"
+  RESULT_VARIABLE validate_rc
+  OUTPUT_VARIABLE validate_out
+  ERROR_VARIABLE validate_err)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR
+          "metrics validation failed (${validate_rc})\n${validate_out}\n${validate_err}")
+endif()

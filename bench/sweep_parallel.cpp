@@ -88,7 +88,7 @@ SweepArtifacts replay(int jobs, const std::string& trace_dir) {
     run.setSummary("samples_per_second", done.result.training.samples_per_second);
     run.setSummary("gpu_util_pct", done.result.gpu_util_pct);
     run.setSummary("falcon_pcie_gbs", done.result.falcon_pcie_gbs);
-    const auto& util = done.result.sampler->series("gpu_util_pct");
+    const auto& util = done.result.metrics->series("gpu_util_pct");
     for (std::size_t i = 0; i < util.size(); ++i) {
       run.log("gpu_util_pct", util.timeAt(i), util.valueAt(i));
     }

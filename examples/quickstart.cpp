@@ -9,13 +9,19 @@
 //   $ ./examples/quickstart --trace   # also writes quickstart_trace.json
 //   $ ./examples/quickstart --faults '{"spare_gpus": 1,
 //       "gpu_falloffs": [{"gpu": 0, "at": 2.0}]}'
+//   $ ./examples/quickstart --metrics '{"alerts":
+//       ["gpu_util_pct < 10 for 5s"]}'  # writes .prom + .jsonl exports
 //
 // With --trace, the span profiler records every training phase, collective
 // op, and fabric link and exports a Chrome trace_event file you can open in
 // chrome://tracing or Perfetto. With --faults <spec> (inline JSON or a
 // path to a JSON file), the run executes under a fault schedule with the
 // recovery orchestrator active; note the fault schedule targets Falcon
-// GPUs, so pair it with a Falcon-composed configuration.
+// GPUs, so pair it with a Falcon-composed configuration. With --metrics
+// <spec> (same inline-or-path convention; {} is valid), the run writes the
+// metrics pipeline's Prometheus exposition to quickstart_metrics.prom and
+// the scraped time series to quickstart_metrics.jsonl, and prints any SLO
+// alerts the rules raised.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,12 +37,12 @@ using namespace composim;
 namespace {
 
 /// `spec` is inline JSON (starts with '{') or a path to a JSON file.
-bool loadFaults(const std::string& spec, core::FaultsConfig* out) {
+bool loadSpec(const char* what, const std::string& spec, falcon::Json* out) {
   std::string text = spec;
   if (text.empty() || text[0] != '{') {
     std::ifstream in(spec);
     if (!in) {
-      std::fprintf(stderr, "cannot open faults spec %s\n", spec.c_str());
+      std::fprintf(stderr, "cannot open %s spec %s\n", what, spec.c_str());
       return false;
     }
     std::ostringstream buf;
@@ -44,9 +50,33 @@ bool loadFaults(const std::string& spec, core::FaultsConfig* out) {
     text = buf.str();
   }
   try {
-    *out = core::parseFaultsConfig(falcon::Json::parse(text));
+    *out = falcon::Json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s spec error: %s\n", what, e.what());
+    return false;
+  }
+  return true;
+}
+
+bool loadFaults(const std::string& spec, core::FaultsConfig* out) {
+  falcon::Json doc;
+  if (!loadSpec("faults", spec, &doc)) return false;
+  try {
+    *out = core::parseFaultsConfig(doc);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "faults spec error: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+bool loadMetrics(const std::string& spec, core::MetricsConfig* out) {
+  falcon::Json doc;
+  if (!loadSpec("metrics", spec, &doc)) return false;
+  try {
+    *out = core::parseMetricsConfig(doc);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics spec error: %s\n", e.what());
     return false;
   }
   return true;
@@ -61,6 +91,7 @@ int main(int argc, char** argv) {
   opt.trainer.epochs = 1;
   opt.trainer.max_iterations_per_epoch = 25;
   core::SystemConfig config = core::SystemConfig::LocalGpus;
+  bool export_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) opt.trace = true;
     if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
@@ -68,6 +99,10 @@ int main(int argc, char** argv) {
       // Fault schedules target Falcon devices; compose the GPUs from the
       // chassis so there is something to fail and re-attach.
       config = core::SystemConfig::FalconGpus;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      if (!loadMetrics(argv[++i], &opt.metrics)) return 1;
+      export_metrics = true;
     }
   }
 
@@ -107,6 +142,26 @@ int main(int argc, char** argv) {
                 static_cast<long long>(result.training.lost_iterations));
     std::printf("final gang size           : %zu\n",
                 result.recovery.final_gang_size);
+  }
+
+  if (export_metrics) {
+    for (const auto& [path, status] :
+         {std::pair{"quickstart_metrics.prom",
+                    result.metrics->writePrometheus("quickstart_metrics.prom")},
+          std::pair{"quickstart_metrics.jsonl",
+                    result.metrics->writeJsonl("quickstart_metrics.jsonl")}}) {
+      if (!status) {
+        std::fprintf(stderr, "metrics export failed: %s\n",
+                     status.toString().c_str());
+        return 1;
+      }
+      std::printf("metrics written to %s\n", path);
+    }
+    for (const auto& alert : result.metrics->alerts().log()) {
+      std::printf("alert %-8s t=%.2fs %s on %s (value %.3g)\n",
+                  alert.firing ? "FIRING" : "resolved", alert.time,
+                  alert.rule.c_str(), alert.series.c_str(), alert.value);
+    }
   }
 
   if (result.profiler) {

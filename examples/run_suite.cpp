@@ -8,6 +8,7 @@
 //   $ ./examples/run_suite my_suite.json /tmp/results
 //   $ ./examples/run_suite --trace my_suite.json /tmp/results
 //   $ ./examples/run_suite --faults storm.json my_suite.json /tmp/results
+//   $ ./examples/run_suite --metrics slo.json my_suite.json /tmp/results
 //   $ ./examples/run_suite --jobs 4 my_suite.json /tmp/results
 //   $ ./examples/run_suite            # runs a built-in demonstration suite
 //
@@ -16,7 +17,11 @@
 // written next to the CSV artifacts. With --faults <spec> (inline JSON or
 // a file path), every experiment runs under that fault schedule with the
 // recovery orchestrator active; individual experiments can instead carry
-// their own "faults" object in the suite file.
+// their own "faults" object in the suite file. With --metrics <spec>
+// (scrape interval + alert rules; {} is valid), every experiment exports
+// its Prometheus exposition (<name>_metrics.prom) and JSONL time-series
+// dump (<name>_metrics.jsonl) next to the CSV artifacts; per-experiment
+// "metrics" objects in the suite file take precedence.
 //
 // --jobs N fans the suite out across N worker threads (default:
 // hardware_concurrency). Each run owns a private simulation stack and all
@@ -60,12 +65,15 @@ int main(int argc, char** argv) {
   bool trace = false;
   int jobs = 0;  // 0 = hardware_concurrency
   std::string faults_spec;
+  std::string metrics_spec;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace") {
       trace = true;
     } else if (std::string(argv[i]) == "--faults" && i + 1 < argc) {
       faults_spec = argv[++i];
+    } else if (std::string(argv[i]) == "--metrics" && i + 1 < argc) {
+      metrics_spec = argv[++i];
     } else if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
     } else {
@@ -73,25 +81,53 @@ int main(int argc, char** argv) {
     }
   }
 
-  core::FaultsConfig shared_faults;
-  if (!faults_spec.empty()) {
-    std::string text = faults_spec;
+  // Shared specs: inline JSON (starts with '{') or a path to a JSON file.
+  auto load_spec = [](const char* what, const std::string& spec,
+                      falcon::Json* out) {
+    std::string text = spec;
     if (text.empty() || text[0] != '{') {
-      std::ifstream fin(faults_spec);
+      std::ifstream fin(spec);
       if (!fin) {
-        std::fprintf(stderr, "cannot open faults spec %s\n", faults_spec.c_str());
-        return 1;
+        std::fprintf(stderr, "cannot open %s spec %s\n", what, spec.c_str());
+        return false;
       }
       std::ostringstream fbuf;
       fbuf << fin.rdbuf();
       text = fbuf.str();
     }
     try {
-      shared_faults = core::parseFaultsConfig(falcon::Json::parse(text));
+      *out = falcon::Json::parse(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s spec error: %s\n", what, e.what());
+      return false;
+    }
+    return true;
+  };
+
+  core::FaultsConfig shared_faults;
+  if (!faults_spec.empty()) {
+    falcon::Json doc;
+    if (!load_spec("faults", faults_spec, &doc)) return 1;
+    try {
+      shared_faults = core::parseFaultsConfig(doc);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "faults spec error: %s\n", e.what());
       return 1;
     }
+  }
+
+  core::MetricsConfig shared_metrics;
+  bool export_metrics = false;
+  if (!metrics_spec.empty()) {
+    falcon::Json doc;
+    if (!load_spec("metrics", metrics_spec, &doc)) return 1;
+    try {
+      shared_metrics = core::parseMetricsConfig(doc);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "metrics spec error: %s\n", e.what());
+      return 1;
+    }
+    export_metrics = true;
   }
 
   std::string text = kDemoSuite;
@@ -115,12 +151,19 @@ int main(int argc, char** argv) {
   }
 
   const std::string outdir = pos.size() > 1 ? pos[1] : ".";
-  if (pos.size() > 1 || trace) std::filesystem::create_directories(outdir);
+  if (pos.size() > 1 || trace || export_metrics) {
+    std::filesystem::create_directories(outdir);
+  }
 
   for (auto& spec : specs) {
     if (trace) spec.options.trace = true;
     if (shared_faults.enabled && !spec.options.faults.enabled) {
       spec.options.faults = shared_faults;
+    }
+    // Per-experiment "metrics" objects win over the shared --metrics spec.
+    if (export_metrics && spec.options.metrics.alerts.empty() &&
+        spec.options.metrics.scrape_interval == 0.0) {
+      spec.options.metrics = shared_metrics;
     }
   }
 
@@ -151,6 +194,24 @@ int main(int argc, char** argv) {
         std::printf("  trace written to %s\n", path.c_str());
       }
     }
+    if (export_metrics) {
+      const std::string prom = outdir + "/" + spec.name + "_metrics.prom";
+      const std::string jsonl = outdir + "/" + spec.name + "_metrics.jsonl";
+      Status s = r.metrics->writePrometheus(prom);
+      if (s) s = r.metrics->writeJsonl(jsonl);
+      if (!s) {
+        std::fprintf(stderr, "metrics export failed: %s\n",
+                     s.toString().c_str());
+      } else {
+        std::printf("  metrics written to %s / %s\n", prom.c_str(),
+                    jsonl.c_str());
+      }
+      for (const auto& alert : r.metrics->alerts().log()) {
+        std::printf("  alert %-8s t=%.2fs %s on %s\n",
+                    alert.firing ? "FIRING" : "resolved", alert.time,
+                    alert.rule.c_str(), alert.series.c_str());
+      }
+    }
     auto& run = tracker.run(spec.name);
     run.setConfig("benchmark", spec.benchmark);
     run.setConfig("config", core::toString(spec.config));
@@ -167,7 +228,7 @@ int main(int argc, char** argv) {
       run.setSummary("final_gang_size",
                      static_cast<double>(r.recovery.final_gang_size));
     }
-    const auto& util = r.sampler->series("gpu_util_pct");
+    const auto& util = r.metrics->series("gpu_util_pct");
     for (std::size_t i = 0; i < util.size(); ++i) {
       run.log("gpu_util_pct", util.timeAt(i), util.valueAt(i));
     }

@@ -4,6 +4,8 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "telemetry/collectors.hpp"
+
 namespace composim::core {
 
 ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model,
@@ -70,46 +72,39 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
     monitor->start(faults.health_poll_interval);
   }
 
-  auto sampler = std::make_shared<telemetry::MetricsSampler>(
-      system.sim(), options.sample_interval);
-
-  // GPU utilization / memory-access %: rate of cumulative busy seconds
-  // across the training GPUs, scaled to percent.
-  // Communication-kernel busy time is credited at collective completion,
-  // which can land a whole window's worth of busy seconds in one sample;
-  // clamp like nvidia-smi (utilization never reads above 100%).
-  const double per_gpu_pct = 100.0 / static_cast<double>(gpus.size());
-  auto busy_probe = std::make_shared<telemetry::RateProbe>(
-      system.sim(),
-      [gpus] {
-        double total = 0.0;
-        for (const auto* g : gpus) total += g->busyTime();
-        return total;
-      },
-      per_gpu_pct);
-  sampler->addProbe("gpu_util_pct",
-                    [busy_probe] { return std::min(100.0, (*busy_probe)()); });
-  sampler->addRateProbe("gpu_mem_access_pct", [gpus] {
-    double total = 0.0;
-    for (const auto* g : gpus) total += g->memBusyTime();
-    return total;
-  }, per_gpu_pct);
-  sampler->addProbe("gpu_mem_util_pct", [gpus] {
-    double total = 0.0;
-    for (const auto* g : gpus) total += g->memoryUtilization();
-    return 100.0 * total / static_cast<double>(gpus.size());
-  });
-  devices::HostCpu* cpu = &system.cpu();
-  sampler->addRateProbe("cpu_util_pct", [cpu] { return cpu->busyThreadTime(); },
-                        100.0 / cpu->totalThreads());
-  sampler->addProbe("host_mem_util_pct",
-                    [cpu] { return 100.0 * cpu->memoryUtilization(); });
+  // Metrics pipeline: shared subsystem collectors scraped on the sample
+  // interval, with SLO alert evaluation after every scrape.
+  const SimTime scrape_interval = options.metrics.scrape_interval > 0.0
+                                      ? options.metrics.scrape_interval
+                                      : options.sample_interval;
+  auto metrics = std::make_shared<telemetry::MetricsPipeline>(system.sim(),
+                                                              scrape_interval);
+  telemetry::MetricsScraper& scraper = metrics->scraper();
+  telemetry::MetricsRegistry& registry = metrics->registry();
+  telemetry::collectGpus(scraper, registry,
+                         {gpus.begin(), gpus.end()});
+  telemetry::collectHostCpu(scraper, registry, system.cpu());
   ComposableSystem* sys = &system;
-  sampler->addRateProbe("falcon_pcie_gbs",
-                        [sys] { return static_cast<double>(sys->falconGpuPortBytes()); },
-                        1e-9);
+  telemetry::collectFalconPcie(scraper, registry, [sys] {
+    return static_cast<double>(sys->falconGpuPortBytes());
+  });
+  telemetry::collectFabricLinks(scraper, registry, system.topology(),
+                                telemetry::hostAdapterLinks(system.topology()));
+  telemetry::collectBmc(scraper, registry, system.bmc());
+  telemetry::observeTrainer(registry, trainer);
+  for (const std::string& rule : options.metrics.alerts) {
+    metrics->alerts().addRule(rule);
+  }
+  // Alert transitions interleave with the fault/recovery history in the
+  // BMC event log, the way a fleet pager would page the operator.
+  falcon::Bmc* bmc = &system.bmc();
+  metrics->alerts().subscribe([bmc](const telemetry::Alert& a) {
+    bmc->logEvent(a.firing ? "alert" : "info",
+                  std::string("slo ") + (a.firing ? "firing" : "resolved") +
+                      ": " + a.rule + " on " + a.series);
+  });
 
-  sampler->start();
+  scraper.start();
   system.bmc().startPeriodicSampling(units::seconds(5.0));
 
   dl::TrainingResult training;
@@ -124,8 +119,8 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
     finished = true;
     // Periodic activities would otherwise keep the event queue alive
     // forever; training completion ends the measurement.
-    sampler->sampleOnce();
-    sampler->stop();
+    scraper.scrapeOnce();
+    scraper.stop();
     system.bmc().stopPeriodicSampling();
     if (monitor) monitor->stop();
   });
@@ -144,7 +139,9 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
   result.config = config;
   result.benchmark = model.name;
   result.training = training;
-  result.sampler = sampler;
+  // Detach: the pipeline outlives `system` inside the result.
+  metrics->finalize();
+  result.metrics = metrics;
   result.profiler = profiler;
 
   if (orchestrator) {
@@ -166,16 +163,16 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
   const SimTime end =
       std::max(0.0, training.simulated_time - training.checkpoint_time);
   const SimTime from = end * 0.15;
-  result.gpu_util_pct = sampler->series("gpu_util_pct").meanInWindow(from, end);
+  result.gpu_util_pct = metrics->series("gpu_util_pct").meanInWindow(from, end);
   result.gpu_mem_access_pct =
-      sampler->series("gpu_mem_access_pct").meanInWindow(from, end);
+      metrics->series("gpu_mem_access_pct").meanInWindow(from, end);
   result.gpu_mem_util_pct =
-      sampler->series("gpu_mem_util_pct").meanInWindow(from, end);
-  result.cpu_util_pct = sampler->series("cpu_util_pct").meanInWindow(from, end);
+      metrics->series("gpu_mem_util_pct").meanInWindow(from, end);
+  result.cpu_util_pct = metrics->series("cpu_util_pct").meanInWindow(from, end);
   result.host_mem_util_pct =
-      sampler->series("host_mem_util_pct").meanInWindow(from, end);
+      metrics->series("host_mem_util_pct").meanInWindow(from, end);
   result.falcon_pcie_gbs =
-      sampler->series("falcon_pcie_gbs").meanInWindow(from, end);
+      metrics->series("falcon_pcie_gbs").meanInWindow(from, end);
   return result;
 }
 

@@ -16,8 +16,8 @@
 #include "dl/trainer.hpp"
 #include "dl/zoo.hpp"
 #include "fabric/failures.hpp"
+#include "telemetry/metrics_pipeline.hpp"
 #include "telemetry/profiler.hpp"
-#include "telemetry/sampler.hpp"
 
 namespace composim::core {
 
@@ -69,6 +69,17 @@ struct RecoverySummary {
   std::vector<falcon::FaultEvent> detections_log;
 };
 
+/// Metrics-pipeline knobs. The pipeline itself always runs (the summary
+/// means come out of it); this controls its cadence and alerting.
+struct MetricsConfig {
+  /// Scrape cadence; 0 = follow ExperimentOptions::sample_interval.
+  SimTime scrape_interval = 0.0;
+  /// SLO alert rules in the compact telemetry::parseAlertRule syntax,
+  /// e.g. "link_util_pct > 95 for 2s" or "ecc: ecc_errors_total rate > 0".
+  /// Firing/resolved transitions also land in the BMC event log.
+  std::vector<std::string> alerts;
+};
+
 struct ExperimentOptions {
   /// Default trainer.max_iterations_per_epoch: capping keeps runs fast;
   /// totals are extrapolated from steady-state iteration time (see
@@ -79,6 +90,8 @@ struct ExperimentOptions {
 
   dl::TrainerOptions trainer;
   SimTime sample_interval = 0.25;  // telemetry cadence (simulated seconds)
+  /// Metrics pipeline: scrape cadence override + SLO alert rules.
+  MetricsConfig metrics;
   /// Record a span/counter profile of the run (result.profiler holds the
   /// finalized trace, exportable as Chrome trace_event JSON).
   bool trace = false;
@@ -100,8 +113,10 @@ struct ExperimentResult {
   double host_mem_util_pct = 0.0;
   double falcon_pcie_gbs = 0.0;  // aggregate over falcon GPU ports
 
-  /// Full sampled series (kept alive for the Fig 9 strip charts / CSV).
-  std::shared_ptr<telemetry::MetricsSampler> sampler;
+  /// The run's metrics pipeline, finalized: labeled registry (Prometheus
+  /// text exposition), scraped time series (JSONL dump, Fig 9 strip
+  /// charts), and the alert log.
+  std::shared_ptr<telemetry::MetricsPipeline> metrics;
 
   /// Finalized profiler when options.trace was set (null otherwise).
   std::shared_ptr<telemetry::Profiler> profiler;

@@ -83,6 +83,21 @@ FaultsConfig parseFaultsConfig(const falcon::Json& doc) {
   return faults;
 }
 
+MetricsConfig parseMetricsConfig(const falcon::Json& doc) {
+  MetricsConfig metrics;
+  if (const auto* v = doc.find("scrape_interval")) {
+    metrics.scrape_interval = v->asDouble();
+  }
+  if (const auto* v = doc.find("alerts")) {
+    for (const auto& rule : v->asArray()) {
+      // Validate at parse time so a bad suite fails before any run starts.
+      telemetry::parseAlertRule(rule.asString());
+      metrics.alerts.push_back(rule.asString());
+    }
+  }
+  return metrics;
+}
+
 std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
   std::vector<ExperimentSpec> specs;
   for (const auto& e : doc.at("experiments").asArray()) {
@@ -120,6 +135,9 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
     }
     if (const auto* v = e.find("faults")) {
       s.options.faults = parseFaultsConfig(*v);
+    }
+    if (const auto* v = e.find("metrics")) {
+      s.options.metrics = parseMetricsConfig(*v);
     }
     specs.push_back(std::move(s));
   }

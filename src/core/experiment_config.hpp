@@ -54,6 +54,16 @@ dl::ModelSpec benchmarkFromName(const std::string& name);
 /// Parsing a faults object always sets enabled = true.
 FaultsConfig parseFaultsConfig(const falcon::Json& doc);
 
+/// Parse a metrics object (the "metrics" key of an experiment, or a
+/// standalone --metrics document):
+///
+///   {"scrape_interval": 0.25,
+///    "alerts": ["link_util_pct > 95 for 2s",
+///               "ecc: ecc_errors_total rate > 0"]}
+///
+/// Alert rules are validated (telemetry::parseAlertRule) at parse time.
+MetricsConfig parseMetricsConfig(const falcon::Json& doc);
+
 /// Run one parsed spec.
 ExperimentResult runExperimentSpec(const ExperimentSpec& spec);
 

@@ -4,21 +4,9 @@
 #include <cmath>
 
 #include "fabric/link_catalog.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace composim::dl {
-
-namespace {
-
-double percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = idx - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
-
-}  // namespace
 
 InferenceEngine::InferenceEngine(Simulator& sim, fabric::FlowNetwork& net,
                                  devices::Gpu& gpu, fabric::NodeId hostMemory,
@@ -99,8 +87,9 @@ void InferenceEngine::maybeLaunchBatch() {
                          options_.result_bytes * batch,
                          [this, taken = std::move(taken)](const fabric::FlowResult&) {
                            for (const auto& r : taken) {
-                             latencies_ms_.push_back(
-                                 units::to_ms(sim_.now() - r.arrival));
+                             const double ms = units::to_ms(sim_.now() - r.arrival);
+                             latencies_ms_.push_back(ms);
+                             if (latency_observer_) latency_observer_(ms);
                            }
                            completed_ += static_cast<int>(taken.size());
                            gpu_busy_ = false;
@@ -119,9 +108,9 @@ void InferenceEngine::finishIfDone() {
   s.duration = sim_.now() - start_;
   s.throughput_rps = s.duration > 0.0 ? total_ / s.duration : 0.0;
   std::sort(latencies_ms_.begin(), latencies_ms_.end());
-  s.latency_p50_ms = percentile(latencies_ms_, 50.0);
-  s.latency_p95_ms = percentile(latencies_ms_, 95.0);
-  s.latency_p99_ms = percentile(latencies_ms_, 99.0);
+  s.latency_p50_ms = telemetry::percentile(latencies_ms_, 50.0);
+  s.latency_p95_ms = telemetry::percentile(latencies_ms_, 95.0);
+  s.latency_p99_ms = telemetry::percentile(latencies_ms_, 99.0);
   s.mean_batch = batches_ > 0 ? batch_sum_ / batches_ : 0.0;
   auto d = std::move(done_);
   done_ = nullptr;

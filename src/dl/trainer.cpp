@@ -394,6 +394,7 @@ void Trainer::endIteration() {
     const SimTime dt = sim_.now() - iteration_start_;
     endTrackSpan({{"dt_s", dt}});  // iteration
     iteration_times_.push_back(dt);
+    if (iteration_observer_) iteration_observer_(dt);
     ++iterations_done_;
     ++iter_in_epoch_;
 
@@ -454,6 +455,9 @@ void Trainer::checkpoint(std::function<void()> then) {
                                     checkpointing_ = false;
                                     result_.checkpoint_bytes += ckpt;
                                     result_.checkpoint_time += sim_.now() - started;
+                                    if (checkpoint_observer_) {
+                                      checkpoint_observer_(sim_.now() - started);
+                                    }
                                     // The checkpoint is durable: this is
                                     // now the restore/replay point.
                                     ckpt_epoch_ = epoch_;

@@ -137,6 +137,16 @@ class Trainer {
   bool requestRestore(std::vector<devices::Gpu*> gpus,
                       std::function<void()> onResumed = nullptr);
 
+  /// Observer hooks for external telemetry (the metrics collectors): fired
+  /// with the wall time of every completed iteration / durable checkpoint.
+  /// The observer must outlive the run; pass nullptr to detach.
+  void setIterationObserver(std::function<void(SimTime)> fn) {
+    iteration_observer_ = std::move(fn);
+  }
+  void setCheckpointObserver(std::function<void(SimTime)> fn) {
+    checkpoint_observer_ = std::move(fn);
+  }
+
   int batchPerGpu() const { return batch_per_gpu_; }
   int epochs() const { return epochs_; }
   std::int64_t iterationsPerEpochFull() const;
@@ -247,6 +257,8 @@ class Trainer {
   Bytes host_base_memory_ = 0;
   SimTime iteration_start_ = 0.0;
   std::vector<SimTime> iteration_times_;
+  std::function<void(SimTime)> iteration_observer_;
+  std::function<void(SimTime)> checkpoint_observer_;
   Bytes allocated_per_gpu_ = 0;
   SimTime run_start_ = 0.0;
 };

@@ -1,0 +1,177 @@
+#include "telemetry/alert_engine.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace composim::telemetry {
+
+namespace {
+
+std::string formatThreshold(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string AlertRule::expression() const {
+  std::string out = metric;
+  if (rate) out += " rate";
+  out += cmp == Cmp::GT ? " > " : " < ";
+  out += formatThreshold(threshold);
+  if (hold > 0.0) out += " for " + formatThreshold(hold) + "s";
+  return out;
+}
+
+AlertRule parseAlertRule(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::string> tokens;
+  for (std::string tok; in >> tok;) tokens.push_back(std::move(tok));
+  if (tokens.empty()) {
+    throw std::invalid_argument("alert rule: empty expression");
+  }
+
+  AlertRule rule;
+  std::size_t i = 0;
+  if (tokens[i].size() > 1 && tokens[i].back() == ':') {
+    rule.name = tokens[i].substr(0, tokens[i].size() - 1);
+    ++i;
+  }
+  if (i >= tokens.size()) {
+    throw std::invalid_argument("alert rule '" + text + "': missing metric");
+  }
+  rule.metric = tokens[i++];
+  if (i < tokens.size() && tokens[i] == "rate") {
+    rule.rate = true;
+    ++i;
+  }
+  if (i >= tokens.size() || (tokens[i] != ">" && tokens[i] != "<")) {
+    throw std::invalid_argument("alert rule '" + text +
+                                "': expected '>' or '<'");
+  }
+  rule.cmp = tokens[i] == ">" ? AlertRule::Cmp::GT : AlertRule::Cmp::LT;
+  ++i;
+  if (i >= tokens.size()) {
+    throw std::invalid_argument("alert rule '" + text + "': missing threshold");
+  }
+  try {
+    std::size_t used = 0;
+    rule.threshold = std::stod(tokens[i], &used);
+    if (used != tokens[i].size()) throw std::invalid_argument("trailing");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("alert rule '" + text + "': bad threshold '" +
+                                tokens[i] + "'");
+  }
+  ++i;
+  if (i < tokens.size()) {
+    if (tokens[i] != "for" || i + 1 >= tokens.size()) {
+      throw std::invalid_argument("alert rule '" + text +
+                                  "': expected 'for <duration>'");
+    }
+    std::string dur = tokens[i + 1];
+    double scale = 1.0;
+    if (dur.size() > 2 && dur.compare(dur.size() - 2, 2, "ms") == 0) {
+      scale = 1e-3;
+      dur.resize(dur.size() - 2);
+    } else if (dur.size() > 1 && dur.back() == 's') {
+      dur.resize(dur.size() - 1);
+    }
+    try {
+      std::size_t used = 0;
+      rule.hold = std::stod(dur, &used) * scale;
+      if (used != dur.size()) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      throw std::invalid_argument("alert rule '" + text + "': bad duration '" +
+                                  tokens[i + 1] + "'");
+    }
+    if (rule.hold < 0.0) {
+      throw std::invalid_argument("alert rule '" + text +
+                                  "': negative duration");
+    }
+    i += 2;
+  }
+  if (i != tokens.size()) {
+    throw std::invalid_argument("alert rule '" + text +
+                                "': trailing tokens after '" + tokens[i - 1] +
+                                "'");
+  }
+  if (rule.name.empty()) rule.name = rule.expression();
+  return rule;
+}
+
+void AlertEngine::addRule(AlertRule rule) {
+  rules_.push_back(RuleState{std::move(rule), {}});
+}
+
+void AlertEngine::evaluate(SimTime now) {
+  for (RuleState& rs : rules_) {
+    const AlertRule& rule = rs.rule;
+    // "family{labels}" selects one instrument; a bare family matches all.
+    std::string family = rule.metric;
+    std::string selector;
+    if (const auto brace = family.find('{'); brace != std::string::npos) {
+      selector = family.substr(brace);
+      family.resize(brace);
+    }
+    for (const auto& inst : registry_.instruments(family)) {
+      const std::string key = labelsToString(inst.labels);
+      if (!selector.empty() && key != selector) continue;
+      SeriesState& st = rs.series[key];
+
+      double observed = inst.value();
+      if (rule.rate) {
+        if (!st.seen) {
+          st.seen = true;
+          st.last_value = observed;
+          st.last_time = now;
+          continue;  // no baseline yet
+        }
+        const double dv = observed - st.last_value;
+        const SimTime dt = now - st.last_time;
+        st.last_value = observed;
+        if (dt <= 0.0) continue;  // same-instant re-evaluation: keep state
+        st.last_time = now;
+        observed = dv / dt;
+      }
+
+      const bool met = rule.cmp == AlertRule::Cmp::GT
+                           ? observed > rule.threshold
+                           : observed < rule.threshold;
+      if (met) {
+        if (!st.breaching) {
+          st.breaching = true;
+          st.breach_since = now;
+        }
+        if (!st.firing && now - st.breach_since >= rule.hold) {
+          st.firing = true;
+          emit(Alert{rule.name, family + key, true, now, observed});
+        }
+      } else {
+        if (st.firing) {
+          emit(Alert{rule.name, family + key, false, now, observed});
+        }
+        st.breaching = false;
+        st.firing = false;
+      }
+    }
+  }
+}
+
+std::size_t AlertEngine::firingCount() const {
+  std::size_t n = 0;
+  for (const RuleState& rs : rules_) {
+    for (const auto& [key, st] : rs.series) {
+      if (st.firing) ++n;
+    }
+  }
+  return n;
+}
+
+void AlertEngine::emit(Alert alert) {
+  log_.push_back(alert);
+  for (const Handler& h : handlers_) h(alert);
+}
+
+}  // namespace composim::telemetry

@@ -1,0 +1,109 @@
+// composim: SLO alert evaluation over the metrics registry.
+//
+// Rules are threshold-with-hold-duration predicates in the Prometheus
+// alerting spirit: a rule names a metric family (optionally one labeled
+// instrument), compares its current value — or its rate of change, for
+// cumulative counters — against a threshold, and fires only after the
+// condition has held continuously for the configured duration. Each
+// breached series produces one typed *firing* alert and, once the
+// condition clears, one *resolved* alert; both land in the engine log and
+// every subscribed handler (the experiment wires firing alerts into the
+// BMC event log so they interleave with the fault-injection history).
+//
+// The engine evaluates on the scrape cadence (MetricsScraper calls
+// evaluate() after every snapshot), so detection latency is quantized to
+// the scrape interval — the same telemetry-lag property the HealthMonitor
+// has for BMC polling.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace composim::telemetry {
+
+struct AlertRule {
+  enum class Cmp { GT, LT };
+
+  std::string name;    // rule label ("" = derived from the expression)
+  std::string metric;  // family name, or family{labels} for one instrument
+  bool rate = false;   // compare d(value)/dt between scrapes, not the value
+  Cmp cmp = Cmp::GT;
+  double threshold = 0.0;
+  SimTime hold = 0.0;  // condition must hold this long before firing
+
+  /// The canonical "expr" string: `metric [rate] >|< threshold for Ns`.
+  std::string expression() const;
+};
+
+/// Parse the compact rule syntax:
+///
+///   [name:] <metric> [rate] (>|<) <threshold> [for <duration>[s|ms]]
+///
+/// e.g. "link_util_pct > 95 for 2s", "hot: ecc_errors_total rate > 0",
+/// "gpu_util_pct < 10 for 5s". Throws std::invalid_argument on malformed
+/// input.
+AlertRule parseAlertRule(const std::string& text);
+
+struct Alert {
+  std::string rule;    // AlertRule::name (or expression)
+  std::string series;  // metric family + label set that breached
+  bool firing = true;  // false = resolved
+  SimTime time = 0.0;  // evaluation time of the transition
+  double value = 0.0;  // observed value (or rate) at the transition
+};
+
+class AlertEngine {
+ public:
+  using Handler = std::function<void(const Alert&)>;
+
+  explicit AlertEngine(const MetricsRegistry& registry)
+      : registry_(registry) {}
+
+  AlertEngine(const AlertEngine&) = delete;
+  AlertEngine& operator=(const AlertEngine&) = delete;
+
+  void addRule(AlertRule rule);
+  /// Parse-and-add sugar for config files.
+  void addRule(const std::string& text) { addRule(parseAlertRule(text)); }
+  std::size_t ruleCount() const { return rules_.size(); }
+
+  void subscribe(Handler handler) { handlers_.push_back(std::move(handler)); }
+
+  /// Evaluate every rule against the registry as of simulated time `now`.
+  /// Called by the scraper after each snapshot; may be called directly.
+  void evaluate(SimTime now);
+
+  /// Every firing/resolved transition, in emission order.
+  const std::vector<Alert>& log() const { return log_; }
+  /// Series currently in the firing state, across all rules.
+  std::size_t firingCount() const;
+
+ private:
+  struct SeriesState {
+    bool seen = false;        // rate baseline primed
+    double last_value = 0.0;  // previous scrape's value (rate rules)
+    SimTime last_time = 0.0;
+    bool breaching = false;
+    SimTime breach_since = 0.0;
+    bool firing = false;
+  };
+  struct RuleState {
+    AlertRule rule;
+    // Keyed by the instrument's label string (deterministic iteration).
+    std::map<std::string, SeriesState> series;
+  };
+
+  void emit(Alert alert);
+
+  const MetricsRegistry& registry_;
+  std::vector<RuleState> rules_;
+  std::vector<Handler> handlers_;
+  std::vector<Alert> log_;
+};
+
+}  // namespace composim::telemetry

@@ -1,0 +1,122 @@
+#include "telemetry/metrics_pipeline.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "falcon/json.hpp"
+
+namespace composim::telemetry {
+
+MetricsScraper::MetricsScraper(Simulator& sim, MetricsRegistry& registry,
+                               SimTime interval)
+    : sim_(&sim), registry_(registry), interval_(interval) {
+  if (interval_ <= 0.0) {
+    throw std::invalid_argument("MetricsScraper: interval must be positive");
+  }
+}
+
+void MetricsScraper::addCollector(std::function<void()> update) {
+  collectors_.push_back(std::move(update));
+}
+
+void MetricsScraper::start() {
+  if (running_ || sim_ == nullptr) return;
+  running_ = true;
+  scrapeOnce();  // t0 snapshot primes alert-rate baselines
+  tick();
+}
+
+void MetricsScraper::tick() {
+  sim_->schedule(interval_, [this] {
+    if (!running_ || sim_ == nullptr) return;
+    scrapeOnce();
+    tick();
+  });
+}
+
+void MetricsScraper::scrapeOnce() {
+  if (sim_ == nullptr) return;
+  const SimTime now = sim_->now();
+  for (const auto& update : collectors_) update();
+  for (const std::string& name : registry_.familyNames()) {
+    const bool histo = registry_.type(name) == MetricType::Histogram;
+    for (const auto& inst : registry_.instruments(name)) {
+      const std::string key = labelsToString(inst.labels);
+      if (!histo) {
+        seriesFor(name + key).push(now, inst.value());
+        continue;
+      }
+      const Histogram& h = *inst.histogram;
+      seriesFor(name + "_count" + key)
+          .push(now, static_cast<double>(h.count()));
+      seriesFor(name + "_sum" + key).push(now, h.sum());
+      seriesFor(name + "_p50" + key).push(now, h.percentile(50.0));
+      seriesFor(name + "_p95" + key).push(now, h.percentile(95.0));
+      seriesFor(name + "_p99" + key).push(now, h.percentile(99.0));
+    }
+  }
+  ++scrapes_;
+  if (alerts_ != nullptr) alerts_->evaluate(now);
+}
+
+const TimeSeries& MetricsScraper::series(const std::string& name) const {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    throw std::out_of_range("MetricsScraper: no series '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> MetricsScraper::seriesNames() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, s] : series_) names.push_back(name);
+  return names;
+}
+
+TimeSeries& MetricsScraper::seriesFor(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(name)).first;
+  }
+  return it->second;
+}
+
+std::string MetricsScraper::jsonlDump() const {
+  std::string out;
+  for (const auto& [name, s] : series_) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      falcon::Json line = falcon::Json::object();
+      line.set("metric", name);
+      line.set("t", s.timeAt(i));
+      line.set("value", s.valueAt(i));
+      out += line.dump(-1);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+Status MetricsScraper::writeJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::internal("cannot open '" + path + "' for writing");
+  out << jsonlDump();
+  if (!out) return Status::internal("short write to '" + path + "'");
+  return Status::success();
+}
+
+void MetricsScraper::finalize() {
+  running_ = false;
+  sim_ = nullptr;
+  collectors_.clear();  // collectors capture subsystem refs; drop them too
+}
+
+Status MetricsPipeline::writePrometheus(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::internal("cannot open '" + path + "' for writing");
+  out << registry_.prometheusText();
+  if (!out) return Status::internal("short write to '" + path + "'");
+  return Status::success();
+}
+
+}  // namespace composim::telemetry

@@ -1,0 +1,129 @@
+// composim: scrape loop + export surface over the metrics registry.
+//
+// MetricsScraper polls a MetricsRegistry on a fixed simulated-time
+// interval — the fleet-monitoring scrape — appending every instrument's
+// current value to a named TimeSeries. Registered collector callbacks run
+// first on each pass, pulling fresh values out of the subsystems
+// (telemetry/collectors.hpp has the reusable ones), and the AlertEngine,
+// when attached, is evaluated right after the snapshot, so alert detection
+// latency is one scrape interval at most.
+//
+// Series naming: `family` for an unlabeled instrument,
+// `family{k="v",...}` for labeled ones; histograms additionally scrape
+// `_count`, `_sum`, `_p50`, `_p95` and `_p99` sub-series so latency
+// percentiles are plottable over time.
+//
+// MetricsPipeline bundles registry + scraper + alert engine into the one
+// shared object an ExperimentResult hands back; finalize() detaches it
+// from the Simulator (like Profiler::finalize) so it may outlive the run
+// that produced it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/alert_engine.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/time_series.hpp"
+
+namespace composim::telemetry {
+
+class MetricsScraper {
+ public:
+  MetricsScraper(Simulator& sim, MetricsRegistry& registry, SimTime interval);
+
+  MetricsScraper(const MetricsScraper&) = delete;
+  MetricsScraper& operator=(const MetricsScraper&) = delete;
+
+  SimTime interval() const { return interval_; }
+  /// The simulator scrapes run against (null after finalize()). Collectors
+  /// use it to build rate probes over cumulative counters.
+  Simulator* simulator() const { return sim_; }
+
+  /// Register a pull callback run before every snapshot (subsystem state
+  /// -> registry instruments).
+  void addCollector(std::function<void()> update);
+
+  /// Evaluate `engine` after every scrape (not owned).
+  void setAlertEngine(AlertEngine* engine) { alerts_ = engine; }
+
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+  /// One collector + snapshot + alert pass at the current simulated time.
+  void scrapeOnce();
+
+  const TimeSeries& series(const std::string& name) const;
+  bool hasSeries(const std::string& name) const { return series_.count(name) > 0; }
+  std::vector<std::string> seriesNames() const;
+  std::size_t scrapeCount() const { return scrapes_; }
+
+  /// JSONL time-series dump: one compact JSON object per sample,
+  /// `{"metric": <series name>, "t": <sim seconds>, "value": <v>}`,
+  /// series in name order, samples in time order. Deterministic.
+  std::string jsonlDump() const;
+  Status writeJsonl(const std::string& path) const;
+
+  /// Detach from the Simulator; scraping stops and the object may outlive
+  /// the system that produced the series.
+  void finalize();
+
+ private:
+  void tick();
+  TimeSeries& seriesFor(const std::string& name);
+
+  Simulator* sim_;  // null after finalize()
+  MetricsRegistry& registry_;
+  SimTime interval_;
+  bool running_ = false;
+  std::size_t scrapes_ = 0;
+  std::vector<std::function<void()>> collectors_;
+  AlertEngine* alerts_ = nullptr;
+  std::map<std::string, TimeSeries> series_;
+};
+
+/// Registry + scraper + alert engine, constructed together per experiment.
+class MetricsPipeline {
+ public:
+  MetricsPipeline(Simulator& sim, SimTime scrapeInterval)
+      : alerts_(registry_), scraper_(sim, registry_, scrapeInterval) {
+    scraper_.setAlertEngine(&alerts_);
+  }
+
+  MetricsPipeline(const MetricsPipeline&) = delete;
+  MetricsPipeline& operator=(const MetricsPipeline&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  MetricsScraper& scraper() { return scraper_; }
+  const MetricsScraper& scraper() const { return scraper_; }
+  AlertEngine& alerts() { return alerts_; }
+  const AlertEngine& alerts() const { return alerts_; }
+
+  // Convenience pass-throughs (what result consumers actually touch).
+  const TimeSeries& series(const std::string& name) const {
+    return scraper_.series(name);
+  }
+  bool hasSeries(const std::string& name) const {
+    return scraper_.hasSeries(name);
+  }
+  std::string prometheusText() const { return registry_.prometheusText(); }
+  std::string jsonlDump() const { return scraper_.jsonlDump(); }
+  Status writePrometheus(const std::string& path) const;
+  Status writeJsonl(const std::string& path) const {
+    return scraper_.writeJsonl(path);
+  }
+
+  void finalize() { scraper_.finalize(); }
+
+ private:
+  MetricsRegistry registry_;
+  AlertEngine alerts_;
+  MetricsScraper scraper_;
+};
+
+}  // namespace composim::telemetry

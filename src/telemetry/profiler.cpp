@@ -119,6 +119,12 @@ void Profiler::instant(const char* category, std::string name,
                             category, std::move(name), std::move(args)});
 }
 
+bool Profiler::hasCounter(const std::string& counter,
+                          const std::string& series) const {
+  auto c = counters_.find(counter);
+  return c != counters_.end() && c->second.count(series) > 0;
+}
+
 double Profiler::counterValue(const std::string& counter,
                               const std::string& series) const {
   auto c = counters_.find(counter);

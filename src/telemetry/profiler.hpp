@@ -77,6 +77,10 @@ class Profiler final : public ProfileSink {
   /// Number of records captured so far (spans count begin+end separately).
   std::size_t recordCount() const { return records_.size(); }
 
+  /// Whether the counter series was ever set. counterValue/counterMean
+  /// return 0.0 both for "never updated" and for a genuine 0.0; callers
+  /// that need to tell the two apart check this first.
+  bool hasCounter(const std::string& counter, const std::string& series) const;
   /// Latest value of a counter series (0 if never set).
   double counterValue(const std::string& counter,
                       const std::string& series) const;

@@ -7,14 +7,19 @@ namespace composim::telemetry {
 double RateProbe::operator()() {
   const double value = cumulative_();
   const SimTime now = sim_.now();
-  double rate = 0.0;
-  if (primed_ && now > last_time_) {
-    rate = (value - last_value_) / (now - last_time_) * scale_;
+  if (primed_ && now <= last_time_) {
+    // Back-to-back polls at the same instant: no interval to differentiate
+    // over, so hold the last computed rate (and leave the baseline alone —
+    // the in-between counter delta still counts toward the next interval).
+    return last_rate_;
+  }
+  if (primed_) {
+    last_rate_ = (value - last_value_) / (now - last_time_) * scale_;
   }
   last_value_ = value;
   last_time_ = now;
   primed_ = true;
-  return rate;
+  return last_rate_;
 }
 
 void MetricsSampler::addProbe(const std::string& name, Probe probe) {

@@ -22,6 +22,9 @@ using Probe = std::function<double()>;
 
 /// Converts a cumulative counter probe into a per-interval rate:
 /// sample_i = (counter_i - counter_{i-1}) / (t_i - t_{i-1}) * scale.
+/// A zero-length interval (two polls at the same simulated instant, e.g. a
+/// final sampleOnce() landing on a scheduled tick) cannot be differentiated;
+/// the probe holds the previous rate instead of dividing by zero.
 class RateProbe {
  public:
   RateProbe(Simulator& sim, Probe cumulative, double scale = 1.0)
@@ -34,6 +37,7 @@ class RateProbe {
   Probe cumulative_;
   double scale_;
   double last_value_ = 0.0;
+  double last_rate_ = 0.0;
   SimTime last_time_ = 0.0;
   bool primed_ = false;
 };

@@ -1,0 +1,227 @@
+// Tests for SLO alert rules: the compact rule grammar, threshold and
+// hold-duration semantics, rate rules over counters, firing/resolved
+// transitions, and the end-to-end ECC-storm detection path through a full
+// experiment.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "telemetry/alert_engine.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace composim::telemetry {
+namespace {
+
+TEST(ParseAlertRule, FullGrammar) {
+  AlertRule r = parseAlertRule("link_util_pct > 95 for 2s");
+  EXPECT_EQ(r.metric, "link_util_pct");
+  EXPECT_FALSE(r.rate);
+  EXPECT_EQ(r.cmp, AlertRule::Cmp::GT);
+  EXPECT_DOUBLE_EQ(r.threshold, 95.0);
+  EXPECT_DOUBLE_EQ(r.hold, 2.0);
+  EXPECT_EQ(r.name, "link_util_pct > 95 for 2s");  // derived from expression
+
+  r = parseAlertRule("ecc: ecc_errors_total rate > 0");
+  EXPECT_EQ(r.name, "ecc");
+  EXPECT_EQ(r.metric, "ecc_errors_total");
+  EXPECT_TRUE(r.rate);
+  EXPECT_DOUBLE_EQ(r.threshold, 0.0);
+  EXPECT_DOUBLE_EQ(r.hold, 0.0);
+
+  r = parseAlertRule("gpu_util_pct < 10 for 500ms");
+  EXPECT_EQ(r.cmp, AlertRule::Cmp::LT);
+  EXPECT_DOUBLE_EQ(r.hold, 0.5);
+
+  // Labeled selector sticks to the metric token.
+  r = parseAlertRule("link_up{link=\"H1->S1\"} < 1");
+  EXPECT_EQ(r.metric, "link_up{link=\"H1->S1\"}");
+}
+
+TEST(ParseAlertRule, RejectsMalformedInput) {
+  for (const char* bad : {
+           "",                           // empty
+           "gpu_util_pct",               // no comparator
+           "gpu_util_pct >",             // no threshold
+           "gpu_util_pct > fast",        // unparsable threshold
+           "gpu_util_pct > 10 for",      // dangling for
+           "gpu_util_pct > 10 for ever", // unparsable duration
+           "gpu_util_pct > 10 for -1s",  // negative duration
+           "gpu_util_pct >= 10",         // unsupported comparator
+           "gpu_util_pct > 10 junk",     // trailing tokens
+       }) {
+    EXPECT_THROW(parseAlertRule(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ParseAlertRule, ExpressionRoundTrips) {
+  const AlertRule r = parseAlertRule("hot: link_util_pct > 95 for 2s");
+  EXPECT_EQ(r.expression(), "link_util_pct > 95 for 2s");
+  EXPECT_EQ(parseAlertRule(r.expression()).threshold, r.threshold);
+}
+
+TEST(AlertEngine, ThresholdFiresImmediatelyWithoutHold) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("util_pct");
+  AlertEngine engine(reg);
+  engine.addRule("util_pct > 90");
+  ASSERT_EQ(engine.ruleCount(), 1u);
+
+  g.set(50.0);
+  engine.evaluate(0.0);
+  EXPECT_EQ(engine.firingCount(), 0u);
+  g.set(95.0);
+  engine.evaluate(1.0);
+  ASSERT_EQ(engine.log().size(), 1u);
+  EXPECT_TRUE(engine.log()[0].firing);
+  EXPECT_EQ(engine.log()[0].series, "util_pct");
+  EXPECT_DOUBLE_EQ(engine.log()[0].value, 95.0);
+  EXPECT_EQ(engine.firingCount(), 1u);
+
+  engine.evaluate(2.0);  // still breaching: no duplicate transition
+  EXPECT_EQ(engine.log().size(), 1u);
+
+  g.set(10.0);
+  engine.evaluate(3.0);
+  ASSERT_EQ(engine.log().size(), 2u);
+  EXPECT_FALSE(engine.log()[1].firing);
+  EXPECT_DOUBLE_EQ(engine.log()[1].time, 3.0);
+  EXPECT_EQ(engine.firingCount(), 0u);
+}
+
+TEST(AlertEngine, HoldDurationDelaysFiring) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("util_pct");
+  AlertEngine engine(reg);
+  engine.addRule("util_pct > 90 for 2s");
+
+  g.set(95.0);
+  engine.evaluate(1.0);  // breach starts
+  engine.evaluate(2.0);  // held 1s: not yet
+  EXPECT_EQ(engine.firingCount(), 0u);
+  engine.evaluate(3.0);  // held 2s: fire
+  ASSERT_EQ(engine.log().size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.log()[0].time, 3.0);
+
+  // A dip below the threshold resets the hold clock.
+  g.set(10.0);
+  engine.evaluate(4.0);  // resolved
+  g.set(95.0);
+  engine.evaluate(5.0);  // breach restarts
+  engine.evaluate(6.0);
+  EXPECT_EQ(engine.log().size(), 2u);  // 1s held: silent
+  engine.evaluate(7.0);
+  ASSERT_EQ(engine.log().size(), 3u);
+  EXPECT_TRUE(engine.log()[2].firing);
+}
+
+TEST(AlertEngine, RateRulePrimesThenDifferentiates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("errors_total");
+  AlertEngine engine(reg);
+  engine.addRule("ecc: errors_total rate > 0");
+
+  engine.evaluate(0.0);  // primes the baseline, cannot fire
+  EXPECT_EQ(engine.log().size(), 0u);
+  engine.evaluate(1.0);  // rate 0: quiet
+  EXPECT_EQ(engine.log().size(), 0u);
+
+  c.add(500.0);
+  engine.evaluate(2.0);  // rate 500/s: fire
+  ASSERT_EQ(engine.log().size(), 1u);
+  EXPECT_TRUE(engine.log()[0].firing);
+  EXPECT_EQ(engine.log()[0].rule, "ecc");
+  EXPECT_DOUBLE_EQ(engine.log()[0].value, 500.0);
+
+  engine.evaluate(3.0);  // counter flat: rate back to 0, resolve
+  ASSERT_EQ(engine.log().size(), 2u);
+  EXPECT_FALSE(engine.log()[1].firing);
+}
+
+TEST(AlertEngine, LabeledSelectorWatchesOneInstrument) {
+  MetricsRegistry reg;
+  Gauge& h1 = reg.gauge("link_up", {{"link", "H1"}});
+  Gauge& h2 = reg.gauge("link_up", {{"link", "H2"}});
+  h1.set(1.0);
+  h2.set(1.0);
+  AlertEngine engine(reg);
+  engine.addRule("link_up{link=\"H2\"} < 1");
+
+  h1.set(0.0);  // the watched instrument is H2; H1 going down is ignored
+  engine.evaluate(1.0);
+  EXPECT_EQ(engine.log().size(), 0u);
+  h2.set(0.0);
+  engine.evaluate(2.0);
+  ASSERT_EQ(engine.log().size(), 1u);
+  EXPECT_EQ(engine.log()[0].series, "link_up{link=\"H2\"}");
+}
+
+TEST(AlertEngine, BareFamilyWatchesEveryInstrument) {
+  MetricsRegistry reg;
+  reg.gauge("link_up", {{"link", "H1"}}).set(0.0);
+  reg.gauge("link_up", {{"link", "H2"}}).set(0.0);
+  AlertEngine engine(reg);
+  engine.addRule("link_up < 1");
+  engine.evaluate(1.0);
+  ASSERT_EQ(engine.log().size(), 2u);  // one alert per breached series
+  EXPECT_EQ(engine.firingCount(), 2u);
+  EXPECT_NE(engine.log()[0].series, engine.log()[1].series);
+}
+
+TEST(AlertEngine, SubscribersSeeEveryTransition) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("v");
+  AlertEngine engine(reg);
+  engine.addRule("v > 0");
+  std::vector<bool> seen;
+  engine.subscribe([&seen](const Alert& a) { seen.push_back(a.firing); });
+  g.set(1.0);
+  engine.evaluate(1.0);
+  g.set(-1.0);
+  engine.evaluate(2.0);
+  EXPECT_EQ(seen, (std::vector<bool>{true, false}));
+}
+
+// The end-to-end acceptance path: an injected ECC error storm must surface
+// through BMC link health -> collector counter -> rate rule as a firing
+// alert within one scrape interval plus one BMC poll, and resolve once the
+// storm passes.
+TEST(AlertEngine, EccStormFiresAndResolvesThroughExperiment) {
+  core::ExperimentOptions opt;
+  opt.trainer.epochs = 1;
+  opt.trainer.max_iterations_per_epoch = 20;
+  opt.metrics.scrape_interval = 0.25;
+  opt.metrics.alerts = {"ecc: ecc_errors_total rate > 0"};
+  opt.faults.enabled = true;
+  opt.faults.health_poll_interval = 0.1;
+  // Telemetry-only storm: no proactive swap, so the slot (and its error
+  // counter) survives to be scraped.
+  opt.faults.policy.proactive_on_error_storm = false;
+  const SimTime t_storm = 1.0;
+  opt.faults.ecc_storms.push_back({2, t_storm, 500});
+
+  const auto result = core::Experiment::run(core::SystemConfig::FalconGpus,
+                                            dl::resNet50(), opt);
+  ASSERT_NE(result.metrics, nullptr);
+  ASSERT_GT(result.training.simulated_time, t_storm) << "storm missed the run";
+
+  const telemetry::Alert* fired = nullptr;
+  const telemetry::Alert* resolved = nullptr;
+  for (const auto& alert : result.metrics->alerts().log()) {
+    if (alert.rule != "ecc") continue;
+    if (alert.firing && fired == nullptr) fired = &alert;
+    if (!alert.firing && fired != nullptr) resolved = &alert;
+  }
+  ASSERT_NE(fired, nullptr);
+  EXPECT_GE(fired->time, t_storm);
+  EXPECT_LE(fired->time, t_storm + opt.metrics.scrape_interval +
+                             opt.faults.health_poll_interval + 1e-9);
+  EXPECT_EQ(fired->series.rfind("ecc_errors_total{", 0), 0u);
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_GT(resolved->time, fired->time);
+  EXPECT_EQ(result.metrics->alerts().firingCount(), 0u);
+}
+
+}  // namespace
+}  // namespace composim::telemetry

@@ -44,10 +44,10 @@ TEST(Experiment, FalconConfigShowsPcieTraffic) {
 TEST(Experiment, SamplerSeriesAreExposed) {
   const auto r = Experiment::run(SystemConfig::LocalGpus, dl::mobileNetV2(),
                                  fastOptions());
-  ASSERT_NE(r.sampler, nullptr);
-  EXPECT_TRUE(r.sampler->hasSeries("gpu_util_pct"));
-  EXPECT_TRUE(r.sampler->hasSeries("falcon_pcie_gbs"));
-  EXPECT_GE(r.sampler->series("gpu_util_pct").size(), 3u);
+  ASSERT_NE(r.metrics, nullptr);
+  EXPECT_TRUE(r.metrics->hasSeries("gpu_util_pct"));
+  EXPECT_TRUE(r.metrics->hasSeries("falcon_pcie_gbs"));
+  EXPECT_GE(r.metrics->series("gpu_util_pct").size(), 3u);
 }
 
 TEST(Experiment, TrainingTimeChangePct) {

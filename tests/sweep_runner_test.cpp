@@ -54,7 +54,7 @@ std::string trackerJson(const std::vector<core::SweepRun>& outcomes) {
     run.setSummary("mean_iteration_s", done.result.training.mean_iteration_time);
     run.setSummary("samples_per_second", done.result.training.samples_per_second);
     run.setSummary("gpu_util_pct", done.result.gpu_util_pct);
-    const auto& util = done.result.sampler->series("gpu_util_pct");
+    const auto& util = done.result.metrics->series("gpu_util_pct");
     for (std::size_t i = 0; i < util.size(); ++i) {
       run.log("gpu_util_pct", util.timeAt(i), util.valueAt(i));
     }

@@ -101,6 +101,21 @@ TEST(Profiler, CountersDedupAndIntegrate) {
   EXPECT_DOUBLE_EQ(prof.counterMean("link", "util"), 75.0);
 }
 
+TEST(Profiler, HasCounterDistinguishesUnsetFromZero) {
+  Simulator sim;
+  Profiler prof(sim);
+  sim.setProfiler(&prof);
+  prof.setCounter("link", "util", 0.0);
+  // counterValue returns 0.0 either way; hasCounter tells them apart.
+  EXPECT_DOUBLE_EQ(prof.counterValue("link", "util"), 0.0);
+  EXPECT_DOUBLE_EQ(prof.counterValue("link", "flows"), 0.0);
+  EXPECT_TRUE(prof.hasCounter("link", "util"));
+  EXPECT_FALSE(prof.hasCounter("link", "flows"));
+  EXPECT_FALSE(prof.hasCounter("nope", "util"));
+  prof.finalize();
+  EXPECT_TRUE(prof.hasCounter("link", "util"));
+}
+
 TEST(Profiler, FinalizeFreezesAndDetaches) {
   Simulator sim;
   auto prof = std::make_shared<Profiler>(sim);

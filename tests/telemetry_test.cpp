@@ -38,6 +38,26 @@ TEST(TimeSeries, MeanInWindow) {
   EXPECT_DOUBLE_EQ(s.meanInWindow(100.0, 200.0), 0.0);
 }
 
+TEST(TimeSeries, EdgeCasesAreWellDefined) {
+  // resample(0) and resampling an empty series are empty, not a crash.
+  TimeSeries s("x");
+  s.push(0.0, 1.0);
+  s.push(1.0, 2.0);
+  EXPECT_TRUE(s.resample(0).empty());
+  EXPECT_TRUE(TimeSeries("e").resample(0).empty());
+  // meanInWindow over an empty series or an inverted window is 0.
+  EXPECT_DOUBLE_EQ(TimeSeries("e").meanInWindow(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.meanInWindow(1.0, 0.0), 0.0);
+  // A single sample has zero spread.
+  TimeSeries one("one");
+  one.push(0.0, 7.0);
+  const auto st = one.stats();
+  EXPECT_EQ(st.count, 1u);
+  EXPECT_DOUBLE_EQ(st.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(st.min, 7.0);
+  EXPECT_DOUBLE_EQ(st.max, 7.0);
+}
+
 TEST(TimeSeries, ResampleAverages) {
   TimeSeries s("x");
   for (int i = 0; i < 100; ++i) s.push(i, (i < 50) ? 0.0 : 10.0);
@@ -60,6 +80,27 @@ TEST(RateProbe, DifferentiatesCumulativeCounter) {
   EXPECT_DOUBLE_EQ(probe(), 10.0);  // 50 units over 5 s
 }
 
+TEST(RateProbe, ZeroIntervalSampleHoldsPreviousRate) {
+  // Back-to-back samples at the same simulated instant (the pipeline's
+  // final scrape can coincide with a scheduled tick) must not divide by
+  // the zero interval; the probe reports the last computed rate.
+  Simulator sim;
+  double counter = 0.0;
+  RateProbe probe(sim, [&] { return counter; }, 1.0);
+  EXPECT_DOUBLE_EQ(probe(), 0.0);  // priming at t=0
+  EXPECT_DOUBLE_EQ(probe(), 0.0);  // same instant, right after priming
+  counter = 20.0;
+  sim.schedule(2.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(probe(), 10.0);  // 20 units over 2 s
+  counter = 100.0;
+  EXPECT_DOUBLE_EQ(probe(), 10.0);  // dt = 0: held, baseline untouched
+  sim.schedule(2.0, [] {});
+  sim.run();
+  // The zero-interval sample did not consume the 80-unit delta.
+  EXPECT_DOUBLE_EQ(probe(), 40.0);
+}
+
 TEST(MetricsSampler, CollectsAtInterval) {
   Simulator sim;
   MetricsSampler sampler(sim, 1.0);
@@ -74,6 +115,23 @@ TEST(MetricsSampler, CollectsAtInterval) {
   EXPECT_THROW(sampler.series("nope"), std::out_of_range);
   EXPECT_THROW(sampler.addProbe("v", [] { return 0.0; }), std::invalid_argument);
   EXPECT_EQ(sampler.seriesNames().size(), 1u);
+}
+
+TEST(MetricsSampler, BackToBackSampleOnceHoldsRate) {
+  Simulator sim;
+  MetricsSampler sampler(sim, 1.0);
+  double counter = 0.0;
+  sampler.addRateProbe("r", [&] { return counter; });
+  sampler.sampleOnce();  // priming at t=0
+  counter = 5.0;
+  sampler.sampleOnce();  // same instant: zero interval
+  const auto& s = sampler.series("r");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.valueAt(1), 0.0);  // held previous rate, not inf/NaN
+  sim.schedule(1.0, [&sampler] { sampler.sampleOnce(); });
+  sim.run();
+  // The delta observed during the zero-interval poll was not consumed.
+  EXPECT_DOUBLE_EQ(sampler.series("r").last(), 5.0);
 }
 
 TEST(MetricsSampler, RateProbeScalesToPercent) {
