@@ -1,8 +1,8 @@
 // composim bench: parallel sweep engine acceptance gate.
 //
-// Runs the same 8-spec suite twice through core::SweepRunner — serial
-// (--jobs 1) and parallel (--jobs 4) — and verifies the engine's two
-// promises:
+// Part 1 runs the same 8-spec suite twice through core::SweepRunner —
+// serial (--jobs 1) and parallel (--jobs 4) — and verifies the engine's
+// two promises:
 //   (a) equivalence: serial and parallel runs produce byte-identical
 //       RunTracker manifests AND byte-identical Chrome trace exports
 //       (hard gate, exit nonzero on any divergence);
@@ -14,6 +14,18 @@
 // The suite is eight equal-cost specs (same benchmark/config, distinct
 // names) so a 4-worker replay has a balanced 2-runs-per-worker schedule
 // and the speedup measurement reflects the engine, not scheduling luck.
+//
+// Part 2 gates the snapshot/fork path (DESIGN.md §14) on a warmup-heavy
+// 8-variant suite — one shared warm prefix, short distinct tails:
+//   (c) equivalence: forked sweeps (share_warm_prefixes on, serial AND
+//       --jobs 4) are byte-identical to the cold sweep that runs every
+//       prefix, across manifests, traces, Prometheus and JSONL exports;
+//   (d) round-trip determinism: two forked replays are byte-identical to
+//       each other;
+//   (e) speed: the forked replay is >= 2x faster than the cold replay
+//       (serial arms, so the ratio measures prefix reuse rather than
+//       scheduling; enforced on >= 4-core hosts, recorded as "skipped"
+//       elsewhere where timing is too noisy to gate).
 //
 //   $ ./bench/sweep_parallel [BENCH_sweep.json]
 #include <chrono>
@@ -58,11 +70,42 @@ std::vector<core::ExperimentSpec> buildSuite() {
   return specs;
 }
 
+/// Warmup-heavy fork suite: eight variants of ONE warm prefix
+/// (kWarmPrefix iterations) whose tails are 2..9 iterations. The prefix
+/// dominates, so running it once and forking is most of the win. Untraced:
+/// each fork would otherwise copy the donor's full prefix trace (string-
+/// heavy record vectors), which costs about as much as recording it and
+/// would measure trace copying instead of prefix reuse. Trace byte-
+/// identity under forking is gated separately (snapshot_fork_test).
+constexpr int kWarmPrefix = 24;
+
+std::vector<core::ExperimentSpec> buildForkSuite() {
+  std::vector<core::ExperimentSpec> specs;
+  for (int i = 0; i < kSuiteSize; ++i) {
+    core::ExperimentSpec s;
+    s.name = "fork-" + std::to_string(i);
+    s.benchmark = "ResNet-50";
+    s.config = core::SystemConfig::FalconGpus;
+    s.options.trainer.epochs = 1;
+    s.options.trainer.max_iterations_per_epoch = kWarmPrefix + 2 + i;
+    s.options.warm_prefix = kWarmPrefix;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
 struct SweepArtifacts {
   double wall_seconds = 0.0;
   std::string manifest;                  // RunTracker manifest JSON
   std::vector<std::string> traces;       // per-run Chrome trace JSON text
+  std::vector<std::string> prometheus;   // per-run registry exposition
+  std::vector<std::string> jsonl;        // per-run scraped-series dump
   bool all_ok = true;
+
+  bool operator==(const SweepArtifacts& o) const {
+    return manifest == o.manifest && traces == o.traces &&
+           prometheus == o.prometheus && jsonl == o.jsonl;
+  }
 };
 
 SweepArtifacts replay(int jobs, const std::string& trace_dir) {
@@ -103,6 +146,46 @@ SweepArtifacts replay(int jobs, const std::string& trace_dir) {
     } else {
       art.all_ok = false;
     }
+  }
+  art.manifest = tracker.manifest().dump(2);
+  return art;
+}
+
+/// Replay the fork suite, cold (every spec runs its own prefix) or forked
+/// (the shared prefix runs once, tails fork from the snapshot). Artifacts
+/// are collected in memory — every export surface participates in the
+/// equivalence gates.
+SweepArtifacts replayFork(int jobs, bool share) {
+  SweepArtifacts art;
+  core::SweepOptions opts;
+  opts.jobs = jobs;
+  opts.share_warm_prefixes = share;
+  core::SweepRunner runner(opts);
+  // Time the sweep alone; rendering the artifacts (trace JSON in
+  // particular) costs the same per run in both arms and would only dilute
+  // the prefix-reuse signal the speedup gate measures.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcomes = runner.run(buildForkSuite());
+  art.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  telemetry::RunTracker tracker;
+  for (const auto& done : outcomes) {
+    if (!done.status) {
+      art.all_ok = false;
+      continue;
+    }
+    auto& run = tracker.run(done.spec.name);
+    run.setConfig("benchmark", done.spec.benchmark);
+    run.setConfig("config", core::toString(done.spec.config));
+    run.setSummary("mean_iteration_s", done.result.training.mean_iteration_time);
+    run.setSummary("gpu_util_pct", done.result.gpu_util_pct);
+    if (done.result.profiler) {
+      art.traces.push_back(done.result.profiler->chromeTrace().dump(2));
+    }
+    art.prometheus.push_back(done.result.metrics->prometheusText());
+    art.jsonl.push_back(done.result.metrics->jsonlDump());
   }
   art.manifest = tracker.manifest().dump(2);
   return art;
@@ -155,6 +238,47 @@ int main(int argc, char** argv) {
                 hw, kParallelJobs);
   }
 
+  std::printf("\nreplaying warmup-heavy fork suite (%d variants, %d-iteration "
+              "shared prefix)...\n",
+              kSuiteSize, kWarmPrefix);
+  std::printf("  cold (every prefix runs, --jobs 1)...\n");
+  const auto fork_cold = replayFork(1, /*share=*/false);
+  std::printf("  forked (prefix runs once, --jobs 1)...\n");
+  const auto fork_serial = replayFork(1, /*share=*/true);
+  std::printf("  forked again (round-trip determinism)...\n");
+  const auto fork_again = replayFork(1, /*share=*/true);
+  std::printf("  forked (--jobs %d; snapshots restore on workers)...\n",
+              kParallelJobs);
+  const auto fork_parallel = replayFork(kParallelJobs, /*share=*/true);
+
+  const double fork_speedup =
+      fork_serial.wall_seconds > 0.0
+          ? fork_cold.wall_seconds / fork_serial.wall_seconds
+          : 0.0;
+  std::printf("\nfork cold   : %.3f s wall\n", fork_cold.wall_seconds);
+  std::printf("fork shared : %.3f s wall\n", fork_serial.wall_seconds);
+  std::printf("fork speedup: %.2fx\n\n", fork_speedup);
+
+  check(fork_cold.all_ok && fork_serial.all_ok && fork_again.all_ok &&
+            fork_parallel.all_ok,
+        "all fork-suite runs completed");
+  check(fork_cold == fork_serial,
+        "forked sweep byte-identical to cold sweep "
+        "(manifest+prometheus+jsonl)");
+  check(fork_cold == fork_parallel,
+        "forked sweep at --jobs 4 byte-identical to cold sweep");
+  check(fork_serial == fork_again,
+        "snapshot round-trip is deterministic (two forked replays "
+        "byte-identical)");
+  if (enough_cores) {
+    check(fork_speedup >= 2.0,
+          "forked replay >= 2x faster than cold on warmup-heavy suite");
+  } else {
+    std::printf("  [SKIP] fork speedup gate (%u hardware thread(s) < %d; "
+                "timing too noisy to gate on this host)\n",
+                hw, kParallelJobs);
+  }
+
   auto doc = falcon::Json::object();
   doc.set("bench", "sweep_parallel");
   doc.set("suite_size", static_cast<std::int64_t>(kSuiteSize));
@@ -166,6 +290,17 @@ int main(int argc, char** argv) {
                                 parallel.traces == serial.traces);
   doc.set("hardware_concurrency", static_cast<std::int64_t>(hw));
   doc.set("speedup_gate", enough_cores ? "enforced" : "skipped: <4 cores");
+  doc.set("fork_suite_size", static_cast<std::int64_t>(kSuiteSize));
+  doc.set("fork_warm_prefix", static_cast<std::int64_t>(kWarmPrefix));
+  doc.set("fork_cold_seconds", fork_cold.wall_seconds);
+  doc.set("fork_seconds", fork_serial.wall_seconds);
+  doc.set("fork_parallel_seconds", fork_parallel.wall_seconds);
+  doc.set("fork_speedup", fork_speedup);
+  doc.set("fork_byte_identical",
+          fork_cold == fork_serial && fork_cold == fork_parallel);
+  doc.set("fork_roundtrip_deterministic", fork_serial == fork_again);
+  doc.set("fork_speedup_gate",
+          enough_cores ? "enforced" : "skipped: <4 cores");
   std::ofstream out(out_path);
   out << doc.dump(2) << "\n";
   const bool wrote = out.good();

@@ -10,6 +10,7 @@
 //   $ ./examples/run_suite --faults storm.json my_suite.json /tmp/results
 //   $ ./examples/run_suite --metrics slo.json my_suite.json /tmp/results
 //   $ ./examples/run_suite --jobs 4 my_suite.json /tmp/results
+//   $ ./examples/run_suite --warm-prefix 20 my_suite.json /tmp/results
 //   $ ./examples/run_suite            # runs a built-in demonstration suite
 //
 // With --trace, every experiment runs with the span profiler enabled and a
@@ -28,6 +29,15 @@
 // output — per-run log lines, trace files, tracker rows — is buffered and
 // emitted on the main thread in suite order, so serial and parallel
 // invocations produce byte-identical artifacts and stdout.
+//
+// --warm-prefix N pauses every experiment after its first N training
+// iterations; experiments that share everything but their tail length
+// (epochs / iterations_cap) then execute that prefix once and fork from a
+// snapshot (DESIGN.md §14), with byte-identical artifacts. Experiments
+// where the boundary is inapplicable (fault schedules, N at or past an
+// epoch or checkpoint boundary) run continuously as before. Individual
+// experiments can instead carry their own "warm_prefix" key in the suite
+// file; the flag overrides only specs that left it unset.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -64,6 +74,7 @@ const char* kDemoSuite = R"({
 int main(int argc, char** argv) {
   bool trace = false;
   int jobs = 0;  // 0 = hardware_concurrency
+  long warm_prefix = 0;  // 0 = run every experiment continuously
   std::string faults_spec;
   std::string metrics_spec;
   std::vector<std::string> pos;
@@ -76,6 +87,8 @@ int main(int argc, char** argv) {
       metrics_spec = argv[++i];
     } else if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
+    } else if (std::string(argv[i]) == "--warm-prefix" && i + 1 < argc) {
+      warm_prefix = std::atol(argv[++i]);
     } else {
       pos.push_back(argv[i]);
     }
@@ -157,6 +170,9 @@ int main(int argc, char** argv) {
 
   for (auto& spec : specs) {
     if (trace) spec.options.trace = true;
+    if (warm_prefix > 0 && spec.options.warm_prefix == 0) {
+      spec.options.warm_prefix = warm_prefix;
+    }
     if (shared_faults.enabled && !spec.options.faults.enabled) {
       spec.options.faults = shared_faults;
     }

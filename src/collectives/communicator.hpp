@@ -18,6 +18,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,27 @@ class Communicator {
   Bandwidth protocolRate(fabric::NodeId a, fabric::NodeId b) const;
 
   std::uint64_t collectivesCompleted() const { return completed_; }
+
+  /// Quiescent-point snapshot: with no collective in flight the only
+  /// persistent state is the completion counter. Throws std::logic_error
+  /// while an op is active or queued.
+  struct State {
+    std::uint64_t completed = 0;
+  };
+
+  State state() const {
+    if (op_active_ || !op_queue_.empty()) {
+      throw std::logic_error("Communicator::state: collective in flight");
+    }
+    return State{completed_};
+  }
+
+  void restoreState(const State& st) {
+    if (op_active_ || !op_queue_.empty()) {
+      throw std::logic_error("Communicator::restoreState: collective in flight");
+    }
+    completed_ = st.completed;
+  }
 
  private:
   struct Op;  // shared state of one in-flight collective

@@ -98,6 +98,11 @@ struct ExperimentOptions {
   /// Fault schedule + recovery capacity; faults.enabled = false runs the
   /// experiment exactly as before (no monitor, no orchestrator).
   FaultsConfig faults;
+  /// Warm-prefix boundary: pause after this many completed training
+  /// iterations so the whole stack can be snapshotted and forked (0 =
+  /// off, run continuously). Only meaningful when warmPrefixApplicable()
+  /// holds for the spec; see DESIGN.md §14.
+  std::int64_t warm_prefix = 0;
 };
 
 struct ExperimentResult {
@@ -136,6 +141,76 @@ class Experiment {
   /// baseline result (positive = slower than baseline).
   static double trainingTimeChangePct(const ExperimentResult& result,
                                       const ExperimentResult& baseline);
+};
+
+/// Full deterministic state of a warmed experiment stack at the
+/// warm-prefix quiescent point: the event queue is drained, so every
+/// subsystem's state is plain data (no closures). Copyable and cheap to
+/// move between threads — the SweepRunner captures one per unique prefix
+/// and hands it to every forked tail. DESIGN.md §14 documents the
+/// copy-vs-serialize decision per subsystem.
+struct SimSnapshot {
+  Simulator::State sim;
+  fabric::Topology::State topology;
+  fabric::FlowNetwork::State network;
+  std::vector<devices::Gpu::State> local_gpus;   // install order
+  std::vector<devices::Gpu::State> falcon_gpus;  // install order
+  devices::HostCpu::State cpu;
+  devices::StorageDevice::State local_nvme;
+  devices::StorageDevice::State falcon_nvme;
+  devices::StorageDevice::State boot_ssd;
+  falcon::Bmc::State bmc;
+  collectives::Communicator::State communicator;
+  dl::DataPipeline::State pipeline;
+  dl::Trainer::State trainer;
+  telemetry::MetricsRegistry::State registry;
+  telemetry::MetricsScraper::State scraper;
+  std::vector<telemetry::MetricsScraper::CollectorState> collectors;
+  telemetry::AlertEngine::State alerts;
+  bool traced = false;
+  telemetry::Profiler::State profiler;  // meaningful only when traced
+};
+
+/// A warmed experiment: the full stack built and run through the first
+/// options.warm_prefix iterations, then paused at the quiescent point.
+/// From here the run either resumes in place (finish(), the "cold" phased
+/// path) or is captured (snapshot()) and replayed into any number of
+/// fresh stacks (resumeFromSnapshot(), the fork path). Cold and forked
+/// tails execute the identical resume sequence, which is what makes them
+/// byte-identical.
+class WarmedExperiment {
+ public:
+  /// Build the stack and run the warm prefix. Throws std::runtime_error
+  /// when the run finishes before reaching the pause boundary (the caller
+  /// should have checked warmPrefixApplicable), std::invalid_argument
+  /// when options.warm_prefix <= 0 or options.faults.enabled.
+  WarmedExperiment(SystemConfig config, const dl::ModelSpec& model,
+                   ExperimentOptions options);
+  ~WarmedExperiment();
+
+  WarmedExperiment(const WarmedExperiment&) = delete;
+  WarmedExperiment& operator=(const WarmedExperiment&) = delete;
+
+  /// Capture the paused stack. May be called once or many times; the
+  /// snapshot is independent of this object's lifetime.
+  SimSnapshot snapshot() const;
+
+  /// Resume this stack to completion (consumes the object's run).
+  ExperimentResult finish();
+
+  /// Build a fresh stack for (config, model, options), restore `snap`
+  /// into it and resume to completion. `options` may differ from the
+  /// donor's only in tail parameters (trainer.epochs,
+  /// trainer.max_iterations_per_epoch) — everything else must match the
+  /// donor or the restore throws.
+  static ExperimentResult resumeFromSnapshot(SystemConfig config,
+                                             const dl::ModelSpec& model,
+                                             ExperimentOptions options,
+                                             const SimSnapshot& snap);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace composim::core

@@ -1,5 +1,7 @@
 #include "core/experiment_config.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace composim::core {
@@ -133,6 +135,9 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
     if (const auto* v = e.find("trace")) {
       s.options.trace = v->asBool();
     }
+    if (const auto* v = e.find("warm_prefix")) {
+      s.options.warm_prefix = v->asInt();
+    }
     if (const auto* v = e.find("faults")) {
       s.options.faults = parseFaultsConfig(*v);
     }
@@ -144,9 +149,79 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
   return specs;
 }
 
+namespace {
+
+/// Iterations the trainer will simulate per epoch for this spec — the
+/// same arithmetic as Trainer::iterationsPerEpochFull + the cap.
+std::int64_t simulatedItersPerEpoch(const ExperimentSpec& spec) {
+  const dl::ModelSpec model = benchmarkFromName(spec.benchmark);
+  const dl::DatasetSpec dataset = dl::datasetFor(model);
+  const int gpu_count = spec.config == SystemConfig::AllGpus16 ? 16 : 8;
+  const int batch_per_gpu = spec.options.trainer.batch_per_gpu > 0
+                                ? spec.options.trainer.batch_per_gpu
+                                : model.paper_batch_per_gpu;
+  const std::int64_t global_batch =
+      static_cast<std::int64_t>(batch_per_gpu) * gpu_count *
+      std::max(1, spec.options.trainer.gradient_accumulation_steps);
+  std::int64_t full =
+      (dataset.train_samples + global_batch - 1) / global_batch;
+  if (spec.options.trainer.max_iterations_per_epoch > 0) {
+    full = std::min<std::int64_t>(
+        full, spec.options.trainer.max_iterations_per_epoch);
+  }
+  return full;
+}
+
+}  // namespace
+
+bool warmPrefixApplicable(const ExperimentSpec& spec) {
+  const std::int64_t w = spec.options.warm_prefix;
+  if (w <= 0) return false;
+  if (spec.options.faults.enabled) return false;
+  if (spec.options.trainer.checkpoint_every_iters > 0 &&
+      w >= spec.options.trainer.checkpoint_every_iters) {
+    return false;
+  }
+  return w < simulatedItersPerEpoch(spec);
+}
+
+std::string warmPrefixKey(const ExperimentSpec& spec) {
+  const dl::TrainerOptions& t = spec.options.trainer;
+  std::ostringstream key;
+  key << spec.benchmark << '|' << toString(spec.config)              //
+      << "|strategy=" << static_cast<int>(t.strategy)                //
+      << "|precision=" << static_cast<int>(t.precision)              //
+      << "|sharded=" << t.sharded                                    //
+      << "|optimizer=" << static_cast<int>(t.optimizer.kind)         //
+      << "|batch=" << t.batch_per_gpu                                //
+      << "|accum=" << t.gradient_accumulation_steps                  //
+      << "|groups=" << t.macro_groups                                //
+      << "|buckets=" << t.gradient_buckets                           //
+      << "|step_overhead=" << t.step_overhead                        //
+      << "|ckpt_epoch=" << t.checkpoint_each_epoch                   //
+      << "|ckpt_iters=" << t.checkpoint_every_iters                  //
+      << "|allreduce=" << static_cast<int>(t.allreduce_algorithm)    //
+      << "|prefetch=" << t.pipeline.prefetch_batches                 //
+      << "|workers=" << t.pipeline.preprocess_workers                //
+      << "|pattern=" << static_cast<int>(t.pipeline.pattern)         //
+      << "|seed=" << t.seed                                          //
+      << "|sample=" << spec.options.sample_interval                  //
+      << "|scrape=" << spec.options.metrics.scrape_interval          //
+      << "|trace=" << spec.options.trace                             //
+      << "|warm=" << spec.options.warm_prefix << "|alerts=";
+  for (const std::string& rule : spec.options.metrics.alerts) {
+    key << rule << ';';
+  }
+  return key.str();
+}
+
 ExperimentResult runExperimentSpec(const ExperimentSpec& spec) {
-  return Experiment::run(spec.config, benchmarkFromName(spec.benchmark),
-                         spec.options);
+  const dl::ModelSpec model = benchmarkFromName(spec.benchmark);
+  if (warmPrefixApplicable(spec)) {
+    WarmedExperiment warmed(spec.config, model, spec.options);
+    return warmed.finish();
+  }
+  return Experiment::run(spec.config, model, spec.options);
 }
 
 }  // namespace composim::core

@@ -64,7 +64,25 @@ FaultsConfig parseFaultsConfig(const falcon::Json& doc);
 /// Alert rules are validated (telemetry::parseAlertRule) at parse time.
 MetricsConfig parseMetricsConfig(const falcon::Json& doc);
 
-/// Run one parsed spec.
+/// Whether `spec` can run as a warm-prefix phased experiment: warm_prefix
+/// is set, no fault schedule (injected events are closures a snapshot
+/// cannot capture), and the pause boundary lands strictly inside the first
+/// epoch and before the first periodic checkpoint — pausing ON a
+/// checkpoint/epoch boundary would suppress the checkpoint the continuous
+/// run takes there. Inapplicable specs run continuously.
+bool warmPrefixApplicable(const ExperimentSpec& spec);
+
+/// Canonical key of everything a spec's warm prefix depends on: all of
+/// (benchmark, config, options) EXCEPT the tail parameters
+/// trainer.epochs and trainer.max_iterations_per_epoch. Two specs with
+/// equal keys share byte-identical warm prefixes, so the SweepRunner
+/// executes the prefix once and forks each variant's tail from the
+/// snapshot. The spec name is deliberately excluded.
+std::string warmPrefixKey(const ExperimentSpec& spec);
+
+/// Run one parsed spec. Specs with options.warm_prefix set (and
+/// warmPrefixApplicable) run phased — warm prefix, pause, resume — which
+/// is the cold twin of a snapshot/fork run.
 ExperimentResult runExperimentSpec(const ExperimentSpec& spec);
 
 }  // namespace composim::core

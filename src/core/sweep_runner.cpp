@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -130,8 +131,21 @@ void WorkStealingPool::runAll(std::vector<Task> tasks, int jobs,
   for (auto& t : threads) t.join();
 }
 
+namespace {
+
+/// Specs sharing one warm prefix: the prefix runs once (phase A), every
+/// member forks its tail from the snapshot (phase B).
+struct PrefixGroup {
+  std::vector<std::size_t> members;  // indices into the sweep, in order
+  std::unique_ptr<SimSnapshot> snapshot;
+  Status status = Status::success();  // prefix outcome; !ok => members run cold
+};
+
+}  // namespace
+
 SweepRunner::SweepRunner(SweepOptions options)
-    : jobs_(WorkStealingPool::resolveJobs(options.jobs)) {}
+    : jobs_(WorkStealingPool::resolveJobs(options.jobs)),
+      share_warm_prefixes_(options.share_warm_prefixes) {}
 
 std::vector<SweepRun> SweepRunner::run(
     std::vector<ExperimentSpec> specs,
@@ -142,13 +156,78 @@ std::vector<SweepRun> SweepRunner::run(
     out[i].spec = std::move(specs[i]);
   }
 
+  // Group warm-prefix-applicable specs by prefix key (submission order
+  // within each group). Only groups with two or more members fork —
+  // warming a singleton's prefix separately would just run it twice.
+  std::vector<PrefixGroup> groups;
+  std::vector<PrefixGroup*> group_of(n, nullptr);
+  if (share_warm_prefixes_) {
+    std::map<std::string, std::size_t> by_key;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!warmPrefixApplicable(out[i].spec)) continue;
+      const std::string key = warmPrefixKey(out[i].spec);
+      auto it = by_key.find(key);
+      if (it == by_key.end()) {
+        it = by_key.emplace(key, groups.size()).first;
+        groups.emplace_back();
+      }
+      groups[it->second].members.push_back(i);
+    }
+    // groups never reallocates after this point, so raw pointers are safe.
+    for (PrefixGroup& g : groups) {
+      if (g.members.size() < 2) {
+        g.members.clear();
+        continue;
+      }
+      for (const std::size_t i : g.members) group_of[i] = &g;
+    }
+  }
+
+  // Phase A: one task per shared prefix. A barrier (not a pipeline) is
+  // required here — a member's tail cannot start before its group's
+  // snapshot exists, and members of one group may sit on many workers.
+  std::vector<WorkStealingPool::Task> prefix_tasks;
+  for (PrefixGroup& g : groups) {
+    if (g.members.empty()) continue;
+    PrefixGroup* group = &g;
+    SweepRun* first = &out[g.members.front()];
+    prefix_tasks.push_back([group, first] {
+      try {
+        WarmedExperiment warmed(first->spec.config,
+                                benchmarkFromName(first->spec.benchmark),
+                                first->spec.options);
+        group->snapshot = std::make_unique<SimSnapshot>(warmed.snapshot());
+      } catch (const std::exception& e) {
+        group->status = Status::internal(
+            std::string("warm prefix for '") + first->spec.name +
+            "' failed: " + e.what());
+      } catch (...) {
+        group->status =
+            Status::internal(std::string("warm prefix for '") +
+                             first->spec.name + "' failed: unknown exception");
+      }
+    });
+  }
+  if (!prefix_tasks.empty()) {
+    WorkStealingPool::runAll(std::move(prefix_tasks), jobs_);
+  }
+
+  // Phase B: every spec runs — group members fork from their snapshot,
+  // everyone else (and members of a failed prefix) runs whole.
   std::vector<WorkStealingPool::Task> tasks;
   tasks.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    tasks.push_back([&out, i] {
+    PrefixGroup* group = group_of[i];
+    tasks.push_back([&out, group, i] {
       SweepRun& run = out[i];
       try {
-        run.result = runExperimentSpec(run.spec);
+        if (group != nullptr && group->status.ok) {
+          run.result = WarmedExperiment::resumeFromSnapshot(
+              run.spec.config, benchmarkFromName(run.spec.benchmark),
+              run.spec.options, *group->snapshot);
+        } else {
+          run.result = runExperimentSpec(run.spec);
+        }
         run.status = Status::success();
       } catch (const std::exception& e) {
         run.status = Status::internal(std::string("sweep run '") +

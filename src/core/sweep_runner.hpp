@@ -80,6 +80,12 @@ auto sweepOrdered(int jobs, std::size_t count, Fn&& fn)
 struct SweepOptions {
   /// Worker threads; <= 0 selects hardware_concurrency().
   int jobs = 0;
+  /// Execute each distinct warm prefix once and fork every variant's tail
+  /// from the snapshot (DESIGN.md §14). Only groups of two or more specs
+  /// with equal warmPrefixKey() fork; singletons and inapplicable specs
+  /// run whole. Disable to force every spec to run its own prefix (the
+  /// cold reference arm of the fork-vs-cold benchmark).
+  bool share_warm_prefixes = true;
 };
 
 /// One sweep entry's outcome, in submission order.
@@ -103,12 +109,22 @@ class SweepRunner {
   /// when provided, is invoked on the calling thread in submission order
   /// as each run's prefix completes — the place for printing, trace-file
   /// writes, and RunTracker aggregation (never done concurrently).
+  ///
+  /// When share_warm_prefixes is on, execution is two-phase: phase A runs
+  /// each distinct warm prefix once (across workers) and snapshots it at
+  /// the pause boundary; phase B forks every variant's tail from its
+  /// group's snapshot, again across workers, streaming onReady in
+  /// submission order. A failed prefix fails no one: its members fall
+  /// back to whole cold runs in phase B. Forked outputs are
+  /// byte-identical to cold phased runs — same manifests, traces and
+  /// exports — so sharing is purely a wall-clock optimization.
   std::vector<SweepRun> run(
       std::vector<ExperimentSpec> specs,
       const std::function<void(const SweepRun&)>& onReady = {});
 
  private:
   int jobs_;
+  bool share_warm_prefixes_;
 };
 
 }  // namespace composim::core

@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "devices/specs.hpp"
@@ -43,6 +44,29 @@ class HostCpu {
   double memoryUtilization() const {
     return static_cast<double>(host_mem_used_) /
            static_cast<double>(spec_.system_memory);
+  }
+
+  /// Quiescent-point snapshot (no task running or queued).
+  struct State {
+    SimTime busy_accum = 0.0;
+    SimTime last_change = 0.0;
+    Bytes host_mem_used = 0;
+  };
+
+  State state() const {
+    if (busy_threads_ != 0 || !queue_.empty()) {
+      throw std::logic_error("HostCpu::state: tasks in flight");
+    }
+    return State{busy_accum_, last_change_, host_mem_used_};
+  }
+
+  void restoreState(const State& st) {
+    if (busy_threads_ != 0 || !queue_.empty()) {
+      throw std::logic_error("HostCpu::restoreState: tasks in flight");
+    }
+    busy_accum_ = st.busy_accum;
+    last_change_ = st.last_change;
+    host_mem_used_ = st.host_mem_used;
   }
 
  private:

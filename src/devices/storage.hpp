@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <functional>
+#include <stdexcept>
 #include <string>
 
 #include "devices/specs.hpp"
@@ -51,6 +52,28 @@ class StorageDevice {
   Bytes bytesRead() const { return bytes_read_; }
   Bytes bytesWritten() const { return bytes_written_; }
   std::size_t queuedOps() const { return queue_.size(); }
+
+  /// Quiescent-point snapshot (no op in flight or queued).
+  struct State {
+    Bytes bytes_read = 0;
+    Bytes bytes_written = 0;
+  };
+
+  State state() const {
+    if (busy_ || !queue_.empty()) {
+      throw std::logic_error("StorageDevice::state: ops in flight on " + name_);
+    }
+    return State{bytes_read_, bytes_written_};
+  }
+
+  void restoreState(const State& st) {
+    if (busy_ || !queue_.empty()) {
+      throw std::logic_error("StorageDevice::restoreState: ops in flight on " +
+                             name_);
+    }
+    bytes_read_ = st.bytes_read;
+    bytes_written_ = st.bytes_written;
+  }
 
  private:
   struct PendingOp {

@@ -57,6 +57,39 @@ class DataPipeline {
     return dataset_.device_bytes_per_sample * samples_per_batch_;
   }
 
+  /// Quiescent-point snapshot: the prefetch queue must be full (no batch
+  /// mid-read/preprocess) and no consumer waiting, so the state reduces to
+  /// scalar counters. Staged host memory itself lives in HostCpu's
+  /// accounting and is restored there.
+  struct State {
+    bool running = false;
+    int ready = 0;
+    std::int64_t delivered = 0;
+    std::int64_t produced = 0;
+    SimTime stall_time = 0.0;
+    Bytes staging_bytes = 0;
+  };
+
+  State state() const {
+    if (in_flight_ != 0 || !waiters_.empty()) {
+      throw std::logic_error("DataPipeline::state: batches in flight");
+    }
+    return State{running_, ready_, delivered_, produced_, stall_time_,
+                 staging_bytes_};
+  }
+
+  void restoreState(const State& st) {
+    if (in_flight_ != 0 || !waiters_.empty()) {
+      throw std::logic_error("DataPipeline::restoreState: batches in flight");
+    }
+    running_ = st.running;
+    ready_ = st.ready;
+    delivered_ = st.delivered;
+    produced_ = st.produced;
+    stall_time_ = st.stall_time;
+    staging_bytes_ = st.staging_bytes;
+  }
+
  private:
   void maybeProduce();
   void onBatchReady();

@@ -398,14 +398,33 @@ void Trainer::endIteration() {
     ++iterations_done_;
     ++iter_in_epoch_;
 
-    // Synthetic but realistic loss trajectory for the tracker.
+    // Synthetic but realistic loss trajectory for the tracker. The noise
+    // draw is retained separately: the deterministic part depends on the
+    // planned total (a tail parameter under warm-prefix forking), so a
+    // fork re-derives the curve from the draws under its own total.
     const double total =
         static_cast<double>(iters_per_epoch_sim_) * std::max(1, epochs_);
     const double progress = static_cast<double>(iterations_done_) / total;
     const double base = (model_.domain == Domain::NLP) ? 3.2 : 6.2;
     const double floor = (model_.domain == Domain::NLP) ? 0.9 : 1.6;
+    const double noise = rng_.normal(0.0, 0.02);
+    loss_noise_.push_back(noise);
     result_.loss_curve.push_back(floor + (base - floor) * std::exp(-3.0 * progress) +
-                                 rng_.normal(0.0, 0.02));
+                                 noise);
+
+    if (pause_at_ > 0 && iterations_done_ == pause_at_) {
+      // Warm-prefix boundary: stop the loop here. The caller guaranteed
+      // (warmPrefixApplicable) this point is strictly inside an epoch and
+      // not an iteration-count checkpoint, so the suppressed continuation
+      // is exactly the beginIteration() that resumeTraining() will issue.
+      paused_ = true;
+      if (on_paused_) {
+        auto cb = std::move(on_paused_);
+        on_paused_ = nullptr;
+        cb();
+      }
+      return;
+    }
 
     if (iter_in_epoch_ >= iters_per_epoch_sim_) {
       iter_in_epoch_ = 0;
@@ -558,6 +577,7 @@ bool Trainer::requestRestore(std::vector<devices::Gpu*> gpus,
   epoch_ = ckpt_epoch_;
   if (result_.loss_curve.size() > static_cast<std::size_t>(ckpt_iters_done_)) {
     result_.loss_curve.resize(static_cast<std::size_t>(ckpt_iters_done_));
+    loss_noise_.resize(static_cast<std::size_t>(ckpt_iters_done_));
   }
 
   // Swap the gang. free() clamps, so GPUs that already fell off the bus
@@ -607,6 +627,114 @@ bool Trainer::requestRestore(std::vector<devices::Gpu*> gpus,
     }
   });
   return true;
+}
+
+void Trainer::pauseAfter(std::int64_t iterations,
+                         std::function<void()> onPaused) {
+  if (started_) {
+    throw std::logic_error("Trainer::pauseAfter: must be armed before start()");
+  }
+  if (iterations <= 0) {
+    throw std::invalid_argument("Trainer::pauseAfter: iterations must be > 0");
+  }
+  pause_at_ = iterations;
+  on_paused_ = std::move(onPaused);
+}
+
+void Trainer::resumeTraining() {
+  if (!paused_) {
+    throw std::logic_error("Trainer::resumeTraining: trainer is not paused");
+  }
+  paused_ = false;
+  beginIteration();
+}
+
+Trainer::State Trainer::state() const {
+  if (!paused_) {
+    throw std::logic_error(
+        "Trainer::state: only a paused (warm-prefix) run can be captured");
+  }
+  State st;
+  st.rng = rng_.state();
+  st.micro_step = micro_step_;
+  st.epoch = epoch_;
+  st.iter_in_epoch = iter_in_epoch_;
+  st.iterations_done = iterations_done_;
+  st.ckpt_epoch = ckpt_epoch_;
+  st.ckpt_iter_in_epoch = ckpt_iter_in_epoch_;
+  st.ckpt_iters_done = ckpt_iters_done_;
+  st.input_ready = input_ready_;
+  st.backward_done_time = backward_done_time_;
+  st.host_base_memory = host_base_memory_;
+  st.iteration_start = iteration_start_;
+  st.iteration_times = iteration_times_;
+  st.allocated_per_gpu = allocated_per_gpu_;
+  st.run_start = run_start_;
+  st.checkpoint_time = result_.checkpoint_time;
+  st.checkpoint_bytes = result_.checkpoint_bytes;
+  st.restores = result_.restores;
+  st.lost_iterations = result_.lost_iterations;
+  st.restore_time = result_.restore_time;
+  st.loss_noise = loss_noise_;
+  return st;
+}
+
+void Trainer::restoreRun(const State& st,
+                         std::function<void(const TrainingResult&)> done) {
+  if (started_) {
+    throw std::logic_error(
+        "Trainer::restoreRun: target trainer already started");
+  }
+  done_ = std::move(done);
+  started_ = true;
+  paused_ = true;
+
+  rng_.setState(st.rng);
+  micro_step_ = st.micro_step;
+  epoch_ = st.epoch;
+  iter_in_epoch_ = st.iter_in_epoch;
+  iterations_done_ = st.iterations_done;
+  ckpt_epoch_ = st.ckpt_epoch;
+  ckpt_iter_in_epoch_ = st.ckpt_iter_in_epoch;
+  ckpt_iters_done_ = st.ckpt_iters_done;
+  input_ready_ = st.input_ready;
+  input_waiter_ = nullptr;
+  backward_done_ = false;
+  backward_done_time_ = st.backward_done_time;
+  pending_allreduce_ = 0;
+  iteration_start_ = st.iteration_start;
+  iteration_times_ = st.iteration_times;
+  run_start_ = st.run_start;
+  // Memory the prefix allocated is already accounted in the restored
+  // device states; adopt the bookkeeping so finish()/~Trainer release it.
+  host_base_memory_ = st.host_base_memory;
+  allocated_per_gpu_ = st.allocated_per_gpu;
+
+  result_.checkpoint_time = st.checkpoint_time;
+  result_.checkpoint_bytes = st.checkpoint_bytes;
+  result_.restores = st.restores;
+  result_.lost_iterations = st.lost_iterations;
+  result_.restore_time = st.restore_time;
+
+  // Re-derive the loss curve from the captured noise draws under THIS
+  // trainer's planned total, which may differ from the prefix donor's.
+  iters_per_epoch_sim_ = iterationsPerEpochFull();
+  if (options_.max_iterations_per_epoch > 0) {
+    iters_per_epoch_sim_ =
+        std::min<std::int64_t>(iters_per_epoch_sim_, options_.max_iterations_per_epoch);
+  }
+  loss_noise_ = st.loss_noise;
+  const double total =
+      static_cast<double>(iters_per_epoch_sim_) * std::max(1, epochs_);
+  const double base = (model_.domain == Domain::NLP) ? 3.2 : 6.2;
+  const double floor = (model_.domain == Domain::NLP) ? 0.9 : 1.6;
+  result_.loss_curve.clear();
+  result_.loss_curve.reserve(loss_noise_.size());
+  for (std::size_t i = 0; i < loss_noise_.size(); ++i) {
+    const double progress = static_cast<double>(i + 1) / total;
+    result_.loss_curve.push_back(
+        floor + (base - floor) * std::exp(-3.0 * progress) + loss_noise_[i]);
+  }
 }
 
 void Trainer::finish(bool completed, const std::string& error) {

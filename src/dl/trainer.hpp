@@ -114,6 +114,23 @@ class Trainer {
   /// result rather than throwing.
   void start(std::function<void(const TrainingResult&)> done);
 
+  /// Arrange for training to pause after exactly `iterations` completed
+  /// iterations (the warm-prefix boundary). Must be called before start().
+  /// When the boundary is reached the trainer stops scheduling new work
+  /// and `onPaused` fires; once every in-flight event drains the whole
+  /// stack is at a quiescent point and can be snapshotted. Training
+  /// continues only when resumeTraining() is called. The caller must pick
+  /// a boundary that falls strictly inside an epoch and before any
+  /// iteration-count checkpoint (see core::warmPrefixApplicable) so the
+  /// paused continuation is exactly beginIteration().
+  void pauseAfter(std::int64_t iterations, std::function<void()> onPaused);
+
+  bool paused() const { return paused_; }
+
+  /// Continue a paused run (cold path) or a restored one (fork path):
+  /// identical call in both, so the tails stay byte-identical.
+  void resumeTraining();
+
   /// Elastic re-composition (§III-B.3, devices re-allocated on the fly):
   /// request that training continue on `gpus` from the next epoch
   /// boundary. The swap happens after that epoch's checkpoint — model
@@ -146,6 +163,49 @@ class Trainer {
   void setCheckpointObserver(std::function<void(SimTime)> fn) {
     checkpoint_observer_ = std::move(fn);
   }
+
+  /// Deterministic run state at a warm-prefix pause. Everything the tail
+  /// depends on is plain data by construction (the pause point drains all
+  /// in-flight events, so there are no closures to capture). The loss
+  /// curve is stored as its raw noise draws: the curve itself mixes in the
+  /// *total* planned iterations, which is a tail parameter, so a fork with
+  /// different epochs recomputes the curve bit-identically from the same
+  /// draws (see restoreRun).
+  struct State {
+    Rng::State rng;
+    int micro_step = 0;
+    int epoch = 0;
+    std::int64_t iter_in_epoch = 0;
+    std::int64_t iterations_done = 0;
+    int ckpt_epoch = 0;
+    std::int64_t ckpt_iter_in_epoch = 0;
+    std::int64_t ckpt_iters_done = 0;
+    bool input_ready = false;
+    SimTime backward_done_time = 0.0;
+    Bytes host_base_memory = 0;
+    SimTime iteration_start = 0.0;
+    std::vector<SimTime> iteration_times;
+    Bytes allocated_per_gpu = 0;
+    SimTime run_start = 0.0;
+    SimTime checkpoint_time = 0.0;
+    Bytes checkpoint_bytes = 0;
+    int restores = 0;
+    std::int64_t lost_iterations = 0;
+    SimTime restore_time = 0.0;
+    std::vector<double> loss_noise;
+  };
+
+  /// Capture the paused run state. Throws std::logic_error unless the
+  /// trainer is paused at a warm-prefix boundary.
+  State state() const;
+
+  /// Adopt a captured prefix on a freshly constructed trainer (never
+  /// started): the GPU/host memory the prefix allocated is already
+  /// accounted by the device-level restores, so this re-binds the
+  /// bookkeeping without re-allocating. Leaves the trainer paused;
+  /// resumeTraining() continues the tail. `done` fires with the final
+  /// result exactly as start()'s callback would.
+  void restoreRun(const State& st, std::function<void(const TrainingResult&)> done);
 
   int batchPerGpu() const { return batch_per_gpu_; }
   int epochs() const { return epochs_; }
@@ -235,6 +295,14 @@ class Trainer {
   std::int64_t iterations_done_ = 0;
   bool checkpointing_ = false;
   bool started_ = false;
+  // Warm-prefix pause: when armed, the end of iteration `pause_at_` stops
+  // the training loop instead of beginning the next iteration.
+  std::int64_t pause_at_ = 0;
+  std::function<void()> on_paused_;
+  bool paused_ = false;
+  /// Per-iteration loss noise draws, kept alongside the loss curve so a
+  /// fork can recompute the curve under a different planned total.
+  std::vector<double> loss_noise_;
   /// Continuation generation: bumped by requestRestore so every callback
   /// captured before the restore (kernels, flows, collectives, scheduled
   /// events) returns without touching trainer state.

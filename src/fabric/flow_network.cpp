@@ -172,6 +172,58 @@ Bandwidth FlowNetwork::flowRate(FlowId id) const {
   return it == id_to_slot_.end() ? 0.0 : slots_[it->second].rate;
 }
 
+FlowNetwork::State FlowNetwork::state() const {
+  if (!id_to_slot_.empty() || !latency_flows_.empty()) {
+    throw std::logic_error(
+        "FlowNetwork::state: flows still in flight (snapshot requires a "
+        "quiescent point)");
+  }
+  State st;
+  st.slot_count = static_cast<std::uint32_t>(slots_.size());
+  st.free_slots = free_slots_;
+  st.epoch = epoch_;
+  st.solve_epoch = solve_epoch_;
+  st.next_id = next_id_;
+  st.last_update = last_update_;
+  st.flows_started = flows_started_;
+  st.flows_completed = flows_completed_;
+  st.flows_failed = flows_failed_;
+  st.recomputations = recomputations_;
+  st.component_solves = component_solves_;
+  return st;
+}
+
+void FlowNetwork::restoreState(const State& st) {
+  if (!id_to_slot_.empty() || !latency_flows_.empty()) {
+    throw std::logic_error(
+        "FlowNetwork::restoreState: target network has flows in flight");
+  }
+  slots_.assign(st.slot_count, ActiveFlow{});
+  free_slots_ = st.free_slots;
+  id_to_slot_.clear();
+  latency_flows_.clear();
+  for (auto& v : link_flows_) v.clear();
+  ensureLinkTables();
+  // Zeroed scratch reads as "stale" under the epoch-equality tests, which
+  // is exactly how untouched entries behave in the run being forked.
+  flow_epoch_.assign(st.slot_count, 0);
+  flow_fixed_.assign(st.slot_count, 0);
+  std::fill(link_epoch_.begin(), link_epoch_.end(), 0);
+  epoch_ = st.epoch;
+  solve_epoch_ = st.solve_epoch;
+  next_id_ = st.next_id;
+  last_update_ = st.last_update;
+  active_.clear();
+  completion_heap_.clear();
+  completion_event_ = kInvalidEvent;
+  completion_time_ = kInf;
+  flows_started_ = st.flows_started;
+  flows_completed_ = st.flows_completed;
+  flows_failed_ = st.flows_failed;
+  recomputations_ = st.recomputations;
+  component_solves_ = st.component_solves;
+}
+
 void FlowNetwork::advanceProgress() {
   const SimTime now = sim_.now();
   const SimTime elapsed = now - last_update_;

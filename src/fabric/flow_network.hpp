@@ -121,6 +121,32 @@ class FlowNetwork {
   /// as an ablation knob.
   void setIncrementalSolve(bool on) { incremental_ = on; }
 
+  /// Quiescent-point snapshot: valid only with no flows in flight (active
+  /// or latency-only). Captures the slot allocator (count + free-list
+  /// order — future FlowIds and slot reuse must match a cold run exactly),
+  /// the id/epoch counters and the cumulative statistics. Solver scratch
+  /// restores to the never-touched encoding: all stale-entry tests compare
+  /// stamps for equality against a pre-incremented epoch, so zeroed
+  /// scratch in a fork is indistinguishable from stale entries in the
+  /// original. state()/restoreState() throw std::logic_error when flows
+  /// are still in flight.
+  struct State {
+    std::uint32_t slot_count = 0;
+    std::vector<std::uint32_t> free_slots;
+    std::uint64_t epoch = 0;
+    std::uint64_t solve_epoch = 0;
+    FlowId next_id = 1;
+    SimTime last_update = 0.0;
+    std::uint64_t flows_started = 0;
+    std::uint64_t flows_completed = 0;
+    std::uint64_t flows_failed = 0;
+    std::uint64_t recomputations = 0;
+    std::uint64_t component_solves = 0;
+  };
+
+  State state() const;
+  void restoreState(const State& st);
+
  private:
   static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
 

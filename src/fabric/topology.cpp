@@ -95,6 +95,34 @@ const std::vector<LinkId>& Topology::linksInto(NodeId n) const {
   return reverse_adjacency_.at(static_cast<std::size_t>(n));
 }
 
+Topology::State Topology::state() const {
+  State st;
+  st.links.reserve(links_.size());
+  for (const Link& l : links_) st.links.push_back({l.up, l.counters});
+  st.generation = generation_;
+  return st;
+}
+
+void Topology::restoreState(const State& st) {
+  if (st.links.size() != links_.size()) {
+    throw std::logic_error(
+        "Topology::restoreState: link count mismatch (snapshot taken from a "
+        "differently built topology)");
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i].up = st.links[i].up;
+    links_[i].counters = st.links[i].counters;
+  }
+  generation_ = st.generation;
+  // Cached routes may predate the restored link states; recompute lazily.
+  route_cache_.clear();
+  cache_generation_ = ~0ULL;
+  scratch_epoch_ = 0;
+  std::fill(scratch_stamp_.begin(), scratch_stamp_.end(), 0u);
+  // The fork's worker thread is the new routing owner (see checkRouteOwner).
+  rebindRouteOwner();
+}
+
 void Topology::rebindRouteOwner() const {
   route_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
 }

@@ -136,6 +136,26 @@ class Topology {
 
   std::uint64_t generation() const { return generation_; }
 
+  /// Dynamic-state snapshot: per-link up flags and counters plus the
+  /// mutation generation. The graph structure (nodes, links, adjacency) is
+  /// NOT captured — a fork rebuilds it from the same configuration and
+  /// restoreState() refuses a structure mismatch. Route cache and Dijkstra
+  /// scratch are deliberately dropped on restore (they are recomputed
+  /// lazily and never observable in results), and routing ownership is
+  /// rebound to the restoring thread so forked workers never trip the
+  /// foreign-thread guard.
+  struct State {
+    struct LinkState {
+      bool up = true;
+      LinkCounters counters;
+    };
+    std::vector<LinkState> links;
+    std::uint64_t generation = 0;
+  };
+
+  State state() const;
+  void restoreState(const State& st);
+
  private:
   void checkRouteOwner() const;
 

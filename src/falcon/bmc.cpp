@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace composim::falcon {
 
@@ -86,11 +87,34 @@ Status Bmc::startPeriodicSampling(SimTime interval) {
 
 void Bmc::periodicSample(SimTime interval) {
   if (!sampling_) return;
-  sim_.schedule(interval, [this, interval] {
+  pending_sample_ = sim_.schedule(interval, [this, interval] {
+    pending_sample_ = kInvalidEvent;
     if (!sampling_) return;
     sampleSensors();
     periodicSample(interval);
   });
+}
+
+void Bmc::stopAndCancelSampling() {
+  sampling_ = false;
+  if (pending_sample_ != kInvalidEvent) {
+    sim_.cancel(pending_sample_);
+    pending_sample_ = kInvalidEvent;
+  }
+}
+
+Bmc::State Bmc::state() const {
+  if (sampling_) {
+    throw std::logic_error("Bmc::state: stop periodic sampling first");
+  }
+  return State{events_};
+}
+
+void Bmc::restoreState(const State& st) {
+  if (sampling_) {
+    throw std::logic_error("Bmc::restoreState: stop periodic sampling first");
+  }
+  events_ = st.events;
 }
 
 std::vector<LinkHealthRow> Bmc::linkHealth() const {

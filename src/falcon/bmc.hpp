@@ -69,11 +69,28 @@ class Bmc {
   /// sampling is already running.
   Status startPeriodicSampling(SimTime interval);
   void stopPeriodicSampling() { sampling_ = false; }
+  /// Stop AND cancel the pending sample event, so a draining simulation
+  /// quiesces at the stop point instead of advancing the clock to the
+  /// stale tick's no-op firing. Used at the warm-prefix pause boundary;
+  /// plain stopPeriodicSampling() keeps the historical drain behavior for
+  /// end-of-run teardown.
+  void stopAndCancelSampling();
 
   // --- health / throughput ---
   std::vector<LinkHealthRow> linkHealth() const;
   Bytes drawerThroughputBytes(int drawer) const;
   SystemInfo systemInfo() const;
+
+  // --- warm-prefix forking ---
+  /// Event-log snapshot. Thermal sources and the alert threshold are
+  /// reinstalled by the fork's own composition; only the accumulated
+  /// events carry over. Both ends must have periodic sampling stopped
+  /// (std::logic_error otherwise) — the fork restarts it on resume.
+  struct State {
+    std::vector<BmcEvent> events;
+  };
+  State state() const;
+  void restoreState(const State& st);
 
  private:
   void periodicSample(SimTime interval);
@@ -85,6 +102,7 @@ class Bmc {
   std::vector<std::vector<std::function<double()>>> thermal_;
   double alert_threshold_ = 75.0;
   bool sampling_ = false;
+  EventId pending_sample_ = kInvalidEvent;
 };
 
 }  // namespace composim::falcon

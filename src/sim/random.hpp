@@ -37,6 +37,29 @@ class Rng {
   /// Derive an independent child stream (for per-component seeding).
   Rng split();
 
+  /// Exact stream state: the xoshiro256** words plus the Box-Muller cache.
+  /// Round-tripping through state()/setState() reproduces the draw
+  /// sequence bit-for-bit, including a pending cached normal.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.has_cached_normal = has_cached_normal_;
+    st.cached_normal = cached_normal_;
+    return st;
+  }
+
+  void setState(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    has_cached_normal_ = st.has_cached_normal;
+    cached_normal_ = st.cached_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

@@ -109,6 +109,38 @@ void Simulator::run(std::uint64_t maxEvents) {
   }
 }
 
+Simulator::State Simulator::state() const {
+  if (!heap_.empty()) {
+    throw std::logic_error(
+        "Simulator::state: event queue not drained (closures in pending "
+        "events cannot be captured)");
+  }
+  State st;
+  st.now = now_;
+  st.next_seq = next_seq_;
+  st.executed = executed_;
+  st.slot_generations.reserve(slots_.size());
+  for (const Slot& s : slots_) st.slot_generations.push_back(s.generation);
+  st.free_slots = free_slots_;
+  return st;
+}
+
+void Simulator::setState(const State& st) {
+  if (!heap_.empty()) {
+    throw std::logic_error(
+        "Simulator::setState: target simulator has pending events");
+  }
+  now_ = st.now;
+  next_seq_ = st.next_seq;
+  executed_ = st.executed;
+  slots_.assign(st.slot_generations.size(), Slot{});
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].generation = st.slot_generations[i];
+  }
+  free_slots_ = st.free_slots;
+  cancelled_ = 0;
+}
+
 void Simulator::runUntil(SimTime until) {
   Entry e;
   while (true) {

@@ -74,6 +74,23 @@ class Simulator {
   void setProfiler(ProfileSink* sink) { profiler_ = sink; }
   ProfileSink* profiler() const { return profiler_; }
 
+  /// Deterministic snapshot of a *drained* simulator: clock, sequence
+  /// counter and the slot/generation allocator. Capturing the allocator is
+  /// what makes forked runs hand out the same EventIds as a cold run — the
+  /// free-list order and per-slot generations decide every future id.
+  /// Only valid at a quiescent point (empty event queue); state() and
+  /// setState() throw std::logic_error otherwise.
+  struct State {
+    SimTime now = 0.0;
+    std::uint64_t next_seq = 1;
+    std::uint64_t executed = 0;
+    std::vector<std::uint32_t> slot_generations;
+    std::vector<std::uint32_t> free_slots;
+  };
+
+  State state() const;
+  void setState(const State& st);
+
  private:
   struct Entry {
     SimTime time;

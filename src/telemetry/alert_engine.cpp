@@ -169,6 +169,24 @@ std::size_t AlertEngine::firingCount() const {
   return n;
 }
 
+AlertEngine::State AlertEngine::state() const {
+  State st;
+  st.rule_series.reserve(rules_.size());
+  for (const RuleState& rs : rules_) st.rule_series.push_back(rs.series);
+  st.log = log_;
+  return st;
+}
+
+void AlertEngine::setState(const State& st) {
+  if (st.rule_series.size() != rules_.size()) {
+    throw std::logic_error("AlertEngine::setState: rule count mismatch");
+  }
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    rules_[i].series = st.rule_series[i];
+  }
+  log_ = st.log;
+}
+
 void AlertEngine::emit(Alert alert) {
   log_.push_back(alert);
   for (const Handler& h : handlers_) h(alert);

@@ -83,6 +83,16 @@ class AlertEngine {
   /// Series currently in the firing state, across all rules.
   std::size_t firingCount() const;
 
+  /// Hold-duration / rate-baseline / firing state of every rule plus the
+  /// alert log, for warm-prefix forking. The fork re-adds the same rules
+  /// in the same order (rules come from the spec, so this holds by
+  /// construction) and re-subscribes its own handlers; setState() restores
+  /// only the evaluation state and throws std::logic_error on a rule-count
+  /// mismatch.
+  struct State;
+  State state() const;
+  void setState(const State& st);
+
  private:
   struct SeriesState {
     bool seen = false;        // rate baseline primed
@@ -104,6 +114,11 @@ class AlertEngine {
   std::vector<RuleState> rules_;
   std::vector<Handler> handlers_;
   std::vector<Alert> log_;
+};
+
+struct AlertEngine::State {
+  std::vector<std::map<std::string, SeriesState>> rule_series;  // rule order
+  std::vector<Alert> log;
 };
 
 }  // namespace composim::telemetry

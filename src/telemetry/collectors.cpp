@@ -32,6 +32,29 @@ std::string slotLabel(const falcon::SlotId& slot) {
   return buf;
 }
 
+// RateProbe state flattening for the scraper's collector save/load hooks:
+// 4 doubles per probe (last_value, last_rate, last_time, primed), appended
+// in a fixed order per collector so a fork built from the same config
+// round-trips exactly.
+void pushProbe(MetricsScraper::CollectorState& out, const RateProbe& probe) {
+  const RateProbe::State st = probe.state();
+  out.push_back(st.last_value);
+  out.push_back(st.last_rate);
+  out.push_back(st.last_time);
+  out.push_back(st.primed ? 1.0 : 0.0);
+}
+
+std::size_t popProbe(const MetricsScraper::CollectorState& in, std::size_t i,
+                     RateProbe& probe) {
+  RateProbe::State st;
+  st.last_value = in.at(i);
+  st.last_rate = in.at(i + 1);
+  st.last_time = in.at(i + 2);
+  st.primed = in.at(i + 3) != 0.0;
+  probe.setState(st);
+  return i + 4;
+}
+
 }  // namespace
 
 void collectGpus(MetricsScraper& scraper, MetricsRegistry& registry,
@@ -67,13 +90,23 @@ void collectGpus(MetricsScraper& scraper, MetricsRegistry& registry,
       "Mean GPU memory-access time over the gang, percent");
   Gauge& mem_util = registry.gauge("gpu_mem_util_pct", {},
                                    "Mean allocated GPU memory, percent");
-  scraper.addCollector([gpus, busy, mem_busy, &util, &mem_access, &mem_util] {
-    util.set(std::min(100.0, (*busy)()));
-    mem_access.set((*mem_busy)());
-    double total = 0.0;
-    for (const auto* g : gpus) total += g->memoryUtilization();
-    mem_util.set(100.0 * total / static_cast<double>(gpus.size()));
-  });
+  scraper.addCollector(
+      [gpus, busy, mem_busy, &util, &mem_access, &mem_util] {
+        util.set(std::min(100.0, (*busy)()));
+        mem_access.set((*mem_busy)());
+        double total = 0.0;
+        for (const auto* g : gpus) total += g->memoryUtilization();
+        mem_util.set(100.0 * total / static_cast<double>(gpus.size()));
+      },
+      [busy, mem_busy] {
+        MetricsScraper::CollectorState st;
+        pushProbe(st, *busy);
+        pushProbe(st, *mem_busy);
+        return st;
+      },
+      [busy, mem_busy](const MetricsScraper::CollectorState& st) {
+        popProbe(st, popProbe(st, 0, *busy), *mem_busy);
+      });
 }
 
 void collectHostCpu(MetricsScraper& scraper, MetricsRegistry& registry,
@@ -86,10 +119,19 @@ void collectHostCpu(MetricsScraper& scraper, MetricsRegistry& registry,
       registry.gauge("cpu_util_pct", {}, "Host CPU utilization, percent");
   Gauge& mem = registry.gauge("host_mem_util_pct", {},
                               "Host memory utilization, percent");
-  scraper.addCollector([&cpu, busy, &util, &mem] {
-    util.set((*busy)());
-    mem.set(100.0 * cpu.memoryUtilization());
-  });
+  scraper.addCollector(
+      [&cpu, busy, &util, &mem] {
+        util.set((*busy)());
+        mem.set(100.0 * cpu.memoryUtilization());
+      },
+      [busy] {
+        MetricsScraper::CollectorState st;
+        pushProbe(st, *busy);
+        return st;
+      },
+      [busy](const MetricsScraper::CollectorState& st) {
+        popProbe(st, 0, *busy);
+      });
 }
 
 void collectFalconPcie(MetricsScraper& scraper, MetricsRegistry& registry,
@@ -99,7 +141,16 @@ void collectFalconPcie(MetricsScraper& scraper, MetricsRegistry& registry,
   Gauge& gbs = registry.gauge(
       "falcon_pcie_gbs", {},
       "Aggregate Falcon GPU-port PCIe traffic, gigabytes per second");
-  scraper.addCollector([rate, &gbs] { gbs.set((*rate)()); });
+  scraper.addCollector(
+      [rate, &gbs] { gbs.set((*rate)()); },
+      [rate] {
+        MetricsScraper::CollectorState st;
+        pushProbe(st, *rate);
+        return st;
+      },
+      [rate](const MetricsScraper::CollectorState& st) {
+        popProbe(st, 0, *rate);
+      });
 }
 
 void collectFabricLinks(MetricsScraper& scraper, MetricsRegistry& registry,
@@ -135,16 +186,26 @@ void collectFabricLinks(MetricsScraper& scraper, MetricsRegistry& registry,
     st.up = &registry.gauge("link_up", labels, "Link state: 1 up, 0 down");
     states->push_back(std::move(st));
   }
-  scraper.addCollector([&topo, states] {
-    for (LinkState& st : *states) {
-      const fabric::Link& link = topo.link(st.link);
-      const double gbs = (*st.bytes_gbs)();
-      st.throughput->set(gbs);
-      st.util->set(link.capacity > 0.0 ? 100.0 * gbs * 1e9 / link.capacity
-                                       : 0.0);
-      st.up->set(link.up ? 1.0 : 0.0);
-    }
-  });
+  scraper.addCollector(
+      [&topo, states] {
+        for (LinkState& st : *states) {
+          const fabric::Link& link = topo.link(st.link);
+          const double gbs = (*st.bytes_gbs)();
+          st.throughput->set(gbs);
+          st.util->set(link.capacity > 0.0 ? 100.0 * gbs * 1e9 / link.capacity
+                                           : 0.0);
+          st.up->set(link.up ? 1.0 : 0.0);
+        }
+      },
+      [states] {
+        MetricsScraper::CollectorState st;
+        for (const LinkState& ls : *states) pushProbe(st, *ls.bytes_gbs);
+        return st;
+      },
+      [states](const MetricsScraper::CollectorState& st) {
+        std::size_t i = 0;
+        for (LinkState& ls : *states) i = popProbe(st, i, *ls.bytes_gbs);
+      });
 }
 
 std::vector<LinkProbe> hostAdapterLinks(const fabric::Topology& topo) {
@@ -187,32 +248,49 @@ void collectBmc(MetricsScraper& scraper, MetricsRegistry& registry,
         1e-9);
     states->push_back(std::move(st));
   }
-  scraper.addCollector([&bmc, &registry, states] {
-    for (const falcon::LinkHealthRow& row : bmc.linkHealth()) {
-      const std::string slot = slotLabel(row.slot);
-      const Labels labels{{"device", row.device_name}, {"slot", slot}};
-      registry
-          .gauge("falcon_link_up", labels,
-                 "Falcon slot link state: 1 up, 0 down")
-          .set(row.up ? 1.0 : 0.0);
-      Counter& errors =
-          registry.counter("ecc_errors_total", labels,
-                           "Accumulated link/ECC errors from the BMC "
-                           "link-health table");
-      for (SlotState& st : *states) {
-        if (st.slot != slot) continue;
-        const auto observed = static_cast<double>(row.accumulated_errors);
-        // Counter-reset handling (device replaced): re-accumulate from 0.
-        errors.add(observed >= st.last_errors ? observed - st.last_errors
-                                              : observed);
-        st.last_errors = observed;
-        registry
-            .gauge("falcon_slot_gbs", labels,
-                   "Falcon slot ingress+egress traffic, gigabytes per second")
-            .set((*st.gbs)());
-      }
-    }
-  });
+  scraper.addCollector(
+      [&bmc, &registry, states] {
+        for (const falcon::LinkHealthRow& row : bmc.linkHealth()) {
+          const std::string slot = slotLabel(row.slot);
+          const Labels labels{{"device", row.device_name}, {"slot", slot}};
+          registry
+              .gauge("falcon_link_up", labels,
+                     "Falcon slot link state: 1 up, 0 down")
+              .set(row.up ? 1.0 : 0.0);
+          Counter& errors =
+              registry.counter("ecc_errors_total", labels,
+                               "Accumulated link/ECC errors from the BMC "
+                               "link-health table");
+          for (SlotState& st : *states) {
+            if (st.slot != slot) continue;
+            const auto observed = static_cast<double>(row.accumulated_errors);
+            // Counter-reset handling (device replaced): re-accumulate from 0.
+            errors.add(observed >= st.last_errors ? observed - st.last_errors
+                                                  : observed);
+            st.last_errors = observed;
+            registry
+                .gauge("falcon_slot_gbs", labels,
+                       "Falcon slot ingress+egress traffic, gigabytes per "
+                       "second")
+                .set((*st.gbs)());
+          }
+        }
+      },
+      [states] {
+        MetricsScraper::CollectorState st;
+        for (const SlotState& ss : *states) {
+          pushProbe(st, *ss.gbs);
+          st.push_back(ss.last_errors);
+        }
+        return st;
+      },
+      [states](const MetricsScraper::CollectorState& st) {
+        std::size_t i = 0;
+        for (SlotState& ss : *states) {
+          i = popProbe(st, i, *ss.gbs);
+          ss.last_errors = st.at(i++);
+        }
+      });
 }
 
 void observeTrainer(MetricsRegistry& registry, dl::Trainer& trainer) {

@@ -238,6 +238,51 @@ std::vector<std::string> MetricsRegistry::familyNames() const {
   return names;
 }
 
+std::string MetricsRegistry::help(const std::string& name) const {
+  const auto it = families_.find(name);
+  return it == families_.end() ? "" : it->second.help;
+}
+
+MetricsRegistry::State MetricsRegistry::state() const {
+  State st;
+  st.families.reserve(families_.size());
+  for (const auto& [name, f] : families_) {
+    State::FamilyState fs;
+    fs.name = name;
+    fs.type = f.type;
+    fs.help = f.help;
+    for (const auto& [key, entry] : f.counters) {
+      fs.counters.push_back(State::CounterInst{entry.first, *entry.second});
+    }
+    for (const auto& [key, entry] : f.gauges) {
+      fs.gauges.push_back(State::GaugeInst{entry.first, *entry.second});
+    }
+    for (const auto& [key, entry] : f.histograms) {
+      fs.histograms.push_back(State::HistogramInst{entry.first, *entry.second});
+    }
+    st.families.push_back(std::move(fs));
+  }
+  return st;
+}
+
+void MetricsRegistry::restoreState(const State& st) {
+  for (const State::FamilyState& fs : st.families) {
+    for (const State::CounterInst& inst : fs.counters) {
+      counter(fs.name, inst.labels, fs.help) = inst.value;
+    }
+    for (const State::GaugeInst& inst : fs.gauges) {
+      gauge(fs.name, inst.labels, fs.help) = inst.value;
+    }
+    for (const State::HistogramInst& inst : fs.histograms) {
+      histogram(fs.name, inst.labels, inst.value.bounds(), fs.help) =
+          inst.value;
+    }
+    // A family captured before any instrument existed (type/help only)
+    // still needs to exist so # TYPE lines match the donor's exposition.
+    family(fs.name, fs.type, fs.help);
+  }
+}
+
 std::string MetricsRegistry::prometheusText() const {
   std::string out;
   for (const auto& [name, f] : families_) {

@@ -148,6 +148,42 @@ class MetricsRegistry {
   /// in sorted order, histograms as _bucket{le=...}/_sum/_count).
   std::string prometheusText() const;
 
+  /// Help text of a family ("" for unknown names).
+  std::string help(const std::string& name) const;
+
+  /// Full-registry snapshot for warm-prefix forking: every family's type,
+  /// help text and instruments with values copied bit-exactly (histograms
+  /// keep their raw observation vectors, so percentile math reproduces).
+  /// restoreState() get-or-creates each instrument then copy-assigns it,
+  /// which also pre-creates instruments a collector would otherwise
+  /// register lazily on its first post-fork scrape.
+  struct State {
+    struct CounterInst {
+      Labels labels;
+      Counter value;
+    };
+    struct GaugeInst {
+      Labels labels;
+      Gauge value;
+    };
+    struct HistogramInst {
+      Labels labels;
+      Histogram value;
+    };
+    struct FamilyState {
+      std::string name;
+      MetricType type = MetricType::Counter;
+      std::string help;
+      std::vector<CounterInst> counters;
+      std::vector<GaugeInst> gauges;
+      std::vector<HistogramInst> histograms;
+    };
+    std::vector<FamilyState> families;
+  };
+
+  State state() const;
+  void restoreState(const State& st);
+
  private:
   struct Family {
     MetricType type = MetricType::Counter;

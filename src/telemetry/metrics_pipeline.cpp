@@ -16,7 +16,50 @@ MetricsScraper::MetricsScraper(Simulator& sim, MetricsRegistry& registry,
 }
 
 void MetricsScraper::addCollector(std::function<void()> update) {
-  collectors_.push_back(std::move(update));
+  collectors_.push_back(Collector{std::move(update), nullptr, nullptr});
+}
+
+void MetricsScraper::addCollector(std::function<void()> update,
+                                  std::function<CollectorState()> save,
+                                  std::function<void(const CollectorState&)> load) {
+  collectors_.push_back(
+      Collector{std::move(update), std::move(save), std::move(load)});
+}
+
+std::vector<MetricsScraper::CollectorState> MetricsScraper::collectorStates()
+    const {
+  std::vector<CollectorState> out;
+  out.reserve(collectors_.size());
+  for (const Collector& c : collectors_) {
+    out.push_back(c.save ? c.save() : CollectorState{});
+  }
+  return out;
+}
+
+void MetricsScraper::restoreCollectorStates(
+    const std::vector<CollectorState>& states) {
+  if (states.size() != collectors_.size()) {
+    throw std::logic_error(
+        "MetricsScraper::restoreCollectorStates: collector count mismatch");
+  }
+  for (std::size_t i = 0; i < collectors_.size(); ++i) {
+    if (collectors_[i].load) collectors_[i].load(states[i]);
+  }
+}
+
+MetricsScraper::State MetricsScraper::state() const {
+  if (running_) {
+    throw std::logic_error("MetricsScraper::state: stop scraping first");
+  }
+  return State{series_, scrapes_};
+}
+
+void MetricsScraper::setState(const State& st) {
+  if (running_) {
+    throw std::logic_error("MetricsScraper::setState: stop scraping first");
+  }
+  series_ = st.series;
+  scrapes_ = st.scrapes;
 }
 
 void MetricsScraper::start() {
@@ -27,17 +70,26 @@ void MetricsScraper::start() {
 }
 
 void MetricsScraper::tick() {
-  sim_->schedule(interval_, [this] {
+  pending_tick_ = sim_->schedule(interval_, [this] {
+    pending_tick_ = kInvalidEvent;
     if (!running_ || sim_ == nullptr) return;
     scrapeOnce();
     tick();
   });
 }
 
+void MetricsScraper::stopAndCancelTick() {
+  running_ = false;
+  if (sim_ != nullptr && pending_tick_ != kInvalidEvent) {
+    sim_->cancel(pending_tick_);
+  }
+  pending_tick_ = kInvalidEvent;
+}
+
 void MetricsScraper::scrapeOnce() {
   if (sim_ == nullptr) return;
   const SimTime now = sim_->now();
-  for (const auto& update : collectors_) update();
+  for (const auto& c : collectors_) c.update();
   for (const std::string& name : registry_.familyNames()) {
     const bool histo = registry_.type(name) == MetricType::Histogram;
     for (const auto& inst : registry_.instruments(name)) {

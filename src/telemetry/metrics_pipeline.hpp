@@ -48,11 +48,36 @@ class MetricsScraper {
   /// -> registry instruments).
   void addCollector(std::function<void()> update);
 
+  /// Flattened closure state of one collector (RateProbe baselines and
+  /// similar scalars), in a fixed per-collector order.
+  using CollectorState = std::vector<double>;
+
+  /// Register a collector together with save/load hooks for its closure
+  /// state, so warm-prefix forks can resume rate differentiation exactly
+  /// where the prefix left off. Collectors registered without hooks are
+  /// treated as stateless (they save an empty vector).
+  void addCollector(std::function<void()> update,
+                    std::function<CollectorState()> save,
+                    std::function<void(const CollectorState&)> load);
+
+  /// Closure states of every collector, in registration order.
+  std::vector<CollectorState> collectorStates() const;
+  /// Restore closure states captured by collectorStates(); the target must
+  /// have registered the same collectors in the same order.
+  void restoreCollectorStates(const std::vector<CollectorState>& states);
+
   /// Evaluate `engine` after every scrape (not owned).
   void setAlertEngine(AlertEngine* engine) { alerts_ = engine; }
 
   void start();
   void stop() { running_ = false; }
+  /// Stop AND cancel the pending tick event, so a draining simulation
+  /// quiesces at the stop point instead of running the clock forward to
+  /// the stale tick's no-op firing. Used at the warm-prefix pause
+  /// boundary, where the drained clock value is observable (the resumed
+  /// scrape grid restarts from it); plain stop() keeps the historical
+  /// drain behavior for end-of-run teardown.
+  void stopAndCancelTick();
   bool running() const { return running_; }
   /// One collector + snapshot + alert pass at the current simulated time.
   void scrapeOnce();
@@ -72,7 +97,25 @@ class MetricsScraper {
   /// the system that produced the series.
   void finalize();
 
+  /// Scrape-history snapshot: every TimeSeries plus the scrape counter.
+  /// Collector closure state is captured separately (collectorStates())
+  /// because the fork re-registers fresh collector closures against its
+  /// own subsystems. Valid only while stopped.
+  struct State {
+    std::map<std::string, TimeSeries> series;
+    std::size_t scrapes = 0;
+  };
+
+  State state() const;
+  void setState(const State& st);
+
  private:
+  struct Collector {
+    std::function<void()> update;
+    std::function<CollectorState()> save;
+    std::function<void(const CollectorState&)> load;
+  };
+
   void tick();
   TimeSeries& seriesFor(const std::string& name);
 
@@ -80,8 +123,9 @@ class MetricsScraper {
   MetricsRegistry& registry_;
   SimTime interval_;
   bool running_ = false;
+  EventId pending_tick_ = kInvalidEvent;
   std::size_t scrapes_ = 0;
-  std::vector<std::function<void()>> collectors_;
+  std::vector<Collector> collectors_;
   AlertEngine* alerts_ = nullptr;
   std::map<std::string, TimeSeries> series_;
 };

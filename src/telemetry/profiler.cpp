@@ -147,6 +147,28 @@ double Profiler::counterMean(const std::string& counter,
   return integral / span;
 }
 
+Profiler::State Profiler::state() const {
+  State st;
+  st.enabled = enabled_;
+  st.records = records_;
+  st.track_names = track_names_;
+  st.track_ids = track_ids_;
+  st.open_async = open_async_;
+  st.counters = counters_;
+  st.next_async = next_async_;
+  return st;
+}
+
+void Profiler::setState(const State& st) {
+  enabled_ = st.enabled;
+  records_ = st.records;
+  track_names_ = st.track_names;
+  track_ids_ = st.track_ids;
+  open_async_ = st.open_async;
+  counters_ = st.counters;
+  next_async_ = st.next_async;
+}
+
 void Profiler::finalize() {
   if (sim_ == nullptr) return;
   end_time_ = sim_->now();

@@ -100,6 +100,16 @@ class Profiler final : public ProfileSink {
   /// Write chromeTrace() to `path`; Internal status on I/O failure.
   Status writeChromeTrace(const std::string& path, int indent = -1) const;
 
+  /// Opaque full-trace snapshot (records, track table, open async spans,
+  /// counter integrals). A fork restores it into a fresh Profiler so the
+  /// tail appends to the warmed prefix's trace exactly as a cold run
+  /// would; open B records and async begins carry over and are closed by
+  /// the tail. Copy-on-fork rather than serialize: the record vector is
+  /// value-type all the way down and the tail mutates it in place.
+  struct State;
+  State state() const;
+  void setState(const State& st);
+
  private:
   struct Record {
     char phase = 'B';  // B/E nested, b/e async, C counter, i instant
@@ -131,6 +141,16 @@ class Profiler final : public ProfileSink {
   // Ordered so export and mean queries iterate deterministically.
   std::map<std::string, std::map<std::string, CounterState>> counters_;
   AsyncSpanId next_async_ = 1;
+};
+
+struct Profiler::State {
+  bool enabled = true;
+  std::vector<Record> records;
+  std::vector<std::string> track_names;
+  std::unordered_map<std::string, std::uint32_t> track_ids;
+  std::unordered_map<AsyncSpanId, std::size_t> open_async;
+  std::map<std::string, std::map<std::string, CounterState>> counters;
+  AsyncSpanId next_async = 1;
 };
 
 }  // namespace composim::telemetry

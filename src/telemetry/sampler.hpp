@@ -32,6 +32,25 @@ class RateProbe {
 
   double operator()();
 
+  /// Differentiation state (baseline + held rate), exposed so a forked
+  /// run's collectors resume rate computation exactly where the warmed
+  /// prefix left off instead of re-priming at the fork point.
+  struct State {
+    double last_value = 0.0;
+    double last_rate = 0.0;
+    SimTime last_time = 0.0;
+    bool primed = false;
+  };
+
+  State state() const { return State{last_value_, last_rate_, last_time_, primed_}; }
+
+  void setState(const State& st) {
+    last_value_ = st.last_value;
+    last_rate_ = st.last_rate;
+    last_time_ = st.last_time;
+    primed_ = st.primed;
+  }
+
  private:
   Simulator& sim_;
   Probe cumulative_;
