@@ -83,7 +83,7 @@ void ablateBucketing() {
     opt.trainer.epochs = 1;
     opt.trainer.gradient_buckets = buckets;
     const auto r = core::Experiment::run(core::SystemConfig::FalconGpus,
-                                         dl::bertLarge(), opt);
+                                         dl::workload("BERT-L"), opt);
     std::printf("  %2d bucket(s): iteration %s\n", buckets,
                 formatTime(r.training.mean_iteration_time).c_str());
   }
@@ -99,7 +99,7 @@ void ablatePrefetch() {
     opt.trainer.epochs = 1;
     opt.trainer.pipeline.prefetch_batches = depth;
     const auto r = core::Experiment::run(core::SystemConfig::LocalGpus,
-                                         dl::yoloV5L(), opt);
+                                         dl::workload("YOLOv5-L"), opt);
     std::printf("  depth %d: iteration %s, data stall %s\n", depth,
                 formatTime(r.training.mean_iteration_time).c_str(),
                 formatTime(r.training.data_stall_time).c_str());

@@ -50,7 +50,7 @@ double tenantAIteration(bool neighborActive) {
   dl::TrainerOptions opt;
   opt.epochs = 1;
   opt.max_iterations_per_epoch = 8;
-  const auto model = dl::bertLarge();
+  const auto model = dl::workload("BERT-L");
   dl::Trainer t(sys.sim(), sys.network(), sys.topology(), gpus, sys.cpu(),
                 sys.hostMemory(), sys.trainingStorage(), model,
                 dl::datasetFor(model), opt);

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   bench::banner("Heterogeneous pool",
                 "4x V100 + 4x composed P100 vs homogeneous pools (ResNet-50)");
 
-  const auto model = dl::resNet50();
+  const auto model = dl::workload("ResNet-50");
 
   // Three independent testbeds: each lambda builds its own system so the
   // pools can be measured on worker threads.

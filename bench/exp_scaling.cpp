@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   bench::banner("Scaling study",
                 "Throughput vs GPU count, composing past the 8-GPU host");
 
-  const std::vector<dl::ModelSpec> models = {dl::resNet50(), dl::bertLarge()};
+  const std::vector<dl::ModelSpec> models = {dl::workload("ResNet-50"), dl::workload("BERT-L")};
   const std::vector<int> counts = {2, 4, 8, 12, 16};
   // Every (model, GPU count) cell is an independent training run; fan the
   // grid out and read it back row-major.

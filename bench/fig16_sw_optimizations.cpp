@@ -60,7 +60,7 @@ int main() {
       // Probe the memory-feasible batch for this variant.
       core::ComposableSystem probe(config);
       auto gpus = probe.trainingGpus();
-      const auto model = dl::bertLarge();
+      const auto model = dl::workload("BERT-L");
       dl::Trainer planner(probe.sim(), probe.network(), probe.topology(), gpus,
                           probe.cpu(), probe.hostMemory(),
                           probe.trainingStorage(), model, dl::datasetFor(model),

@@ -1,0 +1,155 @@
+// composim bench: graph-IR ingestion — loader fidelity + throughput gate.
+//
+// Loads every .graph.json under a directory (default: the checked-in
+// examples/graphs/), requires each lowered ModelSpec to be byte-identical
+// to the WorkloadRegistry's in-process builder for that name, then times
+// repeated parse+validate+lower passes and gates the sustained ingest
+// rate. Runs as the `bench_graphir` ctest; writes BENCH_graphir.json.
+//
+//   $ ./bench/graph_ingest BENCH_graphir.json ../examples/graphs
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "dl/graph_ir/loader.hpp"
+#include "dl/graph_ir/lowering.hpp"
+#include "dl/workload_registry.hpp"
+#include "falcon/json.hpp"
+
+using namespace composim;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+bool identicalSpecs(const dl::ModelSpec& a, const dl::ModelSpec& b) {
+  if (a.name != b.name || a.domain != b.domain || a.dataset != b.dataset ||
+      a.reported_depth != b.reported_depth ||
+      a.fp16_efficiency != b.fp16_efficiency ||
+      a.fp32_efficiency != b.fp32_efficiency ||
+      a.input_bytes_per_sample != b.input_bytes_per_sample ||
+      a.activation_overhead_factor != b.activation_overhead_factor ||
+      a.paper_batch_per_gpu != b.paper_batch_per_gpu ||
+      a.paper_epochs != b.paper_epochs || a.layers.size() != b.layers.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const auto& la = a.layers[i];
+    const auto& lb = b.layers[i];
+    if (la.name != lb.name || la.kind != lb.kind || la.params != lb.params ||
+        la.forward_flops != lb.forward_flops ||
+        la.activation_bytes != lb.activation_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_graphir.json";
+  const std::string dir = argc > 2 ? argv[2] : "../examples/graphs";
+
+  bench::banner("graph-IR ingestion",
+                "operator-graph loader: fidelity + throughput");
+
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string p = entry.path().string();
+    if (p.size() > 11 && p.substr(p.size() - 11) == ".graph.json") {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  check(!ec, "graphs directory '" + dir + "' readable");
+  check(files.size() >= 7, "found the 7 built-in graphs (got " +
+                               std::to_string(files.size()) + ")");
+
+  // --- Fidelity: every file loads, and files naming a registered
+  // workload lower byte-identically to the registry's builder.
+  auto& reg = dl::WorkloadRegistry::instance();
+  std::size_t total_bytes = 0;
+  std::size_t golden_matches = 0;
+  for (const std::string& f : files) {
+    dl::graph_ir::Graph g;
+    const Status load = dl::graph_ir::loadGraphFile(f, &g);
+    check(load.ok, "load " + f + (load.ok ? "" : ": " + load.detail));
+    if (!load.ok) continue;
+    total_bytes += std::filesystem::file_size(f, ec);
+    dl::ModelSpec lowered;
+    const Status low = dl::graph_ir::lower(g, &lowered);
+    check(low.ok, "lower " + g.meta.name);
+    if (!low.ok) continue;
+    if (reg.hasWorkload(lowered.name)) {
+      dl::ModelSpec builtin;
+      if (reg.model(lowered.name, &builtin).ok) {
+        const bool same = identicalSpecs(lowered, builtin);
+        check(same, lowered.name + " byte-identical to registry builder");
+        if (same) ++golden_matches;
+      }
+    }
+  }
+  check(golden_matches >= 7, "all 7 built-ins matched the registry");
+
+  // --- Throughput: repeated full-zoo ingest (read + parse + validate +
+  // lower), enough repetitions to smooth scheduler noise.
+  const int kReps = 40;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t loads = 0;
+  for (int r = 0; r < kReps; ++r) {
+    for (const std::string& f : files) {
+      dl::graph_ir::Graph g;
+      dl::ModelSpec m;
+      if (dl::graph_ir::loadGraphFile(f, &g).ok &&
+          dl::graph_ir::lower(g, &m).ok) {
+        ++loads;
+      }
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double graphs_per_s = secs > 0.0 ? loads / secs : 0.0;
+  const double mb_per_s =
+      secs > 0.0 ? (total_bytes * kReps) / secs / 1.0e6 : 0.0;
+
+  std::printf("\ningested %zu graphs in %.3f s: %.0f graphs/s, %.1f MB/s\n",
+              loads, secs, graphs_per_s, mb_per_s);
+  check(loads == files.size() * kReps, "every timed ingest succeeded");
+  // Conservative floor: the loader must stay interactive — a suite that
+  // references graphs by path re-loads them per run.
+  check(graphs_per_s >= 50.0, "sustained ingest rate >= 50 graphs/s");
+
+  auto doc = falcon::Json::object();
+  doc.set("bench", "graph_ingest");
+  doc.set("graphs", static_cast<std::int64_t>(files.size()));
+  doc.set("golden_matches", static_cast<std::int64_t>(golden_matches));
+  doc.set("repetitions", static_cast<std::int64_t>(kReps));
+  doc.set("graphs_per_second", graphs_per_s);
+  doc.set("megabytes_per_second", mb_per_s);
+  doc.set("total_graph_bytes", static_cast<std::int64_t>(total_bytes));
+  std::ofstream out(out_path);
+  out << doc.dump(2) << "\n";
+  const bool wrote = out.good();
+  out.close();
+  check(wrote, "BENCH_graphir.json written");
+
+  if (g_failures) {
+    std::printf("\n%d acceptance check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("\nall acceptance checks passed\n");
+  return 0;
+}

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const dl::ModelSpec model = dl::resNet50();
+  const dl::ModelSpec model = dl::workload("ResNet-50");
 
   // --- Fault-free baseline clocks the run so the storm lands mid-flight.
   std::printf("baseline (fault-free falconGPUs)...\n");
@@ -143,7 +143,7 @@ int main(int argc, char** argv) {
 
   // --- Serial vs parallel determinism: same 4-spec matrix, --jobs 1 vs 4.
   std::printf("\ndeterminism sweep (2 benchmarks x 2 configs, jobs 1 vs 4)...\n");
-  const std::vector<dl::ModelSpec> models = {dl::resNet50(), dl::bertLarge()};
+  const std::vector<dl::ModelSpec> models = {dl::workload("ResNet-50"), dl::workload("BERT-L")};
   const std::vector<core::SystemConfig> configs = {
       core::SystemConfig::LocalGpus, core::SystemConfig::FalconGpus};
   auto sweep_exports = [&](int jobs) {

@@ -101,7 +101,7 @@ BENCHMARK(BM_RingAllReduceSimulation);
 void BM_TrainingIterationSimulation(benchmark::State& state) {
   for (auto _ : state) {
     core::ComposableSystem sys(core::SystemConfig::LocalGpus);
-    const auto model = dl::resNet50();
+    const auto model = dl::workload("ResNet-50");
     dl::TrainerOptions opt;
     opt.epochs = 1;
     opt.max_iterations_per_epoch = 3;

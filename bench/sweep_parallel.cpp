@@ -60,7 +60,7 @@ std::vector<core::ExperimentSpec> buildSuite() {
   for (int i = 0; i < kSuiteSize; ++i) {
     core::ExperimentSpec s;
     s.name = "sweep-" + std::to_string(i);
-    s.benchmark = "ResNet-50";
+    s.workload = "ResNet-50";
     s.config = core::SystemConfig::FalconGpus;
     s.options.trainer.epochs = 1;
     s.options.trainer.max_iterations_per_epoch = 12;
@@ -84,7 +84,7 @@ std::vector<core::ExperimentSpec> buildForkSuite() {
   for (int i = 0; i < kSuiteSize; ++i) {
     core::ExperimentSpec s;
     s.name = "fork-" + std::to_string(i);
-    s.benchmark = "ResNet-50";
+    s.workload = "ResNet-50";
     s.config = core::SystemConfig::FalconGpus;
     s.options.trainer.epochs = 1;
     s.options.trainer.max_iterations_per_epoch = kWarmPrefix + 2 + i;
@@ -125,7 +125,7 @@ SweepArtifacts replay(int jobs, const std::string& trace_dir) {
       continue;
     }
     auto& run = tracker.run(done.spec.name);
-    run.setConfig("benchmark", done.spec.benchmark);
+    run.setConfig("benchmark", done.spec.workload);
     run.setConfig("config", core::toString(done.spec.config));
     run.setSummary("mean_iteration_s", done.result.training.mean_iteration_time);
     run.setSummary("samples_per_second", done.result.training.samples_per_second);
@@ -177,7 +177,7 @@ SweepArtifacts replayFork(int jobs, bool share) {
       continue;
     }
     auto& run = tracker.run(done.spec.name);
-    run.setConfig("benchmark", done.spec.benchmark);
+    run.setConfig("benchmark", done.spec.workload);
     run.setConfig("config", core::toString(done.spec.config));
     run.setSummary("mean_iteration_s", done.result.training.mean_iteration_time);
     run.setSummary("gpu_util_pct", done.result.gpu_util_pct);

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const dl::ModelSpec model = dl::bertLarge();
+  const dl::ModelSpec model = dl::workload("BERT-L");
   core::ExperimentOptions opt;
   opt.trainer.epochs = 1;
   opt.trainer.max_iterations_per_epoch = 5;

@@ -21,7 +21,7 @@ int main() {
   auto all = sys.trainingGpus();
   std::vector<devices::Gpu*> eight(all.begin(), all.begin() + 8);
 
-  const auto model = dl::resNet50();
+  const auto model = dl::workload("ResNet-50");
   dl::TrainerOptions opt;
   opt.epochs = 3;
   opt.max_iterations_per_epoch = 10;

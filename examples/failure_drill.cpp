@@ -31,7 +31,7 @@ int main() {
   faults.scheduleLinkFlap(victim.link_down, 1.0, 0.05);
   faults.scheduleRandomErrorNoise(victim.link_up, 0.2, 2.0);
 
-  const auto model = dl::resNet50();
+  const auto model = dl::workload("ResNet-50");
   dl::TrainerOptions opt;
   opt.epochs = 1;
   opt.max_iterations_per_epoch = 20;

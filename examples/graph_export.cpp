@@ -1,0 +1,49 @@
+// composim example: emit the built-in workloads as operator-graph JSON.
+//
+// Serializes every graph the WorkloadRegistry registers at startup (the
+// five Table II benchmarks plus GPT-2-medium and ViT-B/16) to
+// <outdir>/<slug>.graph.json via dl::graph_ir::toJson. The checked-in
+// files under examples/graphs/ are this tool's output; the graph_ir golden
+// tests and the graph-ingest bench re-load them and require the lowered
+// ModelSpecs to be byte-identical to the registry's. Regenerate after
+// editing a builder:
+//
+//   $ ./examples/graph_export ../examples/graphs
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "dl/graph_ir/builders.hpp"
+#include "dl/graph_ir/loader.hpp"
+
+using namespace composim;
+
+int main(int argc, char** argv) {
+  const std::string outdir = argc > 1 ? argv[1] : "graphs";
+  std::error_code ec;
+  std::filesystem::create_directories(outdir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", outdir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  for (const auto& graph : dl::graph_ir::builders::allBuiltinGraphs()) {
+    const std::string path = outdir + "/" +
+                             dl::graph_ir::graphFileSlug(graph.meta.name) +
+                             ".graph.json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << dl::graph_ir::toJson(graph).dump(2) << '\n';
+    if (!out) {
+      std::fprintf(stderr, "write to %s failed\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %-40s (%zu ops, %s)\n", path.c_str(), graph.ops.size(),
+                graph.meta.name.c_str());
+  }
+  return 0;
+}

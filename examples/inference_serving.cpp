@@ -17,7 +17,7 @@
 using namespace composim;
 
 int main() {
-  const auto model = dl::yoloV5L();
+  const auto model = dl::workload("YOLOv5-L");
   std::printf("Serving %s detection requests (batch<=4, FP16)...\n\n",
               model.name.c_str());
 

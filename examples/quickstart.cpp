@@ -6,11 +6,17 @@
 // the throughput plus the system-level metrics the paper tracks.
 //
 //   $ ./examples/quickstart
+//   $ ./examples/quickstart --workload BERT-L
+//   $ ./examples/quickstart --workload graph:examples/graphs/vit_base16.graph.json
 //   $ ./examples/quickstart --trace   # also writes quickstart_trace.json
 //   $ ./examples/quickstart --faults '{"spare_gpus": 1,
 //       "gpu_falloffs": [{"gpu": 0, "at": 2.0}]}'
 //   $ ./examples/quickstart --metrics '{"alerts":
 //       ["gpu_util_pct < 10 for 5s"]}'  # writes .prom + .jsonl exports
+//
+// --workload selects any registered workload by name, or loads an
+// operator-graph JSON file with the "graph:<path>" prefix (see DESIGN.md
+// §15 and examples/graphs/). Default: ResNet-50.
 //
 // With --trace, the span profiler records every training phase, collective
 // op, and fabric link and exports a Chrome trace_event file you can open in
@@ -85,15 +91,17 @@ bool loadMetrics(const std::string& spec, core::MetricsConfig* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const dl::ModelSpec model = dl::resNet50();
-
   core::ExperimentOptions opt;
+  opt.workload = "ResNet-50";
   opt.trainer.epochs = 1;
   opt.trainer.max_iterations_per_epoch = 25;
   core::SystemConfig config = core::SystemConfig::LocalGpus;
   bool export_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) opt.trace = true;
+    if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      opt.workload = argv[++i];
+    }
     if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       if (!loadFaults(argv[++i], &opt.faults)) return 1;
       // Fault schedules target Falcon devices; compose the GPUs from the
@@ -104,6 +112,14 @@ int main(int argc, char** argv) {
       if (!loadMetrics(argv[++i], &opt.metrics)) return 1;
       export_metrics = true;
     }
+  }
+
+  dl::ModelSpec model;
+  if (const Status s =
+          dl::WorkloadRegistry::instance().resolve(opt.workload, &model);
+      !s) {
+    std::fprintf(stderr, "--workload: %s\n", s.toString().c_str());
+    return 1;
   }
 
   std::printf("composim quickstart: training %s (%lld params, %d layers) on "

@@ -1,7 +1,7 @@
 // composim example: run a JSON experiment suite.
 //
 // The measurement-campaign front door: a JSON file lists experiments
-// (benchmark x configuration x trainer options); this tool runs them,
+// (workload x configuration x trainer options); this tool runs them,
 // prints a comparative table, and exports wandb-style CSV/manifest
 // artifacts to an output directory.
 //
@@ -11,7 +11,14 @@
 //   $ ./examples/run_suite --metrics slo.json my_suite.json /tmp/results
 //   $ ./examples/run_suite --jobs 4 my_suite.json /tmp/results
 //   $ ./examples/run_suite --warm-prefix 20 my_suite.json /tmp/results
+//   $ ./examples/run_suite --workload GPT-2-medium
+//   $ ./examples/run_suite --workload graph:examples/graphs/vit_base16.graph.json
 //   $ ./examples/run_suite            # runs a built-in demonstration suite
+//
+// Suite experiments name their workload with the "workload" key (legacy
+// alias: "benchmark"): a dl::WorkloadRegistry name, or "graph:<path>" to
+// load an operator-graph JSON file (DESIGN.md §15). --workload <ref> skips
+// the suite file and runs that single workload local-vs-falcon.
 //
 // With --trace, every experiment runs with the span profiler enabled and a
 // <name>_trace.json Chrome trace (open in chrome://tracing or Perfetto) is
@@ -58,16 +65,36 @@ namespace {
 const char* kDemoSuite = R"({
   "suite": "pcie-overhead-demo",
   "experiments": [
-    {"name": "resnet-local",  "benchmark": "ResNet-50", "config": "localGPUs",
+    {"name": "resnet-local",  "workload": "ResNet-50", "config": "localGPUs",
      "epochs": 1, "iterations_cap": 10},
-    {"name": "resnet-falcon", "benchmark": "ResNet-50", "config": "falconGPUs",
+    {"name": "resnet-falcon", "workload": "ResNet-50", "config": "falconGPUs",
      "epochs": 1, "iterations_cap": 10},
-    {"name": "bertL-local",   "benchmark": "BERT-L", "config": "localGPUs",
+    {"name": "bertL-local",   "workload": "BERT-L", "config": "localGPUs",
      "epochs": 1, "iterations_cap": 10},
-    {"name": "bertL-falcon",  "benchmark": "BERT-L", "config": "falconGPUs",
+    {"name": "bertL-falcon",  "workload": "BERT-L", "config": "falconGPUs",
      "epochs": 1, "iterations_cap": 10}
   ]
 })";
+
+/// The --workload suite: the referenced workload on localGPUs vs
+/// falconGPUs, the paper's core A/B comparison.
+std::vector<core::ExperimentSpec> workloadSuite(const std::string& ref) {
+  std::vector<core::ExperimentSpec> specs;
+  for (const auto config :
+       {core::SystemConfig::LocalGpus, core::SystemConfig::FalconGpus}) {
+    core::ExperimentSpec s;
+    s.name = std::string(config == core::SystemConfig::LocalGpus
+                             ? "workload-local"
+                             : "workload-falcon");
+    s.workload = ref;
+    s.options.workload = ref;
+    s.config = config;
+    s.options.trainer.epochs = 1;
+    s.options.trainer.max_iterations_per_epoch = 10;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
 
 }  // namespace
 
@@ -77,6 +104,7 @@ int main(int argc, char** argv) {
   long warm_prefix = 0;  // 0 = run every experiment continuously
   std::string faults_spec;
   std::string metrics_spec;
+  std::string workload_ref;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace") {
@@ -85,6 +113,8 @@ int main(int argc, char** argv) {
       faults_spec = argv[++i];
     } else if (std::string(argv[i]) == "--metrics" && i + 1 < argc) {
       metrics_spec = argv[++i];
+    } else if (std::string(argv[i]) == "--workload" && i + 1 < argc) {
+      workload_ref = argv[++i];
     } else if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
     } else if (std::string(argv[i]) == "--warm-prefix" && i + 1 < argc) {
@@ -143,24 +173,36 @@ int main(int argc, char** argv) {
     export_metrics = true;
   }
 
-  std::string text = kDemoSuite;
-  if (!pos.empty()) {
-    std::ifstream in(pos[0]);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", pos[0].c_str());
+  std::vector<core::ExperimentSpec> specs;
+  if (!workload_ref.empty()) {
+    // Validate up front so a typo'd name or bad graph file fails with the
+    // registry's error (known names / loader diagnostics) before any run.
+    dl::ModelSpec probe;
+    if (const Status s =
+            dl::WorkloadRegistry::instance().resolve(workload_ref, &probe);
+        !s) {
+      std::fprintf(stderr, "--workload: %s\n", s.toString().c_str());
       return 1;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    text = buf.str();
-  }
-
-  std::vector<core::ExperimentSpec> specs;
-  try {
-    specs = core::parseExperimentSuite(falcon::Json::parse(text));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "suite error: %s\n", e.what());
-    return 1;
+    specs = workloadSuite(workload_ref);
+  } else {
+    std::string text = kDemoSuite;
+    if (!pos.empty()) {
+      std::ifstream in(pos[0]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", pos[0].c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+    try {
+      specs = core::parseExperimentSuite(falcon::Json::parse(text));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "suite error: %s\n", e.what());
+      return 1;
+    }
   }
 
   const std::string outdir = pos.size() > 1 ? pos[1] : ".";
@@ -184,7 +226,7 @@ int main(int argc, char** argv) {
   }
 
   telemetry::RunTracker tracker;
-  telemetry::Table table({"Run", "Benchmark", "Config", "iter time",
+  telemetry::Table table({"Run", "Workload", "Config", "iter time",
                           "samples/s", "GPU util %"});
   bool any_failed = false;
   // Workers only simulate; every emission below — log lines, trace-file
@@ -195,7 +237,7 @@ int main(int argc, char** argv) {
   runner.run(std::move(specs), [&](const core::SweepRun& done) {
     const core::ExperimentSpec& spec = done.spec;
     std::printf("running '%s' (%s on %s)...\n", spec.name.c_str(),
-                spec.benchmark.c_str(), core::toString(spec.config));
+                spec.workload.c_str(), core::toString(spec.config));
     if (!done.status) {
       std::fprintf(stderr, "  run failed: %s\n", done.status.toString().c_str());
       any_failed = true;
@@ -229,7 +271,7 @@ int main(int argc, char** argv) {
       }
     }
     auto& run = tracker.run(spec.name);
-    run.setConfig("benchmark", spec.benchmark);
+    run.setConfig("workload", spec.workload);
     run.setConfig("config", core::toString(spec.config));
     run.setSummary("mean_iteration_s", r.training.mean_iteration_time);
     run.setSummary("samples_per_second", r.training.samples_per_second);
@@ -248,7 +290,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < util.size(); ++i) {
       run.log("gpu_util_pct", util.timeAt(i), util.valueAt(i));
     }
-    table.addRow({spec.name, spec.benchmark, core::toString(spec.config),
+    table.addRow({spec.name, spec.workload, core::toString(spec.config),
                   formatTime(r.training.mean_iteration_time),
                   telemetry::fmt(r.training.samples_per_second, 0),
                   telemetry::fmt(r.gpu_util_pct, 1)});

@@ -22,7 +22,7 @@ int main() {
   std::printf("Measuring MobileNetV2 and BERT-large on the three GPU\n");
   std::printf("placements (capped runs, extrapolated totals)...\n\n");
 
-  const std::vector<dl::ModelSpec> measured = {dl::mobileNetV2(), dl::bertLarge()};
+  const std::vector<dl::ModelSpec> measured = {dl::workload("MobileNetV2"), dl::workload("BERT-L")};
   for (const auto& model : measured) {
     for (const auto config : core::gpuConfigs()) {
       core::ExperimentOptions opt;
@@ -47,7 +47,7 @@ int main() {
   // An unseen workload: GPT-2-medium-scale decoder (355M params), closer
   // to BERT-large than to the vision models — the recommender should warn
   // that composing its GPUs through the Falcon is expensive.
-  dl::ModelSpec unseen = dl::bertLarge();
+  dl::ModelSpec unseen = dl::workload("BERT-L");
   unseen.name = "GPT-2-medium (unseen)";
   if (auto best = rec.recommendFor(unseen)) {
     std::printf("  %-21s -> %-11s  [%s]\n", unseen.name.c_str(),

@@ -231,6 +231,12 @@ ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model
   return stack.finishResult();
 }
 
+ExperimentResult Experiment::run(SystemConfig config,
+                                 ExperimentOptions options) {
+  const dl::ModelSpec model = dl::workload(options.workload);
+  return run(config, model, std::move(options));
+}
+
 double Experiment::trainingTimeChangePct(const ExperimentResult& result,
                                          const ExperimentResult& baseline) {
   const double base = baseline.training.extrapolated_total_time;

@@ -88,6 +88,11 @@ struct ExperimentOptions {
 
   ExperimentOptions() { trainer.max_iterations_per_epoch = kDefaultIterationsCap; }
 
+  /// Workload reference: a dl::WorkloadRegistry name ("ResNet-50") or an
+  /// operator-graph file ("graph:examples/graphs/resnet50.graph.json").
+  /// Resolved by Experiment::run(config, options) / runExperimentSpec;
+  /// ignored by the overloads that take an explicit ModelSpec.
+  std::string workload;
   dl::TrainerOptions trainer;
   SimTime sample_interval = 0.25;  // telemetry cadence (simulated seconds)
   /// Metrics pipeline: scrape cadence override + SLO alert rules.
@@ -136,6 +141,11 @@ class Experiment {
   /// completion.
   static ExperimentResult run(SystemConfig config, const dl::ModelSpec& model,
                               ExperimentOptions options = {});
+
+  /// Run options.workload (registry name or "graph:<path>") on `config`.
+  /// Throws std::invalid_argument when the reference does not resolve —
+  /// use dl::WorkloadRegistry::instance().resolve() first for a Status.
+  static ExperimentResult run(SystemConfig config, ExperimentOptions options);
 
   /// Convenience: percentage change of extrapolated training time versus a
   /// baseline result (positive = slower than baseline).

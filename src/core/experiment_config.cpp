@@ -15,10 +15,7 @@ SystemConfig configFromName(const std::string& name) {
 }
 
 dl::ModelSpec benchmarkFromName(const std::string& name) {
-  for (const auto& m : dl::benchmarkZoo()) {
-    if (m.name == name) return m;
-  }
-  throw std::invalid_argument("unknown benchmark '" + name + "'");
+  return dl::workload(name);
 }
 
 namespace {
@@ -105,8 +102,16 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
   for (const auto& e : doc.at("experiments").asArray()) {
     ExperimentSpec s;
     s.name = e.at("name").asString();
-    s.benchmark = e.at("benchmark").asString();
-    benchmarkFromName(s.benchmark);  // validate early
+    if (const auto* v = e.find("workload")) {
+      s.workload = v->asString();
+    } else if (const auto* v2 = e.find("benchmark")) {
+      s.workload = v2->asString();  // legacy key
+    } else {
+      throw std::invalid_argument("experiment '" + s.name +
+                                  "' has no \"workload\" key");
+    }
+    s.options.workload = s.workload;
+    dl::workload(s.workload);  // validate early (throws with known names)
     s.config = configFromName(e.at("config").asString());
     if (const auto* v = e.find("epochs")) {
       s.options.trainer.epochs = static_cast<int>(v->asInt());
@@ -154,7 +159,7 @@ namespace {
 /// Iterations the trainer will simulate per epoch for this spec — the
 /// same arithmetic as Trainer::iterationsPerEpochFull + the cap.
 std::int64_t simulatedItersPerEpoch(const ExperimentSpec& spec) {
-  const dl::ModelSpec model = benchmarkFromName(spec.benchmark);
+  const dl::ModelSpec model = dl::workload(spec.workload);
   const dl::DatasetSpec dataset = dl::datasetFor(model);
   const int gpu_count = spec.config == SystemConfig::AllGpus16 ? 16 : 8;
   const int batch_per_gpu = spec.options.trainer.batch_per_gpu > 0
@@ -188,7 +193,7 @@ bool warmPrefixApplicable(const ExperimentSpec& spec) {
 std::string warmPrefixKey(const ExperimentSpec& spec) {
   const dl::TrainerOptions& t = spec.options.trainer;
   std::ostringstream key;
-  key << spec.benchmark << '|' << toString(spec.config)              //
+  key << spec.workload << '|' << toString(spec.config)               //
       << "|strategy=" << static_cast<int>(t.strategy)                //
       << "|precision=" << static_cast<int>(t.precision)              //
       << "|sharded=" << t.sharded                                    //
@@ -216,7 +221,7 @@ std::string warmPrefixKey(const ExperimentSpec& spec) {
 }
 
 ExperimentResult runExperimentSpec(const ExperimentSpec& spec) {
-  const dl::ModelSpec model = benchmarkFromName(spec.benchmark);
+  const dl::ModelSpec model = dl::workload(spec.workload);
   if (warmPrefixApplicable(spec)) {
     WarmedExperiment warmed(spec.config, model, spec.options);
     return warmed.finish();

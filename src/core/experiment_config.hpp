@@ -2,19 +2,23 @@
 //
 // The appliance's workflow is configuration files (import/export, §II-B);
 // experiments get the same treatment: a JSON document describes a list of
-// (benchmark, configuration, trainer options) runs, so a measurement
+// (workload, configuration, trainer options) runs, so a measurement
 // campaign is a reviewable artifact instead of a shell history.
 //
 //   {
 //     "suite": "pcie-overhead",
 //     "experiments": [
-//       {"name": "bertL-local",  "benchmark": "BERT-L", "config": "localGPUs"},
-//       {"name": "bertL-falcon", "benchmark": "BERT-L", "config": "falconGPUs",
+//       {"name": "bertL-local",  "workload": "BERT-L", "config": "localGPUs"},
+//       {"name": "bertL-falcon", "workload": "BERT-L", "config": "falconGPUs",
 //        "epochs": 1, "iterations_cap": 20, "precision": "fp16",
 //        "strategy": "ddp", "sharded": false, "batch_per_gpu": 6,
 //        "accumulation": 1}
 //     ]
 //   }
+//
+// "workload" is a dl::WorkloadRegistry reference: a registered name
+// ("BERT-L") or an operator-graph file ("graph:<path>", dl/graph_ir/).
+// The key "benchmark" is accepted as a legacy alias.
 #pragma once
 
 #include <string>
@@ -27,19 +31,22 @@ namespace composim::core {
 
 struct ExperimentSpec {
   std::string name;
-  std::string benchmark;  // Table II model name
+  std::string workload;  // registry name or "graph:<path>"
   SystemConfig config = SystemConfig::LocalGpus;
-  ExperimentOptions options;
+  ExperimentOptions options;  // options.workload mirrors `workload`
 };
 
 /// Parse a suite document; throws falcon::JsonError / std::invalid_argument
-/// on unknown benchmarks, configurations or option values.
+/// on unknown workloads, configurations or option values.
 std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc);
 
 /// Resolve a Table III label ("localGPUs", ... , "allGPUs16").
 SystemConfig configFromName(const std::string& name);
 
-/// Resolve a Table II benchmark name to its model spec.
+/// Resolve a workload reference (registry name or "graph:<path>") to its
+/// model spec; throws std::invalid_argument when it does not resolve.
+/// Deprecated: thin wrapper over dl::workload(), kept for the old
+/// Table II-only call sites.
 dl::ModelSpec benchmarkFromName(const std::string& name);
 
 /// Parse a fault-schedule object (the "faults" key of an experiment, or a

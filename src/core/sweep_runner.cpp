@@ -194,7 +194,7 @@ std::vector<SweepRun> SweepRunner::run(
     prefix_tasks.push_back([group, first] {
       try {
         WarmedExperiment warmed(first->spec.config,
-                                benchmarkFromName(first->spec.benchmark),
+                                dl::workload(first->spec.workload),
                                 first->spec.options);
         group->snapshot = std::make_unique<SimSnapshot>(warmed.snapshot());
       } catch (const std::exception& e) {
@@ -223,7 +223,7 @@ std::vector<SweepRun> SweepRunner::run(
       try {
         if (group != nullptr && group->status.ok) {
           run.result = WarmedExperiment::resumeFromSnapshot(
-              run.spec.config, benchmarkFromName(run.spec.benchmark),
+              run.spec.config, dl::workload(run.spec.workload),
               run.spec.options, *group->snapshot);
         } else {
           run.result = runExperimentSpec(run.spec);

@@ -1,0 +1,443 @@
+#include "dl/graph_ir/builders.hpp"
+
+#include <string>
+
+namespace composim::dl::graph_ir::builders {
+
+namespace {
+
+constexpr Bytes kFp16 = 2;
+
+/// Append-an-op helpers; each returns the op id so callers can wire edges.
+
+std::string inputOp(Graph& g, TensorShape shape) {
+  OpNode op;
+  op.id = "input";
+  op.kind = OpKind::Input;
+  op.shape = std::move(shape);
+  g.ops.push_back(std::move(op));
+  return g.ops.back().id;
+}
+
+std::string conv(Graph& g, const std::string& id, const std::string& in,
+                 std::int64_t cin, std::int64_t cout, std::int64_t k,
+                 std::int64_t out_hw, bool batchnorm = true) {
+  OpNode op;
+  op.id = id;
+  op.kind = OpKind::Conv2d;
+  if (!in.empty()) op.inputs = {in};
+  op.shape.dims = {cout, out_hw, out_hw};
+  op.attrs.in_channels = cin;
+  op.attrs.out_channels = cout;
+  op.attrs.kernel = k;
+  op.attrs.out_hw = out_hw;
+  op.attrs.batchnorm = batchnorm;
+  g.ops.push_back(std::move(op));
+  return id;
+}
+
+std::string dwConv(Graph& g, const std::string& id, const std::string& in,
+                   std::int64_t channels, std::int64_t k, std::int64_t out_hw) {
+  OpNode op;
+  op.id = id;
+  op.kind = OpKind::DepthwiseConv2d;
+  op.inputs = {in};
+  op.shape.dims = {channels, out_hw, out_hw};
+  op.attrs.channels = channels;
+  op.attrs.kernel = k;
+  op.attrs.out_hw = out_hw;
+  g.ops.push_back(std::move(op));
+  return id;
+}
+
+std::string linear(Graph& g, const std::string& id, const std::string& in,
+                   std::int64_t in_features, std::int64_t out_features,
+                   std::int64_t tokens = 1) {
+  OpNode op;
+  op.id = id;
+  op.kind = OpKind::Linear;
+  op.inputs = {in};
+  op.shape.dims = tokens == 1 ? std::vector<std::int64_t>{out_features}
+                              : std::vector<std::int64_t>{tokens, out_features};
+  op.attrs.in_features = in_features;
+  op.attrs.out_features = out_features;
+  op.attrs.tokens = tokens;
+  g.ops.push_back(std::move(op));
+  return id;
+}
+
+std::string add(Graph& g, const std::string& id,
+                std::vector<std::string> inputs, TensorShape shape) {
+  OpNode op;
+  op.id = id;
+  op.kind = OpKind::Add;
+  op.inputs = std::move(inputs);
+  op.shape = std::move(shape);
+  g.ops.push_back(std::move(op));
+  return id;
+}
+
+std::string concat(Graph& g, const std::string& id,
+                   std::vector<std::string> inputs, TensorShape shape) {
+  OpNode op;
+  op.id = id;
+  op.kind = OpKind::Concat;
+  op.inputs = std::move(inputs);
+  op.shape = std::move(shape);
+  g.ops.push_back(std::move(op));
+  return id;
+}
+
+std::string maxpool(Graph& g, const std::string& id, const std::string& in,
+                    std::int64_t channels, std::int64_t k, std::int64_t hw) {
+  OpNode op;
+  op.id = id;
+  op.kind = OpKind::MaxPool2d;
+  op.inputs = {in};
+  op.shape.dims = {channels, hw, hw};
+  op.attrs.kernel = k;
+  g.ops.push_back(std::move(op));
+  return id;
+}
+
+std::string globalPool(Graph& g, const std::string& id, const std::string& in,
+                       std::int64_t channels) {
+  OpNode op;
+  op.id = id;
+  op.kind = OpKind::GlobalAvgPool;
+  op.inputs = {in};
+  op.shape.dims = {channels};
+  g.ops.push_back(std::move(op));
+  return id;
+}
+
+void gradAllReduce(Graph& g, std::vector<std::string> outputs) {
+  OpNode op;
+  op.id = "grad.allreduce";
+  op.kind = OpKind::AllReduce;
+  op.inputs = std::move(outputs);
+  op.attrs.tensor = "gradients";
+  g.ops.push_back(std::move(op));
+}
+
+}  // namespace
+
+Graph resnet50() {
+  Graph g;
+  g.meta.name = "ResNet-50";
+  g.meta.domain = "vision";
+  g.meta.dataset = "ImageNet";
+  g.meta.reported_depth = 50;
+  g.meta.fp16_efficiency = 0.205;
+  g.meta.fp32_efficiency = 0.33;
+  g.meta.input_bytes_per_sample = 3LL * 224 * 224 * kFp16;
+  g.meta.batch_per_gpu = 128;
+  g.meta.epochs = 20;
+
+  std::string prev = inputOp(g, {{3, 224, 224}});
+  prev = conv(g, "stem.conv7x7", prev, 3, 64, 7, 112);
+  prev = maxpool(g, "stem.maxpool", prev, 64, 3, 56);
+
+  // Bottleneck stages: (blocks, mid, out, spatial after the stage stride).
+  struct Stage { int blocks, mid, out, hw; };
+  const Stage stages[] = {{3, 64, 256, 56}, {4, 128, 512, 28},
+                          {6, 256, 1024, 14}, {3, 512, 2048, 7}};
+  std::int64_t cin = 64;
+  for (int s = 0; s < 4; ++s) {
+    const auto& st = stages[s];
+    for (int b = 0; b < st.blocks; ++b) {
+      const std::string base =
+          "layer" + std::to_string(s + 1) + "." + std::to_string(b);
+      const std::string c1 = conv(g, base + ".conv1", prev, cin, st.mid, 1, st.hw);
+      const std::string c2 = conv(g, base + ".conv2", c1, st.mid, st.mid, 3, st.hw);
+      const std::string c3 = conv(g, base + ".conv3", c2, st.mid, st.out, 1, st.hw);
+      std::string residual = prev;
+      if (b == 0) {
+        residual = conv(g, base + ".downsample", prev, cin, st.out, 1, st.hw);
+      }
+      prev = add(g, base + ".add", {c3, residual}, {{st.out, st.hw, st.hw}});
+      cin = st.out;
+    }
+  }
+  prev = globalPool(g, "avgpool", prev, 2048);
+  prev = linear(g, "fc", prev, 2048, 1000);
+  gradAllReduce(g, {prev});
+  return g;
+}
+
+Graph mobilenetV2() {
+  Graph g;
+  g.meta.name = "MobileNetV2";
+  g.meta.domain = "vision";
+  g.meta.dataset = "ImageNet";
+  g.meta.reported_depth = 53;
+  g.meta.fp16_efficiency = 0.019;  // depthwise convs barely touch tensor cores
+  g.meta.fp32_efficiency = 0.055;
+  g.meta.input_bytes_per_sample = 3LL * 224 * 224 * kFp16;
+  g.meta.batch_per_gpu = 64;
+  g.meta.epochs = 10;
+
+  std::string prev = inputOp(g, {{3, 224, 224}});
+  prev = conv(g, "stem", prev, 3, 32, 3, 112);
+
+  // Inverted residual config: (expansion t, output c, repeats n, stride s).
+  struct Block { int t, c, n, s; };
+  const Block cfg[] = {{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2},
+                       {6, 64, 4, 2}, {6, 96, 3, 1}, {6, 160, 3, 2},
+                       {6, 320, 1, 1}};
+  std::int64_t cin = 32;
+  std::int64_t hw = 112;
+  int idx = 0;
+  for (const auto& blk : cfg) {
+    for (int r = 0; r < blk.n; ++r) {
+      const int stride = (r == 0) ? blk.s : 1;
+      const std::int64_t out_hw = (stride == 2) ? hw / 2 : hw;
+      const std::int64_t expanded = cin * blk.t;
+      const std::string base = "ir" + std::to_string(idx++);
+      std::string x = prev;
+      if (blk.t != 1) {
+        x = conv(g, base + ".expand", x, cin, expanded, 1, hw);
+      }
+      x = dwConv(g, base + ".dw", x, expanded, 3, out_hw);
+      x = conv(g, base + ".project", x, expanded, blk.c, 1, out_hw);
+      if (stride == 1 && cin == blk.c) {
+        x = add(g, base + ".add", {x, prev}, {{blk.c, out_hw, out_hw}});
+      }
+      prev = x;
+      cin = blk.c;
+      hw = out_hw;
+    }
+  }
+  prev = conv(g, "head", prev, cin, 1280, 1, hw);
+  prev = globalPool(g, "avgpool", prev, 1280);
+  prev = linear(g, "classifier", prev, 1280, 1000);
+  gradAllReduce(g, {prev});
+  return g;
+}
+
+namespace {
+
+/// YOLOv5 C3 module: split (cv1/cv2), n bottlenecks at half width on the
+/// cv1 branch, concat, merge (cv3). Returns the cv3 id; `tap` (when
+/// non-null) receives the bottleneck-chain tail — the half-width feature
+/// the detect head and downsample path consume.
+std::string appendC3(Graph& g, const std::string& base, const std::string& in,
+                     std::int64_t channels, int n, std::int64_t hw,
+                     std::string* tap = nullptr) {
+  const std::int64_t half = channels / 2;
+  const std::string cv1 = conv(g, base + ".cv1", in, channels, half, 1, hw);
+  const std::string cv2 = conv(g, base + ".cv2", in, channels, half, 1, hw);
+  std::string chain = cv1;
+  for (int i = 0; i < n; ++i) {
+    const std::string b = base + ".m" + std::to_string(i);
+    const std::string m1 = conv(g, b + ".cv1", chain, half, half, 1, hw);
+    chain = conv(g, b + ".cv2", m1, half, half, 3, hw);
+  }
+  if (tap) *tap = chain;
+  const std::string cat =
+      concat(g, base + ".cat", {chain, cv2}, {{channels, hw, hw}});
+  return conv(g, base + ".cv3", cat, channels, channels, 1, hw);
+}
+
+}  // namespace
+
+Graph yolov5L() {
+  Graph g;
+  g.meta.name = "YOLOv5-L";
+  g.meta.domain = "vision";
+  g.meta.dataset = "Coco";
+  g.meta.reported_depth = 392;  // torch module count reported by ultralytics
+  g.meta.fp16_efficiency = 0.131;
+  g.meta.fp32_efficiency = 0.25;
+  g.meta.input_bytes_per_sample = 3LL * 640 * 640 * kFp16;
+  g.meta.batch_per_gpu = 11;  // paper batch 88 across 8 GPUs
+  g.meta.epochs = 20;
+
+  // Backbone (width_multiple=1.0, depth_multiple=1.0; input 640).
+  const std::string in = inputOp(g, {{3, 640, 640}});
+  const std::string stem = conv(g, "stem", in, 3, 64, 6, 320);
+  const std::string d1 = conv(g, "down1", stem, 64, 128, 3, 160);
+  const std::string c3_1 = appendC3(g, "c3_1", d1, 128, 3, 160);
+  const std::string d2 = conv(g, "down2", c3_1, 128, 256, 3, 80);
+  const std::string c3_2 = appendC3(g, "c3_2", d2, 256, 6, 80);
+  const std::string d3 = conv(g, "down3", c3_2, 256, 512, 3, 40);
+  const std::string c3_3 = appendC3(g, "c3_3", d3, 512, 9, 40);
+  const std::string d4 = conv(g, "down4", c3_3, 512, 1024, 3, 20);
+  const std::string c3_4 = appendC3(g, "c3_4", d4, 1024, 3, 20);
+
+  // SPPF: 1x1 reduce, three chained 5x5 max-pools, concat all four, merge.
+  const std::string sp1 = conv(g, "sppf.cv1", c3_4, 1024, 512, 1, 20);
+  const std::string m1 = maxpool(g, "sppf.m1", sp1, 512, 5, 20);
+  const std::string m2 = maxpool(g, "sppf.m2", m1, 512, 5, 20);
+  const std::string m3 = maxpool(g, "sppf.m3", m2, 512, 5, 20);
+  const std::string spc =
+      concat(g, "sppf.cat", {sp1, m1, m2, m3}, {{2048, 20, 20}});
+  const std::string sp2 = conv(g, "sppf.cv2", spc, 2048, 1024, 1, 20);
+
+  // PANet head: top-down then bottom-up with C3 blocks (the top-down C3s
+  // run at the reduced lateral width, as in the ultralytics config; the
+  // upsamples are implicit in the lateral convs).
+  const std::string lat1 = conv(g, "head.lat1", sp2, 1024, 512, 1, 20);
+  const std::string td1 = appendC3(g, "head.c3_td1", lat1, 512, 3, 40);
+  const std::string lat2 = conv(g, "head.lat2", td1, 512, 256, 1, 40);
+  const std::string cat_td2 =
+      concat(g, "head.cat_td2", {lat2, c3_2}, {{512, 80, 80}});
+  std::string p3;  // half-width P3 feature out of the td2 bottleneck chain
+  appendC3(g, "head.c3_td2", cat_td2, 512, 3, 80, &p3);
+  const std::string bd1 = conv(g, "head.down1", p3, 256, 256, 3, 40);
+  const std::string cat_bu1 =
+      concat(g, "head.cat_bu1", {bd1, lat2}, {{512, 40, 40}});
+  const std::string bu1 = appendC3(g, "head.c3_bu1", cat_bu1, 512, 3, 40);
+  const std::string bd2 = conv(g, "head.down2", bu1, 512, 512, 3, 20);
+  const std::string cat_bu2 =
+      concat(g, "head.cat_bu2", {bd2, lat1}, {{1024, 20, 20}});
+  const std::string bu2 = appendC3(g, "head.c3_bu2", cat_bu2, 1024, 3, 20);
+
+  // Detect heads at the three scales: 3 anchors x (5 + 80 classes).
+  const std::string dp3 =
+      conv(g, "detect.p3", p3, 256, 255, 1, 80, /*batchnorm=*/false);
+  const std::string dp4 =
+      conv(g, "detect.p4", bu1, 512, 255, 1, 40, /*batchnorm=*/false);
+  const std::string dp5 =
+      conv(g, "detect.p5", bu2, 1024, 255, 1, 20, /*batchnorm=*/false);
+  gradAllReduce(g, {dp3, dp4, dp5});
+  return g;
+}
+
+namespace {
+
+/// Generic transformer-encoder graph shared by BERT and the extension
+/// models: embeddings + L x (attention, FFN) + pooler/QA head.
+Graph transformer(const std::string& name, std::int64_t hidden, int layers,
+                  std::int64_t ff, std::int64_t seq, std::int64_t vocab,
+                  int reportedDepth, double eff16, double eff32, int batch) {
+  Graph g;
+  g.meta.name = name;
+  g.meta.domain = "nlp";
+  g.meta.dataset = "SQuAD v1.1";
+  g.meta.reported_depth = reportedDepth;
+  g.meta.fp16_efficiency = eff16;
+  g.meta.fp32_efficiency = eff32;
+  // Input: token ids + attention mask + segment ids (int32).
+  g.meta.input_bytes_per_sample = 3LL * seq * 4;
+  g.meta.activation_overhead_factor = 7.76;
+  g.meta.batch_per_gpu = batch;
+  g.meta.epochs = 2;
+
+  std::string prev = inputOp(g, {{seq}});
+  {
+    OpNode emb;
+    emb.id = "embeddings";
+    emb.kind = OpKind::Embedding;
+    emb.inputs = {prev};
+    emb.shape.dims = {seq, hidden};
+    emb.attrs.vocab = vocab;
+    emb.attrs.positions = 512;
+    emb.attrs.types = 2;
+    emb.attrs.hidden = hidden;
+    emb.attrs.seq = seq;
+    g.ops.push_back(std::move(emb));
+    prev = "embeddings";
+  }
+
+  for (int i = 0; i < layers; ++i) {
+    const std::string base = "encoder." + std::to_string(i);
+    OpNode attn;
+    attn.id = base + ".attention";
+    attn.kind = OpKind::Attention;
+    attn.inputs = {prev};
+    attn.shape.dims = {seq, hidden};
+    attn.attrs.hidden = hidden;
+    attn.attrs.seq = seq;
+    g.ops.push_back(std::move(attn));
+
+    OpNode ffn;
+    ffn.id = base + ".ffn";
+    ffn.kind = OpKind::TransformerFfn;
+    ffn.inputs = {base + ".attention"};
+    ffn.shape.dims = {seq, hidden};
+    ffn.attrs.hidden = hidden;
+    ffn.attrs.ff = ff;
+    ffn.attrs.seq = seq;
+    g.ops.push_back(std::move(ffn));
+    prev = base + ".ffn";
+  }
+
+  // Pooler + SQuAD span-prediction head.
+  const std::string pooler = linear(g, "pooler", prev, hidden, hidden);
+  const std::string qa = linear(g, "qa_head", prev, hidden, 2, seq);
+  gradAllReduce(g, {pooler, qa});
+  return g;
+}
+
+Graph bert(const std::string& name, std::int64_t hidden, int layers,
+           std::int64_t ff, int reportedDepth, double eff16, double eff32,
+           int batch) {
+  // Paper settings: max sequence length 384, WordPiece vocab.
+  return transformer(name, hidden, layers, ff, 384, 30522, reportedDepth,
+                     eff16, eff32, batch);
+}
+
+}  // namespace
+
+Graph bertBase() {
+  return bert("BERT", 768, 12, 3072, 12, 0.253, 0.42, /*batch=*/12);
+}
+
+Graph bertLarge() {
+  return bert("BERT-L", 1024, 24, 4096, 24, 0.284, 0.45, /*batch=*/6);
+}
+
+Graph gpt2Medium() {
+  // BPE vocab 50257, context 1024 in the original; trained here at the
+  // SQuAD-style 384-token window so datasets are comparable.
+  return transformer("GPT-2-medium", 1024, 24, 4096, 384, 50257, 24, 0.30,
+                     0.45, /*batch=*/4);
+}
+
+Graph vitBase16() {
+  // 196 patch tokens + [CLS]; the "vocabulary" is the patch-embedding
+  // projection (16*16*3 inputs), carried as a custom op with the explicit
+  // projection arithmetic, ahead of a tiny-vocab embedding table.
+  Graph g = transformer("ViT-B/16", 768, 12, 3072, 197, 2, 12, 0.30, 0.45,
+                        /*batch=*/64);
+  g.meta.domain = "vision";
+  g.meta.dataset = "ImageNet";
+  g.meta.input_bytes_per_sample = 3LL * 224 * 224 * kFp16;
+  g.meta.activation_overhead_factor = 5.0;
+
+  // Splice the patch projection between the image input and the
+  // embeddings: input becomes an image, embeddings consume patch tokens.
+  OpNode patch;
+  patch.id = "patch_embed";
+  patch.kind = OpKind::Custom;
+  patch.inputs = {"input"};
+  patch.shape.dims = {197, 768};
+  patch.attrs.params = 16LL * 16 * 3 * 768 + 768;
+  patch.attrs.flops = 2.0 * 197 * 16 * 16 * 3 * 768;
+  patch.attrs.activation_bytes = 197LL * 768 * 2;
+  patch.attrs.layer_kind = "conv";
+  for (OpNode& op : g.ops) {
+    if (op.id == "input") {
+      op.shape.dims = {3, 224, 224};
+    } else if (op.id == "embeddings") {
+      op.inputs = {"patch_embed"};
+    }
+  }
+  g.ops.insert(g.ops.begin() + 1, std::move(patch));
+  return g;
+}
+
+std::vector<Graph> allBuiltinGraphs() {
+  std::vector<Graph> all;
+  all.push_back(mobilenetV2());
+  all.push_back(resnet50());
+  all.push_back(yolov5L());
+  all.push_back(bertBase());
+  all.push_back(bertLarge());
+  all.push_back(gpt2Medium());
+  all.push_back(vitBase16());
+  return all;
+}
+
+}  // namespace composim::dl::graph_ir::builders

@@ -1,0 +1,38 @@
+// composim graph-IR: built-in operator graphs.
+//
+// The paper's five Table II benchmarks plus the two extension workloads
+// (GPT-2-medium, ViT-B/16), expressed as operator graphs instead of
+// hand-written layer tables. These builders are the single source of
+// truth for the built-in zoo: the WorkloadRegistry lowers them to
+// ModelSpecs, and examples/graph_export.cpp serializes them to the
+// checked-in examples/graphs/*.graph.json files, so JSON-loaded and
+// registry-built models are byte-identical by construction (and a golden
+// test keeps it that way).
+//
+// The graphs carry real dataflow: residual adds (ResNet bottlenecks,
+// MobileNet inverted residuals), C3 split/concat and SPPF pooling chains
+// (YOLOv5), and a gradient all-reduce annotation on each model's outputs.
+// Known simplification, matching the zoo's layer accounting: YOLOv5's
+// upsample ops are implicit in the lateral convs, and the P3 detect path
+// taps the C3 bottleneck chain rather than a channel-reducing cv3.
+#pragma once
+
+#include <vector>
+
+#include "dl/graph_ir/graph.hpp"
+
+namespace composim::dl::graph_ir::builders {
+
+Graph resnet50();
+Graph mobilenetV2();
+Graph yolov5L();
+Graph bertBase();
+Graph bertLarge();
+Graph gpt2Medium();
+Graph vitBase16();
+
+/// All seven, registry-registration order (Table II order, then the
+/// extension workloads).
+std::vector<Graph> allBuiltinGraphs();
+
+}  // namespace composim::dl::graph_ir::builders

@@ -1,0 +1,335 @@
+#include "dl/graph_ir/loader.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "sim/units.hpp"
+
+namespace composim::dl::graph_ir {
+
+namespace {
+
+Status parseShape(const falcon::Json& j, TensorShape* out) {
+  out->dims.clear();
+  for (const auto& d : j.asArray()) {
+    out->dims.push_back(d.asInt());
+  }
+  return Status::success();
+}
+
+/// Per-op "attrs" object; every key must be known (typos in hand-written
+/// graphs should fail loudly, not silently default).
+Status parseAttrs(const std::string& op_id, const falcon::Json& j,
+                  OpAttrs* a) {
+  for (const auto& [key, value] : j.asObject()) {
+    if (key == "in_channels") a->in_channels = value.asInt();
+    else if (key == "out_channels") a->out_channels = value.asInt();
+    else if (key == "channels") a->channels = value.asInt();
+    else if (key == "kernel") a->kernel = value.asInt();
+    else if (key == "out_hw") a->out_hw = value.asInt();
+    else if (key == "batchnorm") a->batchnorm = value.asBool();
+    else if (key == "in") a->in_features = value.asInt();
+    else if (key == "out") a->out_features = value.asInt();
+    else if (key == "tokens") a->tokens = value.asInt();
+    else if (key == "vocab") a->vocab = value.asInt();
+    else if (key == "positions") a->positions = value.asInt();
+    else if (key == "types") a->types = value.asInt();
+    else if (key == "hidden") a->hidden = value.asInt();
+    else if (key == "seq") a->seq = value.asInt();
+    else if (key == "ff") a->ff = value.asInt();
+    else if (key == "params") a->params = value.asInt();
+    else if (key == "flops") a->flops = value.asDouble();
+    else if (key == "activation_bytes") a->activation_bytes = value.asInt();
+    else if (key == "layer_kind") a->layer_kind = value.asString();
+    else if (key == "tensor") a->tensor = value.asString();
+    else {
+      return Status::invalidArgument("op '" + op_id +
+                                     "': unknown attr '" + key + "'");
+    }
+  }
+  return Status::success();
+}
+
+Status parseInlineDataset(const falcon::Json& j, DatasetSpec* d) {
+  *d = DatasetSpec{};
+  d->name = j.at("name").asString();
+  d->train_samples = j.at("train_samples").asInt();
+  if (const auto* v = j.find("disk_bytes_per_sample")) {
+    d->disk_bytes_per_sample = v->asInt();
+  }
+  if (const auto* v = j.find("read_amplification")) {
+    d->read_amplification = v->asDouble();
+  }
+  if (const auto* v = j.find("uncached_read_fraction")) {
+    d->uncached_read_fraction = v->asDouble();
+  }
+  if (const auto* v = j.find("cpu_preprocess_per_sample_s")) {
+    d->cpu_preprocess_per_sample = v->asDouble();
+  }
+  if (const auto* v = j.find("device_bytes_per_sample")) {
+    d->device_bytes_per_sample = v->asInt();
+  }
+  if (d->name.empty() || d->train_samples <= 0) {
+    return Status::invalidArgument(
+        "inline dataset needs a name and train_samples > 0");
+  }
+  return Status::success();
+}
+
+Status parseChecked(const falcon::Json& doc, Graph* out) {
+  const auto* format = doc.find("format");
+  if (!format || !format->isString() || format->asString() != kFormatName) {
+    return Status::invalidArgument(
+        std::string("not a graph-IR document (want format=\"") + kFormatName +
+        "\")");
+  }
+  const std::int64_t version = doc.at("version").asInt();
+  if (version != kFormatVersion) {
+    return Status::invalidArgument(
+        "unsupported graph-IR version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+
+  Graph g;
+  const falcon::Json& model = doc.at("model");
+  g.meta.name = model.at("name").asString();
+  if (const auto* v = model.find("domain")) g.meta.domain = v->asString();
+  if (const auto* v = model.find("dataset")) {
+    if (v->isObject()) {
+      DatasetSpec d;
+      if (Status s = parseInlineDataset(*v, &d); !s) return s;
+      g.meta.dataset = d.name;
+      g.inline_dataset = std::move(d);
+    } else {
+      g.meta.dataset = v->asString();
+    }
+  }
+  if (const auto* v = model.find("reported_depth")) {
+    g.meta.reported_depth = static_cast<int>(v->asInt());
+  }
+  if (const auto* v = model.find("fp16_efficiency")) {
+    g.meta.fp16_efficiency = v->asDouble();
+  }
+  if (const auto* v = model.find("fp32_efficiency")) {
+    g.meta.fp32_efficiency = v->asDouble();
+  }
+  if (const auto* v = model.find("input_bytes_per_sample")) {
+    g.meta.input_bytes_per_sample = v->asInt();
+  }
+  if (const auto* v = model.find("activation_overhead_factor")) {
+    g.meta.activation_overhead_factor = v->asDouble();
+  }
+  if (const auto* v = model.find("batch_per_gpu")) {
+    g.meta.batch_per_gpu = static_cast<int>(v->asInt());
+  }
+  if (const auto* v = model.find("epochs")) {
+    g.meta.epochs = static_cast<int>(v->asInt());
+  }
+
+  for (const auto& oj : doc.at("ops").asArray()) {
+    OpNode op;
+    op.id = oj.at("id").asString();
+    const std::string& kind = oj.at("kind").asString();
+    if (!opKindFromString(kind, &op.kind)) {
+      return Status::invalidArgument("op '" + op.id + "': unknown op kind '" +
+                                     kind + "'");
+    }
+    if (const auto* v = oj.find("inputs")) {
+      for (const auto& in : v->asArray()) op.inputs.push_back(in.asString());
+    }
+    if (const auto* v = oj.find("shape")) {
+      if (Status s = parseShape(*v, &op.shape); !s) return s;
+    }
+    if (const auto* v = oj.find("attrs")) {
+      if (Status s = parseAttrs(op.id, *v, &op.attrs); !s) return s;
+    }
+    g.ops.push_back(std::move(op));
+  }
+
+  if (Status s = g.validate(); !s) return s;
+  *out = std::move(g);
+  return Status::success();
+}
+
+}  // namespace
+
+Status parseGraph(const falcon::Json& doc, Graph* out) {
+  try {
+    return parseChecked(doc, out);
+  } catch (const falcon::JsonError& e) {
+    return Status::invalidArgument(std::string("graph-IR schema: ") +
+                                   e.what());
+  }
+}
+
+Status loadGraphFile(const std::string& path, Graph* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::notFound("cannot open graph file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  falcon::Json doc;
+  try {
+    doc = falcon::Json::parse(buf.str());
+  } catch (const falcon::JsonError& e) {
+    return Status::invalidArgument("graph file '" + path + "': " + e.what());
+  }
+  if (Status s = parseGraph(doc, out); !s) {
+    s.detail = "graph file '" + path + "': " + s.detail;
+    return s;
+  }
+  return Status::success();
+}
+
+namespace {
+
+void setIf(falcon::Json* attrs, const char* key, std::int64_t v) {
+  if (v != 0) attrs->set(key, v);
+}
+
+falcon::Json attrsToJson(const OpNode& op) {
+  const OpAttrs& a = op.attrs;
+  auto j = falcon::Json::object();
+  switch (op.kind) {
+    case OpKind::Conv2d:
+      j.set("in_channels", a.in_channels);
+      j.set("out_channels", a.out_channels);
+      j.set("kernel", a.kernel);
+      j.set("out_hw", a.out_hw);
+      if (!a.batchnorm) j.set("batchnorm", false);
+      break;
+    case OpKind::DepthwiseConv2d:
+      j.set("channels", a.channels);
+      j.set("kernel", a.kernel);
+      j.set("out_hw", a.out_hw);
+      break;
+    case OpKind::Linear:
+      j.set("in", a.in_features);
+      j.set("out", a.out_features);
+      if (a.tokens != 1) j.set("tokens", a.tokens);
+      break;
+    case OpKind::Embedding:
+      j.set("vocab", a.vocab);
+      j.set("positions", a.positions);
+      j.set("types", a.types);
+      j.set("hidden", a.hidden);
+      j.set("seq", a.seq);
+      break;
+    case OpKind::Attention:
+      j.set("hidden", a.hidden);
+      j.set("seq", a.seq);
+      break;
+    case OpKind::TransformerFfn:
+      j.set("hidden", a.hidden);
+      j.set("ff", a.ff);
+      j.set("seq", a.seq);
+      break;
+    case OpKind::Custom:
+      j.set("params", a.params);
+      j.set("flops", a.flops);
+      j.set("activation_bytes", a.activation_bytes);
+      j.set("layer_kind", a.layer_kind);
+      break;
+    case OpKind::MaxPool2d:
+      setIf(&j, "kernel", a.kernel);
+      break;
+    case OpKind::AllReduce:
+    case OpKind::AllGather:
+    case OpKind::ReduceScatter:
+    case OpKind::Broadcast:
+      if (!a.tensor.empty()) j.set("tensor", a.tensor);
+      break;
+    default:
+      break;
+  }
+  return j;
+}
+
+}  // namespace
+
+// GCC 12 flags the inlined variant move inside Json::push as
+// maybe-uninitialized (false positive, GCC PR 105562); the values pushed
+// here are all freshly constructed.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+falcon::Json toJson(const Graph& graph) {
+  auto doc = falcon::Json::object();
+  doc.set("format", kFormatName);
+  doc.set("version", static_cast<std::int64_t>(kFormatVersion));
+
+  auto model = falcon::Json::object();
+  const GraphMeta& m = graph.meta;
+  model.set("name", m.name);
+  model.set("domain", m.domain);
+  if (graph.inline_dataset) {
+    const DatasetSpec& d = *graph.inline_dataset;
+    auto dj = falcon::Json::object();
+    dj.set("name", d.name);
+    dj.set("train_samples", d.train_samples);
+    dj.set("disk_bytes_per_sample", d.disk_bytes_per_sample);
+    dj.set("read_amplification", d.read_amplification);
+    dj.set("uncached_read_fraction", d.uncached_read_fraction);
+    dj.set("cpu_preprocess_per_sample_s", d.cpu_preprocess_per_sample);
+    dj.set("device_bytes_per_sample", d.device_bytes_per_sample);
+    model.set("dataset", std::move(dj));
+  } else {
+    model.set("dataset", m.dataset);
+  }
+  model.set("reported_depth", static_cast<std::int64_t>(m.reported_depth));
+  model.set("fp16_efficiency", m.fp16_efficiency);
+  model.set("fp32_efficiency", m.fp32_efficiency);
+  model.set("input_bytes_per_sample", m.input_bytes_per_sample);
+  model.set("activation_overhead_factor", m.activation_overhead_factor);
+  model.set("batch_per_gpu", static_cast<std::int64_t>(m.batch_per_gpu));
+  model.set("epochs", static_cast<std::int64_t>(m.epochs));
+  doc.set("model", std::move(model));
+
+  auto ops = falcon::Json::array();
+  for (const OpNode& op : graph.ops) {
+    auto oj = falcon::Json::object();
+    oj.set("id", op.id);
+    oj.set("kind", toString(op.kind));
+    if (!op.inputs.empty()) {
+      auto inputs = falcon::Json::array();
+      for (const std::string& in : op.inputs) inputs.push(in);
+      oj.set("inputs", std::move(inputs));
+    }
+    if (op.shape.rank() > 0) {
+      auto shape = falcon::Json::array();
+      for (const std::int64_t d : op.shape.dims) shape.push(d);
+      oj.set("shape", std::move(shape));
+    }
+    falcon::Json attrs = attrsToJson(op);
+    if (!attrs.asObject().empty()) oj.set("attrs", std::move(attrs));
+    ops.push(std::move(oj));
+  }
+  doc.set("ops", std::move(ops));
+  return doc;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+std::string graphFileSlug(const std::string& model_name) {
+  std::string slug;
+  slug.reserve(model_name.size());
+  bool pending_sep = false;
+  for (const char c : model_name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !slug.empty()) slug += '_';
+      pending_sep = false;
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return slug;
+}
+
+}  // namespace composim::dl::graph_ir

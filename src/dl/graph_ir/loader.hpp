@@ -1,0 +1,64 @@
+// composim graph-IR: JSON loader + writer.
+//
+// The on-disk format (".graph.json", DESIGN.md §15):
+//
+//   {
+//     "format": "composim-graph-ir",
+//     "version": 1,
+//     "model": {
+//       "name": "ResNet-50", "domain": "vision", "dataset": "ImageNet",
+//       "reported_depth": 50,
+//       "fp16_efficiency": 0.205, "fp32_efficiency": 0.33,
+//       "input_bytes_per_sample": 301056,
+//       "activation_overhead_factor": 2.0,
+//       "batch_per_gpu": 128, "epochs": 20
+//     },
+//     "ops": [
+//       {"id": "input", "kind": "input", "shape": [3, 224, 224]},
+//       {"id": "stem.conv7x7", "kind": "conv2d", "inputs": ["input"],
+//        "shape": [64, 112, 112],
+//        "attrs": {"in_channels": 3, "out_channels": 64, "kernel": 7,
+//                  "out_hw": 112}},
+//       ...
+//       {"id": "grad.allreduce", "kind": "allreduce", "inputs": ["fc"],
+//        "attrs": {"tensor": "gradients"}}
+//     ]
+//   }
+//
+// "dataset" is either the name of a registered dataset or an inline
+// object ({"name", "train_samples", "disk_bytes_per_sample", ...}) so a
+// JSON-only workload ships its input-pipeline model too. Every error is a
+// typed composim::Status: unreadable file -> NotFound, malformed JSON or
+// schema violation or unknown op kind -> InvalidArgument, plus the graph
+// validation taxonomy (see graph.hpp).
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "dl/graph_ir/graph.hpp"
+#include "falcon/json.hpp"
+
+namespace composim::dl::graph_ir {
+
+/// Current schema version.
+inline constexpr int kFormatVersion = 1;
+inline constexpr const char* kFormatName = "composim-graph-ir";
+
+/// Parse a graph document and fully validate it.
+Status parseGraph(const falcon::Json& doc, Graph* out);
+
+/// Read, parse and validate a ".graph.json" file.
+Status loadGraphFile(const std::string& path, Graph* out);
+
+/// Serialize a graph back to its JSON document (round-trips through
+/// parseGraph bit-exactly; examples/graph_export.cpp uses this to emit
+/// the checked-in examples/graphs/*.graph.json).
+falcon::Json toJson(const Graph& graph);
+
+/// Canonical file stem for a model name: lowercased, runs of non-alnum
+/// collapsed to '_' ("ViT-B/16" -> "vit_b_16"). The exporter, the golden
+/// tests, and the ingest bench all agree on <slug>.graph.json this way.
+std::string graphFileSlug(const std::string& model_name);
+
+}  // namespace composim::dl::graph_ir

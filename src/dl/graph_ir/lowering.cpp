@@ -1,0 +1,177 @@
+#include "dl/graph_ir/lowering.hpp"
+
+namespace composim::dl::graph_ir {
+
+namespace {
+
+constexpr Bytes kFp16 = 2;
+
+/// LayerKind for a custom op's "layer_kind" attr (zoo vocabulary).
+bool layerKindFromString(const std::string& name, LayerKind* out) {
+  if (name == "conv") *out = LayerKind::Conv;
+  else if (name == "depthwise_conv") *out = LayerKind::DepthwiseConv;
+  else if (name == "linear") *out = LayerKind::Linear;
+  else if (name == "attention") *out = LayerKind::Attention;
+  else if (name == "norm") *out = LayerKind::Norm;
+  else if (name == "pool") *out = LayerKind::Pool;
+  else if (name == "embedding") *out = LayerKind::Embedding;
+  else if (name == "head") *out = LayerKind::Head;
+  else return false;
+  return true;
+}
+
+// The cost rules below are the zoo's layer helpers verbatim (same
+// arithmetic, same evaluation order); keeping them in lockstep is what
+// the golden equivalence tests in tests/graph_ir_test.cpp enforce.
+
+LayerSpec lowerConv(const OpNode& op) {
+  const auto& a = op.attrs;
+  LayerSpec l;
+  l.name = op.id;
+  l.kind = LayerKind::Conv;
+  l.params = a.kernel * a.kernel * a.in_channels * a.out_channels +
+             (a.batchnorm ? 2 * a.out_channels : a.out_channels);
+  l.forward_flops = 2.0 * static_cast<double>(a.kernel) * a.kernel *
+                    a.in_channels * a.out_channels *
+                    static_cast<double>(a.out_hw) * a.out_hw;
+  l.activation_bytes =
+      static_cast<Bytes>(a.out_channels) * a.out_hw * a.out_hw * kFp16;
+  return l;
+}
+
+LayerSpec lowerDepthwiseConv(const OpNode& op) {
+  const auto& a = op.attrs;
+  LayerSpec l;
+  l.name = op.id;
+  l.kind = LayerKind::DepthwiseConv;
+  l.params = a.kernel * a.kernel * a.channels + 2 * a.channels;
+  l.forward_flops = 2.0 * static_cast<double>(a.kernel) * a.kernel *
+                    a.channels * static_cast<double>(a.out_hw) * a.out_hw;
+  l.activation_bytes =
+      static_cast<Bytes>(a.channels) * a.out_hw * a.out_hw * kFp16;
+  return l;
+}
+
+LayerSpec lowerLinear(const OpNode& op) {
+  const auto& a = op.attrs;
+  LayerSpec l;
+  l.name = op.id;
+  l.kind = LayerKind::Linear;
+  l.params = a.in_features * a.out_features + a.out_features;
+  l.forward_flops = 2.0 * static_cast<double>(a.in_features) *
+                    static_cast<double>(a.out_features) *
+                    static_cast<double>(a.tokens);
+  l.activation_bytes = a.out_features * a.tokens * kFp16;
+  return l;
+}
+
+LayerSpec lowerEmbedding(const OpNode& op) {
+  const auto& a = op.attrs;
+  LayerSpec l;
+  l.name = op.id;
+  l.kind = LayerKind::Embedding;
+  l.params = (a.vocab + a.positions + a.types) * a.hidden + 2 * a.hidden;
+  l.forward_flops = 2.0 * a.seq * a.hidden;  // lookup + add, negligible
+  l.activation_bytes = static_cast<Bytes>(a.seq) * a.hidden * kFp16;
+  return l;
+}
+
+LayerSpec lowerAttention(const OpNode& op) {
+  const auto& a = op.attrs;
+  LayerSpec l;
+  l.name = op.id;
+  l.kind = LayerKind::Attention;
+  // QKV + output projections (with biases and LayerNorm), plus the
+  // score/context batched GEMMs which carry FLOPs but no parameters.
+  l.params = 4 * (a.hidden * a.hidden + a.hidden) + 2 * a.hidden;
+  l.forward_flops =
+      4.0 * 2.0 * a.seq * static_cast<double>(a.hidden) * a.hidden +
+      2.0 * 2.0 * static_cast<double>(a.seq) * a.seq * a.hidden;
+  l.activation_bytes = static_cast<Bytes>(a.seq) * a.hidden * kFp16 * 5;
+  return l;
+}
+
+LayerSpec lowerTransformerFfn(const OpNode& op) {
+  const auto& a = op.attrs;
+  LayerSpec l;
+  l.name = op.id;
+  l.kind = LayerKind::Linear;
+  l.params = a.hidden * a.ff + a.ff + a.ff * a.hidden + a.hidden + 2 * a.hidden;
+  l.forward_flops = 2.0 * 2.0 * a.seq * static_cast<double>(a.hidden) * a.ff;
+  l.activation_bytes = static_cast<Bytes>(a.seq) * (a.ff + a.hidden) * kFp16;
+  return l;
+}
+
+}  // namespace
+
+Status lower(const Graph& graph, ModelSpec* out) {
+  if (Status s = graph.validate(); !s) return s;
+
+  ModelSpec m;
+  m.name = graph.meta.name;
+  if (graph.meta.domain == "vision") {
+    m.domain = Domain::ComputerVision;
+  } else if (graph.meta.domain == "nlp") {
+    m.domain = Domain::NLP;
+  } else {
+    return Status::invalidArgument("graph '" + graph.meta.name +
+                                   "': unknown domain '" + graph.meta.domain +
+                                   "' (want \"vision\" or \"nlp\")");
+  }
+  m.dataset = graph.meta.dataset;
+  m.reported_depth = graph.meta.reported_depth;
+  m.fp16_efficiency = graph.meta.fp16_efficiency;
+  m.fp32_efficiency = graph.meta.fp32_efficiency;
+  m.input_bytes_per_sample = graph.meta.input_bytes_per_sample;
+  m.activation_overhead_factor = graph.meta.activation_overhead_factor;
+  m.paper_batch_per_gpu = graph.meta.batch_per_gpu;
+  m.paper_epochs = graph.meta.epochs;
+
+  std::vector<std::size_t> order;
+  if (Status s = graph.topologicalOrder(&order); !s) return s;
+
+  for (const std::size_t i : order) {
+    const OpNode& op = graph.ops[i];
+    switch (op.kind) {
+      case OpKind::Conv2d:
+        m.layers.push_back(lowerConv(op));
+        break;
+      case OpKind::DepthwiseConv2d:
+        m.layers.push_back(lowerDepthwiseConv(op));
+        break;
+      case OpKind::Linear:
+        m.layers.push_back(lowerLinear(op));
+        break;
+      case OpKind::Embedding:
+        m.layers.push_back(lowerEmbedding(op));
+        break;
+      case OpKind::Attention:
+        m.layers.push_back(lowerAttention(op));
+        break;
+      case OpKind::TransformerFfn:
+        m.layers.push_back(lowerTransformerFfn(op));
+        break;
+      case OpKind::Custom: {
+        LayerSpec l;
+        l.name = op.id;
+        if (!layerKindFromString(op.attrs.layer_kind, &l.kind)) {
+          return Status::invalidArgument(
+              "op '" + op.id + "': unknown custom layer_kind '" +
+              op.attrs.layer_kind + "'");
+        }
+        l.params = op.attrs.params;
+        l.forward_flops = op.attrs.flops;
+        l.activation_bytes = op.attrs.activation_bytes;
+        m.layers.push_back(l);
+        break;
+      }
+      default:
+        break;  // structural / collective ops carry no cost
+    }
+  }
+
+  *out = std::move(m);
+  return Status::success();
+}
+
+}  // namespace composim::dl::graph_ir

@@ -1,0 +1,25 @@
+// composim graph-IR: lowering pass (Graph -> ModelSpec).
+//
+// Walks the validated operator graph in deterministic topological order
+// and derives the per-layer performance table the trainer executes:
+// parameters, forward FLOPs and activation bytes per compute op, plus the
+// model-level metadata (efficiencies, dataset, paper batch). Structural
+// and collective ops lower to nothing — gradient-sync volume is derived
+// from the summed parameter bytes (ModelSpec::gradientBytes), exactly as
+// for the hand-coded zoo, so a graph-loaded model is byte-identical to
+// its hand-coded twin. The op -> cost rules are documented in DESIGN.md
+// §15 and deliberately mirror the zoo's layer helpers.
+#pragma once
+
+#include "common/status.hpp"
+#include "dl/graph_ir/graph.hpp"
+#include "dl/model.hpp"
+
+namespace composim::dl::graph_ir {
+
+/// Validate `graph` and lower it to a ModelSpec. InvalidArgument /
+/// NotFound / AlreadyExists / FailedPrecondition from validation pass
+/// through; an unmapped custom layer_kind is InvalidArgument.
+Status lower(const Graph& graph, ModelSpec* out);
+
+}  // namespace composim::dl::graph_ir

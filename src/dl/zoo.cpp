@@ -1,301 +1,22 @@
 #include "dl/zoo.hpp"
 
-#include <cmath>
 #include <stdexcept>
-#include <string>
 
 namespace composim::dl {
 
-namespace {
+// Deprecated wrappers: the architectures live in
+// dl/graph_ir/builders.cpp and are registered by the WorkloadRegistry.
 
-constexpr Bytes kFp16 = 2;
-
-/// Standard convolution layer: params = k*k*cin*cout (+bias via batchnorm),
-/// flops = 2 * MACs, activation = output tensor in FP16.
-LayerSpec conv(const std::string& name, int cin, int cout, int k, int out_hw,
-               bool batchnorm = true) {
-  LayerSpec l;
-  l.name = name;
-  l.kind = LayerKind::Conv;
-  l.params = static_cast<std::int64_t>(k) * k * cin * cout +
-             (batchnorm ? 2LL * cout : static_cast<std::int64_t>(cout));
-  l.forward_flops = 2.0 * static_cast<double>(k) * k * cin * cout *
-                    static_cast<double>(out_hw) * out_hw;
-  l.activation_bytes = static_cast<Bytes>(cout) * out_hw * out_hw * kFp16;
-  return l;
-}
-
-/// Depthwise convolution: one filter per channel.
-LayerSpec dwConv(const std::string& name, int channels, int k, int out_hw) {
-  LayerSpec l;
-  l.name = name;
-  l.kind = LayerKind::DepthwiseConv;
-  l.params = static_cast<std::int64_t>(k) * k * channels + 2LL * channels;
-  l.forward_flops = 2.0 * static_cast<double>(k) * k * channels *
-                    static_cast<double>(out_hw) * out_hw;
-  l.activation_bytes = static_cast<Bytes>(channels) * out_hw * out_hw * kFp16;
-  return l;
-}
-
-LayerSpec linear(const std::string& name, std::int64_t in, std::int64_t out,
-                 std::int64_t tokens = 1) {
-  LayerSpec l;
-  l.name = name;
-  l.kind = LayerKind::Linear;
-  l.params = in * out + out;
-  l.forward_flops = 2.0 * static_cast<double>(in) * static_cast<double>(out) *
-                    static_cast<double>(tokens);
-  l.activation_bytes = out * tokens * kFp16;
-  return l;
-}
-
-}  // namespace
-
-ModelSpec resNet50() {
-  ModelSpec m;
-  m.name = "ResNet-50";
-  m.domain = Domain::ComputerVision;
-  m.dataset = "ImageNet";
-  m.reported_depth = 50;
-  m.fp16_efficiency = 0.205;
-  m.fp32_efficiency = 0.33;
-  m.input_bytes_per_sample = 3LL * 224 * 224 * kFp16;
-  m.paper_batch_per_gpu = 128;
-  m.paper_epochs = 20;
-
-  m.layers.push_back(conv("stem.conv7x7", 3, 64, 7, 112));
-  // Bottleneck stages: (blocks, mid, out, spatial after the stage stride).
-  struct Stage { int blocks, mid, out, hw; };
-  const Stage stages[] = {{3, 64, 256, 56}, {4, 128, 512, 28},
-                          {6, 256, 1024, 14}, {3, 512, 2048, 7}};
-  int cin = 64;
-  for (int s = 0; s < 4; ++s) {
-    const auto& st = stages[s];
-    for (int b = 0; b < st.blocks; ++b) {
-      const std::string base =
-          "layer" + std::to_string(s + 1) + "." + std::to_string(b);
-      m.layers.push_back(conv(base + ".conv1", cin, st.mid, 1, st.hw));
-      m.layers.push_back(conv(base + ".conv2", st.mid, st.mid, 3, st.hw));
-      m.layers.push_back(conv(base + ".conv3", st.mid, st.out, 1, st.hw));
-      if (b == 0) {
-        m.layers.push_back(conv(base + ".downsample", cin, st.out, 1, st.hw));
-      }
-      cin = st.out;
-    }
-  }
-  m.layers.push_back(linear("fc", 2048, 1000));
-  return m;
-}
-
-ModelSpec mobileNetV2() {
-  ModelSpec m;
-  m.name = "MobileNetV2";
-  m.domain = Domain::ComputerVision;
-  m.dataset = "ImageNet";
-  m.reported_depth = 53;
-  m.fp16_efficiency = 0.019;  // depthwise convs barely touch tensor cores
-  m.fp32_efficiency = 0.055;
-  m.input_bytes_per_sample = 3LL * 224 * 224 * kFp16;
-  m.paper_batch_per_gpu = 64;
-  m.paper_epochs = 10;
-
-  m.layers.push_back(conv("stem", 3, 32, 3, 112));
-  // Inverted residual config: (expansion t, output c, repeats n, stride s).
-  struct Block { int t, c, n, s; };
-  const Block cfg[] = {{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2},
-                       {6, 64, 4, 2}, {6, 96, 3, 1}, {6, 160, 3, 2},
-                       {6, 320, 1, 1}};
-  int cin = 32;
-  int hw = 112;
-  int idx = 0;
-  for (const auto& blk : cfg) {
-    for (int r = 0; r < blk.n; ++r) {
-      const int stride = (r == 0) ? blk.s : 1;
-      const int out_hw = (stride == 2) ? hw / 2 : hw;
-      const int expanded = cin * blk.t;
-      const std::string base = "ir" + std::to_string(idx++);
-      if (blk.t != 1) {
-        m.layers.push_back(conv(base + ".expand", cin, expanded, 1, hw));
-      }
-      m.layers.push_back(dwConv(base + ".dw", expanded, 3, out_hw));
-      m.layers.push_back(conv(base + ".project", expanded, blk.c, 1, out_hw));
-      cin = blk.c;
-      hw = out_hw;
-    }
-  }
-  m.layers.push_back(conv("head", cin, 1280, 1, hw));
-  m.layers.push_back(linear("classifier", 1280, 1000));
-  return m;
-}
-
-namespace {
-
-/// YOLOv5 C3 module: split, n bottlenecks (1x1 then 3x3 at half width),
-/// merge. Appends its layers to the model.
-void appendC3(ModelSpec& m, const std::string& base, int channels, int n,
-              int hw) {
-  const int half = channels / 2;
-  m.layers.push_back(conv(base + ".cv1", channels, half, 1, hw));
-  m.layers.push_back(conv(base + ".cv2", channels, half, 1, hw));
-  for (int i = 0; i < n; ++i) {
-    const std::string b = base + ".m" + std::to_string(i);
-    m.layers.push_back(conv(b + ".cv1", half, half, 1, hw));
-    m.layers.push_back(conv(b + ".cv2", half, half, 3, hw));
-  }
-  m.layers.push_back(conv(base + ".cv3", channels, channels, 1, hw));
-}
-
-}  // namespace
-
-ModelSpec yoloV5L() {
-  ModelSpec m;
-  m.name = "YOLOv5-L";
-  m.domain = Domain::ComputerVision;
-  m.dataset = "Coco";
-  m.reported_depth = 392;  // torch module count reported by ultralytics
-  m.fp16_efficiency = 0.131;
-  m.fp32_efficiency = 0.25;
-  m.input_bytes_per_sample = 3LL * 640 * 640 * kFp16;
-  m.paper_batch_per_gpu = 11;  // paper batch 88 across 8 GPUs
-  m.paper_epochs = 20;
-
-  // Backbone (width_multiple=1.0, depth_multiple=1.0; input 640).
-  m.layers.push_back(conv("stem", 3, 64, 6, 320));
-  m.layers.push_back(conv("down1", 64, 128, 3, 160));
-  appendC3(m, "c3_1", 128, 3, 160);
-  m.layers.push_back(conv("down2", 128, 256, 3, 80));
-  appendC3(m, "c3_2", 256, 6, 80);
-  m.layers.push_back(conv("down3", 256, 512, 3, 40));
-  appendC3(m, "c3_3", 512, 9, 40);
-  m.layers.push_back(conv("down4", 512, 1024, 3, 20));
-  appendC3(m, "c3_4", 1024, 3, 20);
-  m.layers.push_back(conv("sppf.cv1", 1024, 512, 1, 20));
-  m.layers.push_back(conv("sppf.cv2", 2048, 1024, 1, 20));
-
-  // PANet head: top-down then bottom-up with C3 blocks (the top-down C3s
-  // run at the reduced lateral width, as in the ultralytics config).
-  m.layers.push_back(conv("head.lat1", 1024, 512, 1, 20));
-  appendC3(m, "head.c3_td1", 512, 3, 40);
-  m.layers.push_back(conv("head.lat2", 512, 256, 1, 40));
-  appendC3(m, "head.c3_td2", 512, 3, 80);
-  m.layers.push_back(conv("head.down1", 256, 256, 3, 40));
-  appendC3(m, "head.c3_bu1", 512, 3, 40);
-  m.layers.push_back(conv("head.down2", 512, 512, 3, 20));
-  appendC3(m, "head.c3_bu2", 1024, 3, 20);
-
-  // Detect heads at the three scales: 3 anchors x (5 + 80 classes).
-  m.layers.push_back(conv("detect.p3", 256, 255, 1, 80, /*batchnorm=*/false));
-  m.layers.push_back(conv("detect.p4", 512, 255, 1, 40, /*batchnorm=*/false));
-  m.layers.push_back(conv("detect.p5", 1024, 255, 1, 20, /*batchnorm=*/false));
-  return m;
-}
-
-namespace {
-
-/// Generic transformer-encoder builder shared by BERT and the extension
-/// models: embeddings + L x (attention, FFN) + pooler/head.
-ModelSpec transformer(const std::string& name, int hidden, int layers, int ff,
-                      int kSeq, int kVocab, int reportedDepth, double eff16,
-                      double eff32, int batch) {
-  ModelSpec m;
-  m.name = name;
-  m.domain = Domain::NLP;
-  m.dataset = "SQuAD v1.1";
-  m.reported_depth = reportedDepth;
-  m.fp16_efficiency = eff16;
-  m.fp32_efficiency = eff32;
-  // Input: token ids + attention mask + segment ids (int32).
-  m.input_bytes_per_sample = 3LL * kSeq * 4;
-  m.activation_overhead_factor = 7.76;
-  m.paper_batch_per_gpu = batch;
-  m.paper_epochs = 2;
-
-  // Embeddings: word + position + token-type + LayerNorm.
-  LayerSpec emb;
-  emb.name = "embeddings";
-  emb.kind = LayerKind::Embedding;
-  emb.params = static_cast<std::int64_t>(kVocab + 512 + 2) * hidden + 2LL * hidden;
-  emb.forward_flops = 2.0 * kSeq * hidden;  // lookup + add, negligible
-  emb.activation_bytes = static_cast<Bytes>(kSeq) * hidden * kFp16;
-  m.layers.push_back(emb);
-
-  for (int i = 0; i < layers; ++i) {
-    const std::string base = "encoder." + std::to_string(i);
-    // Self-attention: QKV + output projections, plus the score/context
-    // batched GEMMs which carry FLOPs but no parameters.
-    LayerSpec attn;
-    attn.name = base + ".attention";
-    attn.kind = LayerKind::Attention;
-    attn.params = 4LL * (static_cast<std::int64_t>(hidden) * hidden + hidden) +
-                  2LL * hidden;  // +LayerNorm
-    attn.forward_flops = 4.0 * 2.0 * kSeq * static_cast<double>(hidden) * hidden +
-                         2.0 * 2.0 * static_cast<double>(kSeq) * kSeq * hidden;
-    attn.activation_bytes = static_cast<Bytes>(kSeq) * hidden * kFp16 * 5;
-    m.layers.push_back(attn);
-
-    LayerSpec ffn;
-    ffn.name = base + ".ffn";
-    ffn.kind = LayerKind::Linear;
-    ffn.params = static_cast<std::int64_t>(hidden) * ff + ff +
-                 static_cast<std::int64_t>(ff) * hidden + hidden + 2LL * hidden;
-    ffn.forward_flops = 2.0 * 2.0 * kSeq * static_cast<double>(hidden) * ff;
-    ffn.activation_bytes = static_cast<Bytes>(kSeq) * (ff + hidden) * kFp16;
-    m.layers.push_back(ffn);
-  }
-
-  // Pooler + SQuAD span-prediction head.
-  m.layers.push_back(linear("pooler", hidden, hidden));
-  m.layers.push_back(linear("qa_head", hidden, 2, kSeq));
-  return m;
-}
-
-ModelSpec bert(const std::string& name, int hidden, int layers, int ff,
-               int reportedDepth, double eff16, double eff32, int batch) {
-  // Paper settings: max sequence length 384, WordPiece vocab.
-  return transformer(name, hidden, layers, ff, 384, 30522, reportedDepth,
-                     eff16, eff32, batch);
-}
-
-}  // namespace
-
-ModelSpec bertBase() {
-  return bert("BERT", 768, 12, 3072, 12, 0.253, 0.42, /*batch=*/12);
-}
-
-ModelSpec bertLarge() {
-  return bert("BERT-L", 1024, 24, 4096, 24, 0.284, 0.45, /*batch=*/6);
-}
-
-ModelSpec gpt2Medium() {
-  // BPE vocab 50257, context 1024 in the original; trained here at the
-  // SQuAD-style 384-token window so datasets are comparable.
-  auto m = transformer("GPT-2-medium", 1024, 24, 4096, 384, 50257, 24, 0.30,
-                       0.45, /*batch=*/4);
-  return m;
-}
-
-ModelSpec vitBase16() {
-  // 196 patch tokens + [CLS]; the "vocabulary" is the patch-embedding
-  // projection (16*16*3 inputs), so pass it as a tiny vocab and add the
-  // projection explicitly.
-  auto m = transformer("ViT-B/16", 768, 12, 3072, 197, 2, 12, 0.30, 0.45,
-                       /*batch=*/64);
-  LayerSpec patch;
-  patch.name = "patch_embed";
-  patch.kind = LayerKind::Conv;
-  patch.params = 16LL * 16 * 3 * 768 + 768;
-  patch.forward_flops = 2.0 * 197 * 16 * 16 * 3 * 768;
-  patch.activation_bytes = 197LL * 768 * 2;
-  m.layers.insert(m.layers.begin(), patch);
-  m.domain = Domain::ComputerVision;
-  m.dataset = "ImageNet";
-  m.input_bytes_per_sample = 3LL * 224 * 224 * 2;
-  m.activation_overhead_factor = 5.0;
-  return m;
-}
+ModelSpec mobileNetV2() { return workload("MobileNetV2"); }
+ModelSpec resNet50() { return workload("ResNet-50"); }
+ModelSpec yoloV5L() { return workload("YOLOv5-L"); }
+ModelSpec bertBase() { return workload("BERT"); }
+ModelSpec bertLarge() { return workload("BERT-L"); }
+ModelSpec gpt2Medium() { return workload("GPT-2-medium"); }
+ModelSpec vitBase16() { return workload("ViT-B/16"); }
 
 std::vector<ModelSpec> benchmarkZoo() {
-  return {mobileNetV2(), resNet50(), yoloV5L(), bertBase(), bertLarge()};
+  return WorkloadRegistry::instance().paperZoo();
 }
 
 namespace datasets {
@@ -340,10 +61,12 @@ DatasetSpec squadV11() {
 }  // namespace datasets
 
 DatasetSpec datasetFor(const ModelSpec& model) {
-  if (model.dataset == "ImageNet") return datasets::imagenet();
-  if (model.dataset == "Coco") return datasets::coco();
-  if (model.dataset == "SQuAD v1.1") return datasets::squadV11();
-  throw std::invalid_argument("datasetFor: unknown dataset " + model.dataset);
+  DatasetSpec d;
+  if (const Status s = WorkloadRegistry::instance().dataset(model.dataset, &d);
+      !s) {
+    throw std::invalid_argument("datasetFor: " + s.detail);
+  }
+  return d;
 }
 
 }  // namespace composim::dl

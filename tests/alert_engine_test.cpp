@@ -202,7 +202,7 @@ TEST(AlertEngine, EccStormFiresAndResolvesThroughExperiment) {
   opt.faults.ecc_storms.push_back({2, t_storm, 500});
 
   const auto result = core::Experiment::run(core::SystemConfig::FalconGpus,
-                                            dl::resNet50(), opt);
+                                            dl::workload("ResNet-50"), opt);
   ASSERT_NE(result.metrics, nullptr);
   ASSERT_GT(result.training.simulated_time, t_storm) << "storm missed the run";
 

@@ -16,7 +16,7 @@ ExperimentOptions fastOptions() {
 }
 
 TEST(Experiment, ProducesSummariesInPlausibleRanges) {
-  const auto r = Experiment::run(SystemConfig::LocalGpus, dl::mobileNetV2(),
+  const auto r = Experiment::run(SystemConfig::LocalGpus, dl::workload("MobileNetV2"),
                                  fastOptions());
   EXPECT_TRUE(r.training.completed);
   EXPECT_EQ(r.benchmark, "MobileNetV2");
@@ -36,13 +36,13 @@ TEST(Experiment, ProducesSummariesInPlausibleRanges) {
 }
 
 TEST(Experiment, FalconConfigShowsPcieTraffic) {
-  const auto r = Experiment::run(SystemConfig::FalconGpus, dl::mobileNetV2(),
+  const auto r = Experiment::run(SystemConfig::FalconGpus, dl::workload("MobileNetV2"),
                                  fastOptions());
   EXPECT_GT(r.falcon_pcie_gbs, 0.1);
 }
 
 TEST(Experiment, SamplerSeriesAreExposed) {
-  const auto r = Experiment::run(SystemConfig::LocalGpus, dl::mobileNetV2(),
+  const auto r = Experiment::run(SystemConfig::LocalGpus, dl::workload("MobileNetV2"),
                                  fastOptions());
   ASSERT_NE(r.metrics, nullptr);
   EXPECT_TRUE(r.metrics->hasSeries("gpu_util_pct"));
@@ -78,7 +78,7 @@ TEST(Recommender, PicksFastestMeasuredConfig) {
 TEST(Recommender, UnknownBenchmarkYieldsNothing) {
   Recommender rec;
   EXPECT_FALSE(rec.recommendFor("nope").has_value());
-  EXPECT_FALSE(rec.recommendFor(dl::mobileNetV2()).has_value());
+  EXPECT_FALSE(rec.recommendFor(dl::workload("MobileNetV2")).has_value());
 }
 
 TEST(Recommender, UnseenModelMatchesByCharacteristics) {
@@ -94,10 +94,10 @@ TEST(Recommender, UnseenModelMatchesByCharacteristics) {
   rec.addRun(RunRecord{"huge-lm", SystemConfig::FalconGpus, 390.0, 2.5,
                        6.7e8, 2.6e11});
   // BERT-large resembles huge-lm, MobileNet resembles small-cnn.
-  const auto lm = rec.recommendFor(dl::bertLarge());
+  const auto lm = rec.recommendFor(dl::workload("BERT-L"));
   ASSERT_TRUE(lm.has_value());
   EXPECT_EQ(lm->config, SystemConfig::LocalGpus);
-  const auto cnn = rec.recommendFor(dl::mobileNetV2());
+  const auto cnn = rec.recommendFor(dl::workload("MobileNetV2"));
   ASSERT_TRUE(cnn.has_value());
   EXPECT_EQ(cnn->config, SystemConfig::FalconGpus);
 }
@@ -109,7 +109,7 @@ TEST(Recommender, AddRunFromExperimentResult) {
   r.config = SystemConfig::LocalGpus;
   r.training.extrapolated_total_time = 42.0;
   r.training.samples_per_second = 1000.0;
-  rec.addRun(r, dl::mobileNetV2());
+  rec.addRun(r, dl::workload("MobileNetV2"));
   EXPECT_EQ(rec.runCount(), 1u);
   const auto best = rec.recommendFor("MobileNetV2");
   ASSERT_TRUE(best.has_value());

@@ -29,7 +29,7 @@ TEST(AllGpus16, SixteenGpuTrainingScalesThroughput) {
     dl::TrainerOptions opt;
     opt.epochs = 1;
     opt.max_iterations_per_epoch = 6;
-    const auto model = dl::resNet50();
+    const auto model = dl::workload("ResNet-50");
     dl::Trainer t(sys.sim(), sys.network(), sys.topology(), gpus, sys.cpu(),
                   sys.hostMemory(), sys.trainingStorage(), model,
                   dl::datasetFor(model), opt);
@@ -74,7 +74,7 @@ TEST(SecondHost, TenantsGetDisjointFabricPaths) {
 TEST(GradientAccumulation, MultipliesEffectiveBatch) {
   ComposableSystem sys(SystemConfig::LocalGpus);
   auto gpus = sys.trainingGpus();
-  const auto model = dl::bertLarge();
+  const auto model = dl::workload("BERT-L");
   dl::TrainerOptions opt;
   opt.epochs = 1;
   opt.max_iterations_per_epoch = 4;
@@ -98,7 +98,7 @@ TEST(GradientAccumulation, IterationCostsSubLinearInMicroSteps) {
   auto iterTime = [](int accum) {
     ComposableSystem sys(SystemConfig::LocalGpus);
     auto gpus = sys.trainingGpus();
-    const auto model = dl::resNet50();
+    const auto model = dl::workload("ResNet-50");
     dl::TrainerOptions opt;
     opt.epochs = 1;
     opt.max_iterations_per_epoch = 4;
@@ -152,7 +152,7 @@ TEST(ExperimentConfig, ParsesFullSuite) {
   })");
   const auto specs = parseExperimentSuite(doc);
   ASSERT_EQ(specs.size(), 2u);
-  EXPECT_EQ(specs[0].benchmark, "ResNet-50");
+  EXPECT_EQ(specs[0].workload, "ResNet-50");
   EXPECT_EQ(specs[0].config, SystemConfig::LocalGpus);
   EXPECT_EQ(specs[1].config, SystemConfig::FalconGpus);
   EXPECT_EQ(specs[1].options.trainer.epochs, 1);

@@ -12,7 +12,7 @@ core::ExperimentResult runOnce(core::SystemConfig cfg) {
   core::ExperimentOptions opt;
   opt.trainer.epochs = 1;
   opt.trainer.max_iterations_per_epoch = 6;
-  return core::Experiment::run(cfg, dl::resNet50(), opt);
+  return core::Experiment::run(cfg, dl::workload("ResNet-50"), opt);
 }
 
 TEST(Determinism, ExperimentsAreBitIdentical) {
@@ -89,7 +89,7 @@ TEST(Determinism, SeedChangesOnlyStochasticOutputs) {
     opt.trainer.epochs = 1;
     opt.trainer.max_iterations_per_epoch = 6;
     opt.trainer.seed = seed;
-    return core::Experiment::run(core::SystemConfig::LocalGpus, dl::resNet50(),
+    return core::Experiment::run(core::SystemConfig::LocalGpus, dl::workload("ResNet-50"),
                                  opt);
   };
   const auto a = run(1);

@@ -26,7 +26,7 @@ struct ElasticFixture : ::testing::Test {
 TEST_F(ElasticFixture, GrowsFromEightToSixteenAtEpochBoundary) {
   auto all = sys.trainingGpus();
   std::vector<devices::Gpu*> eight(all.begin(), all.begin() + 8);
-  const auto model = resNet50();
+  const auto model = workload("ResNet-50");
   {
     Trainer t(sys.sim(), sys.network(), sys.topology(), eight, sys.cpu(),
               sys.hostMemory(), sys.trainingStorage(), model, datasetFor(model),
@@ -49,7 +49,7 @@ TEST_F(ElasticFixture, ShrinkReleasesDetachedGpus) {
   auto all = sys.trainingGpus();
   std::vector<devices::Gpu*> eight(all.begin(), all.begin() + 8);
   std::vector<devices::Gpu*> four(all.begin(), all.begin() + 4);
-  const auto model = resNet50();
+  const auto model = workload("ResNet-50");
   Trainer t(sys.sim(), sys.network(), sys.topology(), eight, sys.cpu(),
             sys.hostMemory(), sys.trainingStorage(), model, datasetFor(model),
             fastOpts(3));
@@ -78,7 +78,7 @@ TEST_F(ElasticFixture, ShrinkReleasesDetachedGpus) {
 TEST_F(ElasticFixture, ResizeRejectsEmptyGroupAndAfterFinish) {
   auto all = sys.trainingGpus();
   std::vector<devices::Gpu*> eight(all.begin(), all.begin() + 8);
-  const auto model = resNet50();
+  const auto model = workload("ResNet-50");
   Trainer t(sys.sim(), sys.network(), sys.topology(), eight, sys.cpu(),
             sys.hostMemory(), sys.trainingStorage(), model, datasetFor(model),
             fastOpts(1));
@@ -97,7 +97,7 @@ TEST_F(ElasticFixture, ThroughputRisesAfterGrow) {
     ComposableSystem local{SystemConfig::AllGpus16};
     auto all = local.trainingGpus();
     std::vector<devices::Gpu*> eight(all.begin(), all.begin() + 8);
-    const auto model = resNet50();
+    const auto model = workload("ResNet-50");
     Trainer t(local.sim(), local.network(), local.topology(), eight,
               local.cpu(), local.hostMemory(), local.trainingStorage(), model,
               datasetFor(model), fastOpts(2));
@@ -116,11 +116,11 @@ TEST_F(ElasticFixture, ThroughputRisesAfterGrow) {
 }
 
 TEST(ExtensionModels, Gpt2MediumAndVitHavePublishedScale) {
-  const auto gpt = gpt2Medium();
+  const auto gpt = workload("GPT-2-medium");
   EXPECT_GT(gpt.totalParams(), 340000000);  // ~355M
   EXPECT_LT(gpt.totalParams(), 370000000);
   EXPECT_EQ(gpt.reported_depth, 24);
-  const auto vit = vitBase16();
+  const auto vit = workload("ViT-B/16");
   EXPECT_GT(vit.totalParams(), 82000000);   // ~86M
   EXPECT_LT(vit.totalParams(), 92000000);
   EXPECT_EQ(vit.domain, Domain::ComputerVision);
@@ -130,7 +130,7 @@ TEST(ExtensionModels, Gpt2MediumAndVitHavePublishedScale) {
 TEST(ExtensionModels, TrainEndToEnd) {
   ComposableSystem sys(SystemConfig::LocalGpus);
   auto gpus = sys.trainingGpus();
-  for (const auto& model : {gpt2Medium(), vitBase16()}) {
+  for (const auto& model : {workload("GPT-2-medium"), workload("ViT-B/16")}) {
     TrainerOptions opt;
     opt.epochs = 1;
     opt.max_iterations_per_epoch = 3;

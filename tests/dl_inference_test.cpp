@@ -24,7 +24,7 @@ InferenceStats serve(ComposableSystem& sys, const ModelSpec& model,
 
 TEST(Inference, ServesAllRequests) {
   ComposableSystem sys(SystemConfig::LocalGpus);
-  const auto stats = serve(sys, mobileNetV2(), 200.0, 100);
+  const auto stats = serve(sys, workload("MobileNetV2"), 200.0, 100);
   EXPECT_EQ(stats.requests, 100);
   EXPECT_GT(stats.throughput_rps, 0.0);
   EXPECT_GT(stats.latency_p50_ms, 0.0);
@@ -38,7 +38,7 @@ TEST(Inference, YoloMeetsRealTimeClaim) {
   ComposableSystem sys(SystemConfig::LocalGpus);
   InferenceOptions opt;
   opt.max_batch = 1;
-  const auto stats = serve(sys, yoloV5L(), 40.0, 120, opt);
+  const auto stats = serve(sys, workload("YOLOv5-L"), 40.0, 120, opt);
   EXPECT_GT(stats.throughput_rps, 35.0);     // kept up with offered load
   EXPECT_LT(stats.latency_p99_ms, 1000.0 / 45.0 * 3.0);
 }
@@ -47,9 +47,9 @@ TEST(Inference, OverloadGrowsTailLatency) {
   ComposableSystem sys(SystemConfig::LocalGpus);
   InferenceOptions opt;
   opt.max_batch = 1;
-  const auto light = serve(sys, resNet50(), 20.0, 80, opt);
+  const auto light = serve(sys, workload("ResNet-50"), 20.0, 80, opt);
   ComposableSystem sys2(SystemConfig::LocalGpus);
-  const auto heavy = serve(sys2, resNet50(), 2000.0, 80, opt);
+  const auto heavy = serve(sys2, workload("ResNet-50"), 2000.0, 80, opt);
   EXPECT_GT(heavy.latency_p99_ms, light.latency_p99_ms * 2.0);
 }
 
@@ -57,11 +57,11 @@ TEST(Inference, DynamicBatchingRaisesThroughput) {
   ComposableSystem sys(SystemConfig::LocalGpus);
   InferenceOptions single;
   single.max_batch = 1;
-  const auto s1 = serve(sys, bertBase(), 2000.0, 120, single);
+  const auto s1 = serve(sys, workload("BERT"), 2000.0, 120, single);
   ComposableSystem sys2(SystemConfig::LocalGpus);
   InferenceOptions batched;
   batched.max_batch = 16;
-  const auto s16 = serve(sys2, bertBase(), 2000.0, 120, batched);
+  const auto s16 = serve(sys2, workload("BERT"), 2000.0, 120, batched);
   EXPECT_GT(s16.mean_batch, 1.5);
   EXPECT_GT(s16.throughput_rps, s1.throughput_rps * 1.3);
 }
@@ -70,9 +70,9 @@ TEST(Inference, UnloadedLatencyIsPositiveAndModelOrdered) {
   ComposableSystem sys(SystemConfig::LocalGpus);
   auto gpus = sys.trainingGpus();
   InferenceEngine mob(sys.sim(), sys.network(), *gpus[0], sys.hostMemory(),
-                      mobileNetV2());
+                      workload("MobileNetV2"));
   InferenceEngine yolo(sys.sim(), sys.network(), *gpus[1], sys.hostMemory(),
-                       yoloV5L());
+                       workload("YOLOv5-L"));
   EXPECT_GT(mob.unloadedLatency(), 0.0);
   EXPECT_GT(yolo.unloadedLatency(), mob.unloadedLatency());
 }

@@ -9,49 +9,49 @@ namespace {
 
 TEST(Zoo, ResNet50ParametersAreExact) {
   // torchvision resnet50: 25,557,032 parameters.
-  EXPECT_EQ(resNet50().totalParams(), 25557032);
+  EXPECT_EQ(workload("ResNet-50").totalParams(), 25557032);
 }
 
 TEST(Zoo, MobileNetV2ParametersMatchTableII) {
-  const auto p = mobileNetV2().totalParams();
+  const auto p = workload("MobileNetV2").totalParams();
   EXPECT_GT(p, 3300000);   // Table II: 3.4M
   EXPECT_LT(p, 3600000);
 }
 
 TEST(Zoo, YoloV5LParametersMatchTableII) {
-  const auto p = yoloV5L().totalParams();
+  const auto p = workload("YOLOv5-L").totalParams();
   EXPECT_GT(p, 43000000);  // Table II: 47M (ultralytics: 46.5M)
   EXPECT_LT(p, 50000000);
 }
 
 TEST(Zoo, BertBaseParametersMatchTableII) {
-  const auto p = bertBase().totalParams();
+  const auto p = workload("BERT").totalParams();
   EXPECT_GT(p, 107000000);  // Table II: 110M (HF: 109.5M)
   EXPECT_LT(p, 112000000);
 }
 
 TEST(Zoo, BertLargeParametersMatchTableII) {
-  const auto p = bertLarge().totalParams();
+  const auto p = workload("BERT-L").totalParams();
   EXPECT_GT(p, 330000000);  // Table II: 340M (HF: 335.1M)
   EXPECT_LT(p, 345000000);
 }
 
 TEST(Zoo, ReportedDepthsMatchTableII) {
-  EXPECT_EQ(mobileNetV2().reported_depth, 53);
-  EXPECT_EQ(resNet50().reported_depth, 50);
-  EXPECT_EQ(yoloV5L().reported_depth, 392);
-  EXPECT_EQ(bertBase().reported_depth, 12);
-  EXPECT_EQ(bertLarge().reported_depth, 24);
+  EXPECT_EQ(workload("MobileNetV2").reported_depth, 53);
+  EXPECT_EQ(workload("ResNet-50").reported_depth, 50);
+  EXPECT_EQ(workload("YOLOv5-L").reported_depth, 392);
+  EXPECT_EQ(workload("BERT").reported_depth, 12);
+  EXPECT_EQ(workload("BERT-L").reported_depth, 24);
 }
 
 TEST(Zoo, DomainsAndDatasetsMatchTableII) {
-  EXPECT_EQ(mobileNetV2().domain, Domain::ComputerVision);
-  EXPECT_EQ(mobileNetV2().dataset, "ImageNet");
-  EXPECT_EQ(resNet50().dataset, "ImageNet");
-  EXPECT_EQ(yoloV5L().dataset, "Coco");
-  EXPECT_EQ(bertBase().domain, Domain::NLP);
-  EXPECT_EQ(bertBase().dataset, "SQuAD v1.1");
-  EXPECT_EQ(bertLarge().dataset, "SQuAD v1.1");
+  EXPECT_EQ(workload("MobileNetV2").domain, Domain::ComputerVision);
+  EXPECT_EQ(workload("MobileNetV2").dataset, "ImageNet");
+  EXPECT_EQ(workload("ResNet-50").dataset, "ImageNet");
+  EXPECT_EQ(workload("YOLOv5-L").dataset, "Coco");
+  EXPECT_EQ(workload("BERT").domain, Domain::NLP);
+  EXPECT_EQ(workload("BERT").dataset, "SQuAD v1.1");
+  EXPECT_EQ(workload("BERT-L").dataset, "SQuAD v1.1");
 }
 
 TEST(Zoo, ZooOrderMatchesTableII) {
@@ -66,21 +66,21 @@ TEST(Zoo, ZooOrderMatchesTableII) {
 
 TEST(Zoo, ForwardFlopsScaleWithKnownRatios) {
   // ResNet-50 at 224 px: ~4.1 GMACs -> ~8.2 GFLOPs forward.
-  const double rn = resNet50().forwardFlopsPerSample();
+  const double rn = workload("ResNet-50").forwardFlopsPerSample();
   EXPECT_GT(rn, 7.5e9);
   EXPECT_LT(rn, 9.0e9);
   // MobileNetV2: ~0.3 GMACs -> ~0.6 GFLOPs.
-  const double mb = mobileNetV2().forwardFlopsPerSample();
+  const double mb = workload("MobileNetV2").forwardFlopsPerSample();
   EXPECT_GT(mb, 0.5e9);
   EXPECT_LT(mb, 0.75e9);
   // BERT-large forward ~= 2 * params * seq_len.
-  const auto bl = bertLarge();
+  const auto bl = workload("BERT-L");
   const double expected = 2.0 * static_cast<double>(bl.totalParams()) * 384;
   EXPECT_NEAR(bl.forwardFlopsPerSample(), expected, expected * 0.15);
 }
 
 TEST(Zoo, GradientBytesFollowPrecision) {
-  const auto bl = bertLarge();
+  const auto bl = workload("BERT-L");
   EXPECT_EQ(bl.gradientBytes(devices::Precision::FP16), bl.totalParams() * 2);
   EXPECT_EQ(bl.gradientBytes(devices::Precision::FP32), bl.totalParams() * 4);
 }
@@ -106,9 +106,9 @@ TEST(Model, PartitionConservesTotals) {
 }
 
 TEST(Model, PartitionBalancesFlops) {
-  const auto parts = bertLarge().partition(12);
+  const auto parts = workload("BERT-L").partition(12);
   ASSERT_GE(parts.size(), 10u);
-  const double total = bertLarge().forwardFlopsPerSample();
+  const double total = workload("BERT-L").forwardFlopsPerSample();
   for (const auto& p : parts) {
     EXPECT_LT(p.forward_flops, total * 0.25);  // no giant straggler group
   }
@@ -139,14 +139,14 @@ TEST(Datasets, DatasetForResolvesEveryBenchmark) {
 TEST(Model, PaperBatchAndEpochs) {
   // Section V-C: Yolo 20 epochs/batch 88(=11x8), ResNet 20/128,
   // MobileNet 10/64, BERT 2/96(=12x8), BERT-L 2/48(=6x8).
-  EXPECT_EQ(mobileNetV2().paper_batch_per_gpu, 64);
-  EXPECT_EQ(mobileNetV2().paper_epochs, 10);
-  EXPECT_EQ(resNet50().paper_batch_per_gpu, 128);
-  EXPECT_EQ(resNet50().paper_epochs, 20);
-  EXPECT_EQ(yoloV5L().paper_batch_per_gpu, 11);
-  EXPECT_EQ(bertBase().paper_batch_per_gpu, 12);
-  EXPECT_EQ(bertLarge().paper_batch_per_gpu, 6);
-  EXPECT_EQ(bertLarge().paper_epochs, 2);
+  EXPECT_EQ(workload("MobileNetV2").paper_batch_per_gpu, 64);
+  EXPECT_EQ(workload("MobileNetV2").paper_epochs, 10);
+  EXPECT_EQ(workload("ResNet-50").paper_batch_per_gpu, 128);
+  EXPECT_EQ(workload("ResNet-50").paper_epochs, 20);
+  EXPECT_EQ(workload("YOLOv5-L").paper_batch_per_gpu, 11);
+  EXPECT_EQ(workload("BERT").paper_batch_per_gpu, 12);
+  EXPECT_EQ(workload("BERT-L").paper_batch_per_gpu, 6);
+  EXPECT_EQ(workload("BERT-L").paper_epochs, 2);
 }
 
 }  // namespace

@@ -168,7 +168,7 @@ TEST_F(TrainerFixture, InfeasibleBatchAbortsWithOomError) {
 
 TEST_F(TrainerFixture, MemoryPlannerMatchesPaperBertBatches) {
   auto gpus = sys.trainingGpus();
-  const auto bl = bertLarge();
+  const auto bl = workload("BERT-L");
   TrainerOptions plain;
   Trainer t(sys.sim(), sys.network(), sys.topology(), gpus, sys.cpu(),
             sys.hostMemory(), sys.trainingStorage(), bl, datasetFor(bl), plain);
@@ -197,7 +197,7 @@ TEST_F(TrainerFixture, PaperBatchesFitForAllBenchmarks) {
 
 TEST_F(TrainerFixture, ShardingReducesPerGpuMemory) {
   auto gpus = sys.trainingGpus();
-  const auto bl = bertLarge();
+  const auto bl = workload("BERT-L");
   TrainerOptions plain, sharded;
   sharded.sharded = true;
   Trainer tp(sys.sim(), sys.network(), sys.topology(), gpus, sys.cpu(),

@@ -168,7 +168,7 @@ TEST(InferenceEdge, ZeroRequestsCompletesImmediately) {
   core::ComposableSystem sys(core::SystemConfig::LocalGpus);
   auto gpus = sys.trainingGpus();
   dl::InferenceEngine engine(sys.sim(), sys.network(), *gpus.front(),
-                             sys.hostMemory(), dl::mobileNetV2());
+                             sys.hostMemory(), dl::workload("MobileNetV2"));
   dl::InferenceStats stats;
   stats.requests = -1;
   engine.serve(100.0, 0, [&](const dl::InferenceStats& s) { stats = s; });
@@ -179,8 +179,8 @@ TEST(InferenceEdge, ZeroRequestsCompletesImmediately) {
 
 TEST(ZooEdge, EveryModelHasPositiveCharacteristics) {
   auto models = dl::benchmarkZoo();
-  models.push_back(dl::gpt2Medium());
-  models.push_back(dl::vitBase16());
+  models.push_back(dl::workload("GPT-2-medium"));
+  models.push_back(dl::workload("ViT-B/16"));
   for (const auto& m : models) {
     EXPECT_GT(m.totalParams(), 0) << m.name;
     EXPECT_GT(m.forwardFlopsPerSample(), 0.0) << m.name;

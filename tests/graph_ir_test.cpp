@@ -1,0 +1,300 @@
+// Graph-IR ingestion: golden equivalence against the registry builders,
+// JSON round-trip fidelity, experiment-manifest byte-equality through the
+// loader, and the loader/validator error taxonomy.
+//
+// The checked-in examples/graphs/*.graph.json files (COMPOSIM_GRAPHS_DIR)
+// are the contract: loading each one must produce a ModelSpec
+// byte-identical to the registry's in-process builder, and a capped
+// experiment run from the loaded spec must produce a byte-identical
+// manifest. Regenerate the files with examples/graph_export after editing
+// a builder.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/experiment_config.hpp"
+#include "dl/graph_ir/builders.hpp"
+#include "dl/graph_ir/loader.hpp"
+#include "dl/graph_ir/lowering.hpp"
+#include "dl/workload_registry.hpp"
+#include "telemetry/run_tracker.hpp"
+
+namespace composim {
+namespace {
+
+std::string graphPath(const std::string& model_name) {
+  return std::string(COMPOSIM_GRAPHS_DIR) + "/" +
+         dl::graph_ir::graphFileSlug(model_name) + ".graph.json";
+}
+
+/// Field-by-field byte equality; exact (==) floating-point comparison is
+/// deliberate — the lowering mirrors the builder arithmetic, all products
+/// are integer-valued doubles below 2^53, and %.17g round-trips exactly.
+void expectIdentical(const dl::ModelSpec& a, const dl::ModelSpec& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.domain, b.domain);
+  EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.reported_depth, b.reported_depth);
+  EXPECT_EQ(a.fp16_efficiency, b.fp16_efficiency);
+  EXPECT_EQ(a.fp32_efficiency, b.fp32_efficiency);
+  EXPECT_EQ(a.input_bytes_per_sample, b.input_bytes_per_sample);
+  EXPECT_EQ(a.activation_overhead_factor, b.activation_overhead_factor);
+  EXPECT_EQ(a.paper_batch_per_gpu, b.paper_batch_per_gpu);
+  EXPECT_EQ(a.paper_epochs, b.paper_epochs);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    SCOPED_TRACE("layer " + std::to_string(i) + " (" + a.layers[i].name + ")");
+    EXPECT_EQ(a.layers[i].name, b.layers[i].name);
+    EXPECT_EQ(a.layers[i].kind, b.layers[i].kind);
+    EXPECT_EQ(a.layers[i].params, b.layers[i].params);
+    EXPECT_EQ(a.layers[i].forward_flops, b.layers[i].forward_flops);
+    EXPECT_EQ(a.layers[i].activation_bytes, b.layers[i].activation_bytes);
+  }
+  EXPECT_EQ(a.totalParams(), b.totalParams());
+  EXPECT_EQ(a.forwardFlopsPerSample(), b.forwardFlopsPerSample());
+}
+
+dl::ModelSpec loadFromFile(const std::string& model_name) {
+  dl::ModelSpec m;
+  const Status s = dl::WorkloadRegistry::instance().loadGraph(
+      graphPath(model_name), &m);
+  EXPECT_TRUE(s.ok) << s.toString();
+  return m;
+}
+
+TEST(GraphIrGolden, CheckedInGraphsMatchRegistryByteForByte) {
+  for (const std::string& name : dl::WorkloadRegistry::instance().names()) {
+    SCOPED_TRACE(name);
+    dl::ModelSpec registry;
+    ASSERT_TRUE(dl::WorkloadRegistry::instance().model(name, &registry).ok);
+    expectIdentical(loadFromFile(name), registry);
+  }
+}
+
+TEST(GraphIrGolden, CheckedInFilesAreCurrentExporterOutput) {
+  // The exporter's serialization of each builder must equal the checked-in
+  // file byte for byte (catches builder edits without re-export).
+  for (const auto& graph : dl::graph_ir::builders::allBuiltinGraphs()) {
+    SCOPED_TRACE(graph.meta.name);
+    std::ifstream in(graphPath(graph.meta.name));
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), dl::graph_ir::toJson(graph).dump(2) + "\n");
+  }
+}
+
+TEST(GraphIrGolden, JsonRoundTripIsExact) {
+  for (const auto& graph : dl::graph_ir::builders::allBuiltinGraphs()) {
+    SCOPED_TRACE(graph.meta.name);
+    const std::string once = dl::graph_ir::toJson(graph).dump(2);
+    dl::graph_ir::Graph reparsed;
+    ASSERT_TRUE(
+        dl::graph_ir::parseGraph(falcon::Json::parse(once), &reparsed).ok);
+    EXPECT_EQ(dl::graph_ir::toJson(reparsed).dump(2), once);
+  }
+}
+
+/// The run_suite-style manifest, reduced to a comparable JSON string.
+std::string manifestFor(const dl::ModelSpec& model) {
+  core::ExperimentOptions opt;
+  opt.trainer.epochs = 1;
+  opt.trainer.max_iterations_per_epoch = 5;
+  const auto r =
+      core::Experiment::run(core::SystemConfig::FalconGpus, model, opt);
+  telemetry::RunTracker tracker;
+  auto& run = tracker.run("golden");
+  run.setConfig("workload", model.name);
+  run.setSummary("mean_iteration_s", r.training.mean_iteration_time);
+  run.setSummary("samples_per_second", r.training.samples_per_second);
+  run.setSummary("gpu_util_pct", r.gpu_util_pct);
+  run.setSummary("falcon_pcie_gbs", r.falcon_pcie_gbs);
+  const auto& util = r.metrics->series("gpu_util_pct");
+  for (std::size_t i = 0; i < util.size(); ++i) {
+    run.log("gpu_util_pct", util.timeAt(i), util.valueAt(i));
+  }
+  return tracker.manifest().dump(2);
+}
+
+TEST(GraphIrGolden, ExperimentManifestsByteIdenticalThroughLoader) {
+  EXPECT_EQ(manifestFor(loadFromFile("MobileNetV2")),
+            manifestFor(dl::workload("MobileNetV2")));
+  EXPECT_EQ(manifestFor(loadFromFile("BERT")),
+            manifestFor(dl::workload("BERT")));
+}
+
+TEST(GraphIrGolden, TransformerRunsEndToEndFromJsonOnly) {
+  // No C++ builder in this path: resolve the file reference, run it.
+  core::ExperimentOptions opt;
+  opt.workload = "graph:" + graphPath("GPT-2-medium");
+  opt.trainer.epochs = 1;
+  opt.trainer.max_iterations_per_epoch = 5;
+  const auto r = core::Experiment::run(core::SystemConfig::LocalGpus, opt);
+  EXPECT_EQ(r.benchmark, "GPT-2-medium");
+  EXPECT_EQ(r.training.iterations_run, 5);
+  EXPECT_GT(r.training.samples_per_second, 0.0);
+}
+
+// --- loader / validator error taxonomy ---
+
+Status parseText(const std::string& text) {
+  dl::graph_ir::Graph g;
+  return dl::graph_ir::parseGraph(falcon::Json::parse(text), &g);
+}
+
+const char* kHeader = R"({"format": "composim-graph-ir", "version": 1,
+  "model": {"name": "t", "domain": "nlp", "dataset": "SQuAD v1.1"},)";
+
+TEST(GraphIrErrors, CycleIsFailedPrecondition) {
+  const Status s = parseText(std::string(kHeader) + R"(
+    "ops": [
+      {"id": "a", "kind": "attention", "inputs": ["b"], "shape": [384, 768],
+       "attrs": {"hidden": 768, "seq": 384}},
+      {"id": "b", "kind": "transformer_ffn", "inputs": ["a"],
+       "shape": [384, 768], "attrs": {"hidden": 768, "ff": 3072, "seq": 384}}
+    ]})");
+  EXPECT_EQ(s.code, StatusCode::FailedPrecondition);
+  EXPECT_NE(s.detail.find("cycle"), std::string::npos) << s.detail;
+}
+
+TEST(GraphIrErrors, MissingEdgeIsNotFound) {
+  const Status s = parseText(std::string(kHeader) + R"(
+    "ops": [
+      {"id": "a", "kind": "attention", "inputs": ["ghost"],
+       "shape": [384, 768], "attrs": {"hidden": 768, "seq": 384}}
+    ]})");
+  EXPECT_EQ(s.code, StatusCode::NotFound);
+  EXPECT_NE(s.detail.find("ghost"), std::string::npos) << s.detail;
+}
+
+TEST(GraphIrErrors, UnknownOpKindIsInvalidArgument) {
+  const Status s = parseText(std::string(kHeader) + R"(
+    "ops": [{"id": "a", "kind": "warp_drive", "shape": [1]}]})");
+  EXPECT_EQ(s.code, StatusCode::InvalidArgument);
+  EXPECT_NE(s.detail.find("warp_drive"), std::string::npos) << s.detail;
+}
+
+TEST(GraphIrErrors, ShapeMismatchIsInvalidArgument) {
+  // conv2d's declared shape must equal [out_channels, out_hw, out_hw].
+  const Status s = parseText(std::string(kHeader) + R"(
+    "ops": [
+      {"id": "in", "kind": "input", "shape": [3, 224, 224]},
+      {"id": "c", "kind": "conv2d", "inputs": ["in"], "shape": [64, 56, 56],
+       "attrs": {"in_channels": 3, "out_channels": 64, "kernel": 7,
+                 "out_hw": 112}}
+    ]})");
+  EXPECT_EQ(s.code, StatusCode::InvalidArgument);
+}
+
+TEST(GraphIrErrors, DuplicateIdIsAlreadyExists) {
+  const Status s = parseText(std::string(kHeader) + R"(
+    "ops": [
+      {"id": "a", "kind": "input", "shape": [384]},
+      {"id": "a", "kind": "attention", "inputs": ["a"], "shape": [384, 768],
+       "attrs": {"hidden": 768, "seq": 384}}
+    ]})");
+  EXPECT_EQ(s.code, StatusCode::AlreadyExists);
+}
+
+TEST(GraphIrErrors, WrongFormatOrVersionIsInvalidArgument) {
+  dl::graph_ir::Graph g;
+  EXPECT_EQ(dl::graph_ir::parseGraph(
+                falcon::Json::parse(R"({"format": "onnx", "version": 1})"), &g)
+                .code,
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(dl::graph_ir::parseGraph(
+                falcon::Json::parse(
+                    R"({"format": "composim-graph-ir", "version": 99})"),
+                &g)
+                .code,
+            StatusCode::InvalidArgument);
+}
+
+TEST(GraphIrErrors, UnknownAttrKeyIsInvalidArgument) {
+  const Status s = parseText(std::string(kHeader) + R"(
+    "ops": [
+      {"id": "in", "kind": "input", "shape": [384, 768]},
+      {"id": "a", "kind": "attention", "inputs": ["in"], "shape": [384, 768],
+       "attrs": {"hidden": 768, "seq": 384, "heads": 12}}
+    ]})");
+  EXPECT_EQ(s.code, StatusCode::InvalidArgument);
+  EXPECT_NE(s.detail.find("heads"), std::string::npos) << s.detail;
+}
+
+TEST(GraphIrErrors, MissingFileIsNotFound) {
+  dl::graph_ir::Graph g;
+  const Status s = dl::graph_ir::loadGraphFile("/no/such/file.graph.json", &g);
+  EXPECT_EQ(s.code, StatusCode::NotFound);
+}
+
+TEST(GraphIrErrors, UnregisteredDatasetIsNotFound) {
+  // Valid graph, but its dataset name is not in the registry and not
+  // inline: loadGraph must reject it so the workload cannot reach a
+  // trainer with no input-pipeline model.
+  const std::string text = R"({"format": "composim-graph-ir", "version": 1,
+    "model": {"name": "t", "domain": "nlp", "dataset": "MysteryCorpus"},
+    "ops": [
+      {"id": "in", "kind": "input", "shape": [384, 768]},
+      {"id": "a", "kind": "attention", "inputs": ["in"], "shape": [384, 768],
+       "attrs": {"hidden": 768, "seq": 384}}
+    ]})";
+  const std::string path = testing::TempDir() + "graphir_nodataset.graph.json";
+  std::ofstream(path) << text;
+  dl::ModelSpec m;
+  const Status s = dl::WorkloadRegistry::instance().loadGraph(path, &m);
+  EXPECT_EQ(s.code, StatusCode::NotFound);
+  EXPECT_NE(s.detail.find("MysteryCorpus"), std::string::npos) << s.detail;
+}
+
+TEST(GraphIrLoader, InlineDatasetRegistersAndResolves) {
+  const std::string text = R"({"format": "composim-graph-ir", "version": 1,
+    "model": {"name": "tiny-lm", "domain": "nlp",
+      "dataset": {"name": "TinyCorpus", "train_samples": 1000,
+                  "disk_bytes_per_sample": 2560,
+                  "cpu_preprocess_per_sample_s": 0.00005,
+                  "device_bytes_per_sample": 4608},
+      "batch_per_gpu": 4},
+    "ops": [
+      {"id": "in", "kind": "input", "shape": [384, 768]},
+      {"id": "a", "kind": "attention", "inputs": ["in"], "shape": [384, 768],
+       "attrs": {"hidden": 768, "seq": 384}}
+    ]})";
+  const std::string path = testing::TempDir() + "graphir_inline.graph.json";
+  std::ofstream(path) << text;
+  const dl::ModelSpec m = dl::workload("graph:" + path);
+  EXPECT_EQ(m.dataset, "TinyCorpus");
+  const dl::DatasetSpec d = dl::datasetFor(m);
+  EXPECT_EQ(d.train_samples, 1000);
+  EXPECT_EQ(d.disk_bytes_per_sample, 2560);
+  // Re-loading is a no-op, not an AlreadyExists failure.
+  EXPECT_NO_THROW(dl::workload("graph:" + path));
+}
+
+TEST(GraphIrLowering, DeclarationOrderIsPreservedByStableTopoSort) {
+  // Ops declared out of dataflow order still lower in declaration order
+  // whenever dependencies allow (stable Kahn), so layer tables do not
+  // depend on incidental edge ordering.
+  const std::string text = R"({"format": "composim-graph-ir", "version": 1,
+    "model": {"name": "t", "domain": "nlp", "dataset": "SQuAD v1.1"},
+    "ops": [
+      {"id": "in", "kind": "input", "shape": [384, 768]},
+      {"id": "a", "kind": "attention", "inputs": ["in"], "shape": [384, 768],
+       "attrs": {"hidden": 768, "seq": 384}},
+      {"id": "c", "kind": "transformer_ffn", "inputs": ["b"],
+       "shape": [384, 768], "attrs": {"hidden": 768, "ff": 3072, "seq": 384}},
+      {"id": "b", "kind": "attention", "inputs": ["a"], "shape": [384, 768],
+       "attrs": {"hidden": 768, "seq": 384}}
+    ]})";
+  dl::graph_ir::Graph g;
+  ASSERT_TRUE(dl::graph_ir::parseGraph(falcon::Json::parse(text), &g).ok);
+  dl::ModelSpec m;
+  ASSERT_TRUE(dl::graph_ir::lower(g, &m).ok);
+  ASSERT_EQ(m.layers.size(), 3u);
+  EXPECT_EQ(m.layers[0].name, "a");
+  EXPECT_EQ(m.layers[1].name, "b");  // ready before c despite later decl
+  EXPECT_EQ(m.layers[2].name, "c");
+}
+
+}  // namespace
+}  // namespace composim

@@ -13,7 +13,7 @@ TEST(ExtendedIntegration, SixteenGpuExperimentRuns) {
   ExperimentOptions opt;
   opt.trainer.epochs = 1;
   opt.trainer.max_iterations_per_epoch = 5;
-  const auto r = Experiment::run(SystemConfig::AllGpus16, dl::resNet50(), opt);
+  const auto r = Experiment::run(SystemConfig::AllGpus16, dl::workload("ResNet-50"), opt);
   EXPECT_TRUE(r.training.completed);
   // 16 GPUs at ~1000 img/s each, minus pipeline-priming noise in a
   // 5-iteration run: still well clear of what 8 GPUs can do (~8000).
@@ -31,9 +31,9 @@ TEST(ExtendedIntegration, DataParallelSuffersMoreOnFalcon) {
     opt.trainer.strategy = strategy;
     opt.trainer.batch_per_gpu = 4;
     const auto local =
-        Experiment::run(SystemConfig::LocalGpus, dl::bertLarge(), opt);
+        Experiment::run(SystemConfig::LocalGpus, dl::workload("BERT-L"), opt);
     const auto falcon =
-        Experiment::run(SystemConfig::FalconGpus, dl::bertLarge(), opt);
+        Experiment::run(SystemConfig::FalconGpus, dl::workload("BERT-L"), opt);
     return falcon.training.mean_iteration_time /
            local.training.mean_iteration_time;
   };
@@ -85,7 +85,7 @@ TEST(ExtendedIntegration, CheckpointTraversesFalconForFalconNvme) {
   ExperimentOptions opt;
   opt.trainer.epochs = 1;
   opt.trainer.max_iterations_per_epoch = 3;
-  const auto r = Experiment::run(SystemConfig::FalconNvme, dl::resNet50(), opt);
+  const auto r = Experiment::run(SystemConfig::FalconNvme, dl::workload("ResNet-50"), opt);
   EXPECT_TRUE(r.training.completed);
   EXPECT_GT(r.training.checkpoint_bytes, 0);
   // The checkpoint write is the only Falcon traffic in this config: the

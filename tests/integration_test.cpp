@@ -26,8 +26,8 @@ TEST(PaperFindings, BertLargeRoughlyDoublesOnFalconGpus) {
   // "BERT-large fine-tuning time took almost twice as much time using
   // Falcon-attached GPUs" (Section V-C.2).
   const auto opt = cappedOptions();
-  const double local = iterTime(SystemConfig::LocalGpus, dl::bertLarge(), opt);
-  const double falcon = iterTime(SystemConfig::FalconGpus, dl::bertLarge(), opt);
+  const double local = iterTime(SystemConfig::LocalGpus, dl::workload("BERT-L"), opt);
+  const double falcon = iterTime(SystemConfig::FalconGpus, dl::workload("BERT-L"), opt);
   const double ratio = falcon / local;
   EXPECT_GT(ratio, 1.6);
   EXPECT_LT(ratio, 2.4);
@@ -37,7 +37,7 @@ TEST(PaperFindings, SmallVisionModelsUnderFivePercent) {
   // "For smaller models, such as MobileNetv2 and ResNet-50, the overhead
   // of the PCI-e switching is negligible ... less than 5% slower."
   const auto opt = cappedOptions();
-  for (const auto& m : {dl::mobileNetV2(), dl::resNet50()}) {
+  for (const auto& m : {dl::workload("MobileNetV2"), dl::workload("ResNet-50")}) {
     const double local = iterTime(SystemConfig::LocalGpus, m, opt);
     const double falcon = iterTime(SystemConfig::FalconGpus, m, opt);
     EXPECT_LT(falcon / local, 1.05) << m.name;
@@ -46,7 +46,7 @@ TEST(PaperFindings, SmallVisionModelsUnderFivePercent) {
 
 TEST(PaperFindings, VisionWorkloadsUnderSevenPercent) {
   const auto opt = cappedOptions();
-  const auto yolo = dl::yoloV5L();
+  const auto yolo = dl::workload("YOLOv5-L");
   const double local = iterTime(SystemConfig::LocalGpus, yolo, opt);
   for (const auto cfg : {SystemConfig::HybridGpus, SystemConfig::FalconGpus}) {
     EXPECT_LT(iterTime(cfg, yolo, opt) / local, 1.07) << toString(cfg);
@@ -59,16 +59,16 @@ TEST(PaperFindings, OverheadGrowsWithModelSize) {
     const double local = iterTime(SystemConfig::LocalGpus, m, opt);
     return iterTime(SystemConfig::FalconGpus, m, opt) / local;
   };
-  const double small = overhead(dl::resNet50());
-  const double mid = overhead(dl::bertBase());
-  const double large = overhead(dl::bertLarge());
+  const double small = overhead(dl::workload("ResNet-50"));
+  const double mid = overhead(dl::workload("BERT"));
+  const double large = overhead(dl::workload("BERT-L"));
   EXPECT_LE(small, mid);
   EXPECT_LT(mid, large);
 }
 
 TEST(PaperFindings, HybridNeverWorseThanFalcon) {
   const auto opt = cappedOptions();
-  for (const auto& m : {dl::resNet50(), dl::bertLarge()}) {
+  for (const auto& m : {dl::workload("ResNet-50"), dl::workload("BERT-L")}) {
     const double hybrid = iterTime(SystemConfig::HybridGpus, m, opt);
     const double falcon = iterTime(SystemConfig::FalconGpus, m, opt);
     EXPECT_LE(hybrid, falcon * 1.02) << m.name;
@@ -78,13 +78,13 @@ TEST(PaperFindings, HybridNeverWorseThanFalcon) {
 TEST(PaperFindings, PcieTrafficOrderingMatchesFig12) {
   // Fig 12: BERT-large traffic (~76 GB/s) >> ResNet-50 (~11) > MobileNet (~4).
   const auto opt = cappedOptions();
-  const auto mob = Experiment::run(SystemConfig::FalconGpus, dl::mobileNetV2(), opt);
-  const auto res = Experiment::run(SystemConfig::FalconGpus, dl::resNet50(), opt);
-  const auto bl = Experiment::run(SystemConfig::FalconGpus, dl::bertLarge(), opt);
+  const auto mob = Experiment::run(SystemConfig::FalconGpus, dl::workload("MobileNetV2"), opt);
+  const auto res = Experiment::run(SystemConfig::FalconGpus, dl::workload("ResNet-50"), opt);
+  const auto bl = Experiment::run(SystemConfig::FalconGpus, dl::workload("BERT-L"), opt);
   EXPECT_GT(res.falcon_pcie_gbs, mob.falcon_pcie_gbs);
   EXPECT_GT(bl.falcon_pcie_gbs, res.falcon_pcie_gbs * 3.0);
   // Hybrid moves less Falcon traffic than falcon-only (half the ports).
-  const auto blh = Experiment::run(SystemConfig::HybridGpus, dl::bertLarge(), opt);
+  const auto blh = Experiment::run(SystemConfig::HybridGpus, dl::workload("BERT-L"), opt);
   EXPECT_LT(blh.falcon_pcie_gbs, bl.falcon_pcie_gbs);
 }
 
@@ -92,8 +92,8 @@ TEST(PaperFindings, GpuUtilizationHighEverywhere) {
   // Fig 10: "All benchmarks are keeping GPUs busy ... higher than 80%";
   // falcon configurations run slightly higher (NCCL kernels on PCIe).
   const auto opt = cappedOptions(12);
-  const auto local = Experiment::run(SystemConfig::LocalGpus, dl::bertLarge(), opt);
-  const auto falcon = Experiment::run(SystemConfig::FalconGpus, dl::bertLarge(), opt);
+  const auto local = Experiment::run(SystemConfig::LocalGpus, dl::workload("BERT-L"), opt);
+  const auto falcon = Experiment::run(SystemConfig::FalconGpus, dl::workload("BERT-L"), opt);
   EXPECT_GT(local.gpu_util_pct, 80.0);
   EXPECT_GT(falcon.gpu_util_pct, 80.0);
   EXPECT_GE(falcon.gpu_util_pct, local.gpu_util_pct - 1.0);
@@ -104,8 +104,8 @@ TEST(PaperFindings, GpuUtilizationHighEverywhere) {
 TEST(PaperFindings, VisionStressesCpuMoreThanNlp) {
   // Fig 13: data preprocessing puts vision CPU utilization well above NLP.
   const auto opt = cappedOptions();
-  const auto vision = Experiment::run(SystemConfig::LocalGpus, dl::resNet50(), opt);
-  const auto nlp = Experiment::run(SystemConfig::LocalGpus, dl::bertLarge(), opt);
+  const auto vision = Experiment::run(SystemConfig::LocalGpus, dl::workload("ResNet-50"), opt);
+  const auto nlp = Experiment::run(SystemConfig::LocalGpus, dl::workload("BERT-L"), opt);
   EXPECT_GT(vision.cpu_util_pct, nlp.cpu_util_pct * 2.0);
   // Fig 13/14: nothing close to saturation.
   EXPECT_LT(vision.cpu_util_pct, 60.0);
@@ -116,7 +116,7 @@ TEST(PaperFindings, NvmeAcceleratesLargeInputModels) {
   // Fig 15: NVMe (local or falcon) accelerates YOLO; falcon-attached NVMe
   // performs about the same as local NVMe.
   ExperimentOptions opt = cappedOptions(8);
-  const auto yolo = dl::yoloV5L();
+  const auto yolo = dl::workload("YOLOv5-L");
   const auto base = Experiment::run(SystemConfig::LocalGpus, yolo, opt);
   const auto local = Experiment::run(SystemConfig::LocalNvme, yolo, opt);
   const auto falcon = Experiment::run(SystemConfig::FalconNvme, yolo, opt);

@@ -257,9 +257,9 @@ TEST(MetricsPipeline, ExperimentExportsAreRunToRunDeterministic) {
   opt.trainer.max_iterations_per_epoch = 6;
   opt.metrics.alerts = {"gpu_util_pct < 10 for 1s"};
   const auto a =
-      core::Experiment::run(core::SystemConfig::FalconGpus, dl::resNet50(), opt);
+      core::Experiment::run(core::SystemConfig::FalconGpus, dl::workload("ResNet-50"), opt);
   const auto b =
-      core::Experiment::run(core::SystemConfig::FalconGpus, dl::resNet50(), opt);
+      core::Experiment::run(core::SystemConfig::FalconGpus, dl::workload("ResNet-50"), opt);
   ASSERT_NE(a.metrics, nullptr);
   ASSERT_NE(b.metrics, nullptr);
   EXPECT_GT(a.metrics->prometheusText().size(), 0u);
@@ -281,7 +281,7 @@ TEST(MetricsPipeline, SweepExportsIdenticalAtAnyJobCount) {
           opt.trainer.epochs = 1;
           opt.trainer.max_iterations_per_epoch = 5;
           opt.metrics.alerts = {"gpu_util_pct < 10 for 1s"};
-          return core::Experiment::run(configs[i], dl::resNet50(), opt);
+          return core::Experiment::run(configs[i], dl::workload("ResNet-50"), opt);
         });
     for (const auto& r : results) {
       out.push_back(r.metrics->prometheusText());

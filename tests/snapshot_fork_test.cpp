@@ -108,7 +108,7 @@ TEST(TopologyFork, RestoreStateRebindsRouteOwnerToRestoringThread) {
 core::ExperimentSpec specWith(int cap, int epochs, std::int64_t warm) {
   core::ExperimentSpec s;
   s.name = "spec-cap" + std::to_string(cap);
-  s.benchmark = "ResNet-50";
+  s.workload = "ResNet-50";
   s.config = core::SystemConfig::FalconGpus;
   s.options.trainer.epochs = epochs;
   s.options.trainer.max_iterations_per_epoch = cap;
@@ -183,7 +183,7 @@ void expectResultsIdentical(const core::ExperimentResult& a,
 }
 
 TEST(SnapshotFork, ForkedTailIsByteIdenticalToColdPhasedRun) {
-  const auto model = dl::resNet50();
+  const auto model = dl::workload("ResNet-50");
   const auto opt = phasedOptions(10, 1);
 
   core::WarmedExperiment cold(core::SystemConfig::FalconGpus, model, opt);
@@ -198,7 +198,7 @@ TEST(SnapshotFork, ForkedTailIsByteIdenticalToColdPhasedRun) {
 }
 
 TEST(SnapshotFork, SnapshotIsReusableAndDeterministic) {
-  const auto model = dl::resNet50();
+  const auto model = dl::workload("ResNet-50");
   const auto opt = phasedOptions(8, 1);
   core::WarmedExperiment donor(core::SystemConfig::FalconGpus, model, opt);
   const core::SimSnapshot snap = donor.snapshot();
@@ -224,7 +224,7 @@ TEST(SnapshotFork, SnapshotIsReusableAndDeterministic) {
 TEST(SnapshotFork, ForkedVariantMatchesWholeColdVariant) {
   // A variant whose tail length differs from the donor's: forking from
   // the shared prefix must equal running that variant phased end-to-end.
-  const auto model = dl::resNet50();
+  const auto model = dl::workload("ResNet-50");
   const auto donor_opt = phasedOptions(8, 1);
   auto variant_opt = donor_opt;
   variant_opt.trainer.max_iterations_per_epoch = 14;
@@ -256,7 +256,7 @@ std::vector<core::ExperimentSpec> twinSuite() {
   for (int i = 0; i < 8; ++i) {
     core::ExperimentSpec s;
     s.name = "twin-" + std::to_string(i);
-    s.benchmark = "ResNet-50";
+    s.workload = "ResNet-50";
     s.config = core::SystemConfig::FalconGpus;
     s.options.trainer.epochs = 1;
     s.options.trainer.max_iterations_per_epoch = 8 + i;
@@ -280,7 +280,7 @@ SweepArtifacts runTwin(int jobs, bool share) {
       return;
     }
     auto& run = tracker.run(done.spec.name);
-    run.setConfig("benchmark", done.spec.benchmark);
+    run.setConfig("benchmark", done.spec.workload);
     run.setSummary("mean_iteration_s", done.result.training.mean_iteration_time);
     run.setSummary("gpu_util_pct", done.result.gpu_util_pct);
     art.traces.push_back(done.result.profiler->chromeTrace().dump(2));

@@ -21,7 +21,7 @@ core::ExperimentSpec makeSpec(const std::string& name,
                               core::SystemConfig config, bool trace = false) {
   core::ExperimentSpec s;
   s.name = name;
-  s.benchmark = benchmark;
+  s.workload = benchmark;
   s.config = config;
   s.options.trainer.epochs = 1;
   s.options.trainer.max_iterations_per_epoch = 6;
@@ -49,7 +49,7 @@ std::string trackerJson(const std::vector<core::SweepRun>& outcomes) {
   for (const auto& done : outcomes) {
     if (!done.status) continue;
     auto& run = tracker.run(done.spec.name);
-    run.setConfig("benchmark", done.spec.benchmark);
+    run.setConfig("benchmark", done.spec.workload);
     run.setConfig("config", core::toString(done.spec.config));
     run.setSummary("mean_iteration_s", done.result.training.mean_iteration_time);
     run.setSummary("samples_per_second", done.result.training.samples_per_second);

@@ -172,7 +172,7 @@ TraceRun runTinyDdp(bool trace) {
   opt.strategy = dl::Strategy::DistributedDataParallel;
   dl::Trainer trainer(sys.sim(), sys.network(), sys.topology(), gpus,
                       sys.cpu(), sys.hostMemory(), sys.trainingStorage(),
-                      dl::mobileNetV2(), dl::datasetFor(dl::mobileNetV2()),
+                      dl::workload("MobileNetV2"), dl::datasetFor(dl::workload("MobileNetV2")),
                       opt);
   bool completed = false;
   trainer.start([&](const dl::TrainingResult& r) { completed = r.completed; });
@@ -278,7 +278,7 @@ TEST(ProfilerTrace, ExperimentTraceOptionProducesProfiler) {
   opt.trainer.max_iterations_per_epoch = 2;
   opt.trace = true;
   const auto r =
-      core::Experiment::run(SystemConfig::LocalGpus, dl::mobileNetV2(), opt);
+      core::Experiment::run(SystemConfig::LocalGpus, dl::workload("MobileNetV2"), opt);
   ASSERT_NE(r.profiler, nullptr);
   EXPECT_GT(r.profiler->recordCount(), 0u);
 
@@ -308,7 +308,7 @@ TEST(ProfilerTrace, NoTraceOptionMeansNoProfiler) {
   opt.trainer.epochs = 1;
   opt.trainer.max_iterations_per_epoch = 2;
   const auto r =
-      core::Experiment::run(SystemConfig::LocalGpus, dl::mobileNetV2(), opt);
+      core::Experiment::run(SystemConfig::LocalGpus, dl::workload("MobileNetV2"), opt);
   EXPECT_EQ(r.profiler, nullptr);
 }
 

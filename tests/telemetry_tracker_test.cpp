@@ -111,7 +111,7 @@ TEST(OptimizerModel, StateSizesMatchKnownFootprints) {
 TEST(OptimizerModel, SgdEnablesLargerBatchThanAdam) {
   core::ComposableSystem sys(core::SystemConfig::LocalGpus);
   auto gpus = sys.trainingGpus();
-  const auto model = dl::bertLarge();
+  const auto model = dl::workload("BERT-L");
   dl::TrainerOptions adam;
   dl::TrainerOptions sgd;
   sgd.optimizer.kind = dl::OptimizerKind::Sgd;
