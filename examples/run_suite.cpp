@@ -41,8 +41,10 @@
 // iterations; experiments that share everything but their tail length
 // (epochs / iterations_cap) then execute that prefix once and fork from a
 // snapshot (DESIGN.md §14), with byte-identical artifacts. Experiments
-// where the boundary is inapplicable (fault schedules, N at or past an
-// epoch or checkpoint boundary) run continuously as before. Individual
+// where the boundary is inapplicable (N at or past an epoch or checkpoint
+// boundary) run continuously as before; faulted experiments fork too, as
+// long as every injection lands strictly after the boundary (earlier
+// injections fall back to cold runs automatically). Individual
 // experiments can instead carry their own "warm_prefix" key in the suite
 // file; the flag overrides only specs that left it unset.
 #include <cstdio>
@@ -151,10 +153,11 @@ int main(int argc, char** argv) {
   if (!faults_spec.empty()) {
     falcon::Json doc;
     if (!load_spec("faults", faults_spec, &doc)) return 1;
-    try {
-      shared_faults = core::parseFaultsConfig(doc);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "faults spec error: %s\n", e.what());
+    // The Status overload lists the valid fault kinds on bad input, so a
+    // typo'd reproducer tells the operator how to fix itself.
+    const Status st = core::parseFaultsConfig(doc, &shared_faults);
+    if (!st.ok) {
+      std::fprintf(stderr, "faults spec error: %s\n", st.toString().c_str());
       return 1;
     }
   }

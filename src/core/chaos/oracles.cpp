@@ -1,0 +1,228 @@
+#include "core/chaos/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace composim::core::chaos {
+
+void OracleRegistry::add(std::string name, Oracle oracle) {
+  oracles_.emplace_back(std::move(name), std::move(oracle));
+}
+
+std::vector<OracleVerdict> OracleRegistry::evaluate(
+    const OracleInput& input) const {
+  std::vector<OracleVerdict> verdicts;
+  verdicts.reserve(oracles_.size());
+  for (const auto& [name, oracle] : oracles_) {
+    OracleVerdict v;
+    v.oracle = name;
+    try {
+      const Status st = oracle(input);
+      v.passed = st.ok;
+      v.detail = st.detail;
+    } catch (const std::exception& e) {
+      v.passed = false;
+      v.detail = std::string("oracle threw: ") + e.what();
+    }
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
+}
+
+namespace {
+
+bool isWatchdogFailure(const Status& st) {
+  return !st.ok && st.detail.find("watchdog:") != std::string::npos;
+}
+
+Status livenessTerminalState(const OracleInput& in) {
+  if (isWatchdogFailure(*in.run_status)) {
+    return Status::failedPrecondition(
+        "liveness: run hit the simulated-time watchdog (hung gang): " +
+        in.run_status->detail);
+  }
+  if (in.result != nullptr && in.result->recovery.enabled &&
+      in.result->recovery.terminal_state == RecoveryTerminalState::InFlight) {
+    return Status::failedPrecondition(
+        "liveness: an incident was still open when the run ended");
+  }
+  return Status::success();
+}
+
+Status honestyTypedStatus(const OracleInput& in) {
+  if (!in.run_status->ok) {
+    if (in.run_status->code == StatusCode::Ok) {
+      return Status::failedPrecondition(
+          "honesty: failed run carries StatusCode::Ok");
+    }
+    if (in.run_status->detail.empty()) {
+      return Status::failedPrecondition(
+          "honesty: failed run carries no detail");
+    }
+    return Status::success();
+  }
+  if (in.result == nullptr) {
+    return Status::failedPrecondition("honesty: ok run without a result");
+  }
+  const auto& t = in.result->training;
+  if (!t.completed && t.error.empty()) {
+    return Status::failedPrecondition(
+        "honesty: training failed with an empty error (silent failure)");
+  }
+  if (in.result->recovery.enabled &&
+      in.result->recovery.terminal_state ==
+          RecoveryTerminalState::Unrecoverable &&
+      t.completed) {
+    return Status::failedPrecondition(
+        "honesty: unrecoverable run reported completed=true (silent success)");
+  }
+  return Status::success();
+}
+
+Status safetyIterationAccounting(const OracleInput& in) {
+  if (in.result == nullptr) return Status::success();  // liveness/honesty own it
+  const auto& t = in.result->training;
+  const auto& opts = in.spec->options.trainer;
+  if (t.lost_iterations < 0) {
+    return Status::failedPrecondition(
+        "safety: negative lost_iterations (" +
+        std::to_string(t.lost_iterations) + ")");
+  }
+  if (t.restores == 0 && t.lost_iterations != 0) {
+    return Status::failedPrecondition(
+        "safety: " + std::to_string(t.lost_iterations) +
+        " iterations lost without any restore");
+  }
+  // Each restore rewinds at most one replay window.
+  const std::int64_t window = opts.checkpoint_every_iters > 0
+                                  ? opts.checkpoint_every_iters
+                                  : opts.max_iterations_per_epoch;
+  if (window > 0 && t.lost_iterations > t.restores * window) {
+    return Status::failedPrecondition(
+        "safety: lost " + std::to_string(t.lost_iterations) +
+        " iterations > restores(" + std::to_string(t.restores) +
+        ") x replay window(" + std::to_string(window) + ")");
+  }
+  // A completed capped run commits exactly epochs x cap iterations (the
+  // cap binds for every campaign workload at any surviving gang size).
+  if (t.completed && opts.epochs > 0 && opts.max_iterations_per_epoch > 0) {
+    const std::int64_t expected =
+        static_cast<std::int64_t>(opts.epochs) * opts.max_iterations_per_epoch;
+    if (t.iterations_run != expected) {
+      return Status::failedPrecondition(
+          "safety: completed run committed " +
+          std::to_string(t.iterations_run) + " iterations, expected " +
+          std::to_string(expected));
+    }
+  }
+  return Status::success();
+}
+
+Status safetyFlowConservation(const OracleInput& in) {
+  if (in.result == nullptr || !in.result->recovery.enabled) {
+    return Status::success();
+  }
+  const auto& r = in.result->recovery;
+  if (r.flows_started != r.flows_completed + r.flows_failed) {
+    return Status::failedPrecondition(
+        "safety: flow books don't balance: started " +
+        std::to_string(r.flows_started) + " != completed " +
+        std::to_string(r.flows_completed) + " + failed " +
+        std::to_string(r.flows_failed));
+  }
+  if (r.flows_active_at_end != 0) {
+    return Status::failedPrecondition(
+        "safety: " + std::to_string(r.flows_active_at_end) +
+        " flows still in flight at the end of the run");
+  }
+  return Status::success();
+}
+
+Status safetyQuarantineIsolation(const OracleInput& in) {
+  if (in.result == nullptr || !in.result->recovery.enabled) {
+    return Status::success();
+  }
+  const auto& r = in.result->recovery;
+  for (std::size_t i = 0; i < r.quarantined_slots.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.quarantined_slots.size(); ++j) {
+      if (r.quarantined_slots[i].drawer == r.quarantined_slots[j].drawer &&
+          r.quarantined_slots[i].index == r.quarantined_slots[j].index) {
+        return Status::failedPrecondition(
+            "safety: slot {" + std::to_string(r.quarantined_slots[i].drawer) +
+            "," + std::to_string(r.quarantined_slots[i].index) +
+            "} quarantined twice");
+      }
+    }
+  }
+  for (const auto& inc : r.incidents) {
+    if (inc.spare_slot.drawer < 0) continue;
+    for (const auto& q : r.quarantined_slots) {
+      if (q.drawer == inc.spare_slot.drawer &&
+          q.index == inc.spare_slot.index) {
+        return Status::failedPrecondition(
+            "safety: spare attached to quarantined slot {" +
+            std::to_string(q.drawer) + "," + std::to_string(q.index) + "}");
+      }
+    }
+  }
+  return Status::success();
+}
+
+Status safetyDetectionConsistency(const OracleInput& in) {
+  if (in.result == nullptr || !in.result->recovery.enabled) {
+    return Status::success();
+  }
+  const auto& r = in.result->recovery;
+  const auto& faults = in.spec->options.faults;
+  const std::size_t scheduled = faults.gpu_falloffs.size() +
+                                faults.ecc_storms.size() +
+                                faults.host_port_flaps.size();
+  if (scheduled == 0) {
+    if (!r.detections_log.empty()) {
+      return Status::failedPrecondition(
+          "safety: " + std::to_string(r.detections_log.size()) +
+          " detections without any scheduled fault");
+    }
+    return Status::success();
+  }
+  // Every detection must join an injected fault record within one health
+  // poll: detections the schedule can't explain mean the monitor or the
+  // injector history is lying.
+  const SimTime slack = faults.health_poll_interval + 1e-6;
+  for (const auto& ev : r.detections_log) {
+    const fabric::FaultRecord* latest = nullptr;
+    for (const auto& f : r.fault_history) {
+      if (f.time <= ev.time + 1e-9 && (!latest || f.time > latest->time)) {
+        latest = &f;
+      }
+    }
+    if (latest == nullptr) {
+      return Status::failedPrecondition(
+          "safety: detection at t=" + std::to_string(ev.time) +
+          " precedes every injected fault");
+    }
+    if (ev.time - latest->time > slack) {
+      return Status::failedPrecondition(
+          "safety: detection at t=" + std::to_string(ev.time) +
+          " lags the latest injected fault (t=" +
+          std::to_string(latest->time) + ") by more than one poll");
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+OracleRegistry OracleRegistry::standard() {
+  OracleRegistry reg;
+  reg.add("liveness.terminal-state", livenessTerminalState);
+  reg.add("honesty.typed-status", honestyTypedStatus);
+  reg.add("safety.iteration-accounting", safetyIterationAccounting);
+  reg.add("safety.flow-conservation", safetyFlowConservation);
+  reg.add("safety.quarantine-isolation", safetyQuarantineIsolation);
+  reg.add("safety.detection-consistency", safetyDetectionConsistency);
+  return reg;
+}
+
+}  // namespace composim::core::chaos

@@ -1,0 +1,69 @@
+// composim: invariant oracles for chaos campaigns.
+//
+// An oracle is a named invariant checked against one scenario's outcome.
+// The standard registry covers the three contract families the recovery
+// layer must honor under ANY fault interleaving:
+//
+//   liveness — the run reaches a terminal state (no hung gang: a
+//     watchdog trip or an incident still in flight at the end fails);
+//   safety   — the books balance afterwards: lost-iteration accounting
+//     stays inside the checkpoint replay window, fabric flows conserve
+//     (started = completed + failed, none in flight), no spare was
+//     attached to a quarantined slot, and every detection in the monitor
+//     log joins an injected fault within one poll interval;
+//   honesty  — every failure surfaces as a typed Status or a non-empty
+//     training error, never a silent success.
+//
+// Oracles are pure functions of the outcome: evaluating them never
+// re-runs anything, so campaign verdicts are deterministic and cheap.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/sweep_runner.hpp"
+
+namespace composim::core::chaos {
+
+/// Everything an oracle may look at for one scenario run.
+struct OracleInput {
+  const ExperimentSpec* spec = nullptr;     // the scenario's spec (faults!)
+  const Status* run_status = nullptr;       // SweepRun status
+  const ExperimentResult* result = nullptr; // null when !run_status->ok
+};
+
+/// One oracle's verdict on one scenario.
+struct OracleVerdict {
+  std::string oracle;
+  bool passed = false;
+  std::string detail;  // failure explanation (empty when passed)
+};
+
+/// Ordered, named collection of invariants. Evaluation order is the
+/// registration order, so verdict vectors are positionally stable.
+class OracleRegistry {
+ public:
+  using Oracle = std::function<Status(const OracleInput&)>;
+
+  void add(std::string name, Oracle oracle);
+  std::size_t size() const { return oracles_.size(); }
+  const std::vector<std::pair<std::string, Oracle>>& oracles() const {
+    return oracles_;
+  }
+
+  /// Run every oracle against one outcome; one verdict per oracle, in
+  /// registration order. An oracle that throws is recorded as failed
+  /// with the exception text (oracle bugs must not pass silently).
+  std::vector<OracleVerdict> evaluate(const OracleInput& input) const;
+
+  /// The built-in liveness/safety/honesty invariants described above.
+  static OracleRegistry standard();
+
+ private:
+  std::vector<std::pair<std::string, Oracle>> oracles_;
+};
+
+}  // namespace composim::core::chaos

@@ -1,0 +1,65 @@
+// composim: chaos-campaign scenario model + seeded fault-space generator.
+//
+// A scenario is one sampled point in fault space: a fault schedule
+// (what fails, when) plus the recovery capacity the run has to absorb it
+// (spares, attach noise, backoff policy). The generator stratifies
+// injection times across the phase boundaries where recovery bugs hide —
+// iteration boundaries, checkpoint boundaries, mid-collective windows —
+// anchored to timing measured from one healthy run, and deliberately
+// overlaps a fraction of faults inside one detection window so the
+// single-incident-per-slot and multi-incident paths both get exercised.
+//
+// Generation is a pure function of (space, timing): scenario i is drawn
+// from its own splitmix-derived RNG stream, so any subset of a campaign
+// replays byte-identically in any order on any worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace composim::core::chaos {
+
+/// Timing anchors measured from one healthy (fault-free) run of the
+/// campaign's workload. All scenario injection times derive from these.
+struct BaselineTiming {
+  SimTime horizon = 0.0;          // healthy training.simulated_time
+  SimTime mean_iteration = 0.0;   // healthy mean iteration time
+  std::int64_t iterations = 0;    // iterations the healthy run committed
+  SimTime checkpoint_period = 0.0;  // mean_iteration * checkpoint window
+};
+
+/// One sampled point in fault space, replayable on its own: `faults` is a
+/// complete --faults document (schedule + capacity + policy + seed).
+struct Scenario {
+  int index = 0;
+  std::uint64_t seed = 0;  // campaign seed mixed with index
+  FaultsConfig faults;
+  /// Compact single-line summary ("3 faults: falloff g2@1.84 ...").
+  std::string describe() const;
+};
+
+/// The sampled fault space: targets, per-scenario fault counts, and the
+/// recovery-capacity choices each scenario draws from.
+struct ScenarioSpace {
+  std::uint64_t seed = 2026;
+  int count = 200;
+  int max_faults_per_scenario = 3;
+  int gpu_count = 8;                    // falcon GPUs, install order
+  std::vector<int> host_ports = {0, 2};
+  std::vector<int> spare_choices = {0, 1, 2};
+  std::vector<double> attach_failure_choices = {0.0, 0.3, 0.9};
+  /// Health-poll cadence for every scenario (also the overlap window).
+  SimTime poll_interval = 0.25;
+  /// Fraction of non-first faults retimed into the previous fault's
+  /// detection window (overlapping-incident coverage).
+  double overlap_fraction = 0.25;
+};
+
+/// Deterministically sample `space.count` scenarios anchored to `timing`.
+std::vector<Scenario> generateScenarios(const ScenarioSpace& space,
+                                        const BaselineTiming& timing);
+
+}  // namespace composim::core::chaos

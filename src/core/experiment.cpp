@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <limits>
 #include <stdexcept>
 
 #include "telemetry/collectors.hpp"
@@ -71,28 +72,7 @@ struct Stack {
           system.sim(), system.chassis(), system.bmc());
       monitor->setErrorStormThreshold(faults.error_storm_threshold);
       orchestrator = std::make_unique<RecoveryOrchestrator>(
-          system, *monitor, *trainer, faults.policy);
-
-      for (const auto& f : faults.gpu_falloffs) {
-        const auto& g =
-            system.falconGpus().at(static_cast<std::size_t>(f.gpu_index));
-        const auto slot = system.slotOfGpu(g.get());
-        const auto& info = system.chassis().slot(*slot);
-        injector->scheduleDeviceFalloff(info.link_up, info.link_down, f.at);
-      }
-      for (const auto& s : faults.ecc_storms) {
-        const auto& g =
-            system.falconGpus().at(static_cast<std::size_t>(s.gpu_index));
-        const auto slot = system.slotOfGpu(g.get());
-        injector->scheduleErrorBurst(system.chassis().slot(*slot).link_up,
-                                     s.at, s.errors);
-      }
-      for (const auto& h : faults.host_port_flaps) {
-        const auto& port = system.chassis().hostPort(h.port);
-        injector->scheduleHostPortFlap(port.link_in, port.link_out, h.at,
-                                       h.downtime);
-      }
-      monitor->start(faults.health_poll_interval);
+          system, *monitor, *trainer, faults.policy, faults.seed + 2);
     }
 
     // Metrics pipeline: shared subsystem collectors scraped on the sample
@@ -130,6 +110,53 @@ struct Stack {
     });
   }
 
+  /// Schedule the fault timeline and start the health monitor. Separate
+  /// from construction so the warm-prefix paths can run a fault-free
+  /// prefix, drain to the quiescent point (scheduled faults are closures a
+  /// snapshot cannot capture), and activate the schedule only on resume.
+  /// Fault times are absolute simulated times; the injector API takes
+  /// delays, so activation after a prefix rebases against sim.now().
+  /// Faults whose time already passed are dropped (the warm-prefix paths
+  /// reject such schedules up front).
+  void activateFaults() {
+    if (!options.faults.enabled) return;
+    const FaultsConfig& faults = options.faults;
+    const SimTime now = system.sim().now();
+    for (const auto& f : faults.gpu_falloffs) {
+      if (f.at < now) continue;
+      const auto& g =
+          system.falconGpus().at(static_cast<std::size_t>(f.gpu_index));
+      const auto slot = system.slotOfGpu(g.get());
+      const auto& info = system.chassis().slot(*slot);
+      injector->scheduleDeviceFalloff(info.link_up, info.link_down,
+                                      f.at - now);
+    }
+    for (const auto& s : faults.ecc_storms) {
+      if (s.at < now) continue;
+      const auto& g =
+          system.falconGpus().at(static_cast<std::size_t>(s.gpu_index));
+      const auto slot = system.slotOfGpu(g.get());
+      injector->scheduleErrorBurst(system.chassis().slot(*slot).link_up,
+                                   s.at - now, s.errors);
+    }
+    for (const auto& h : faults.host_port_flaps) {
+      if (h.at < now) continue;
+      const auto& port = system.chassis().hostPort(h.port);
+      injector->scheduleHostPortFlap(port.link_in, port.link_out, h.at - now,
+                                     h.downtime);
+    }
+    monitor->start(faults.health_poll_interval);
+  }
+
+  /// Earliest injection time in the fault schedule (+inf when none).
+  SimTime earliestFaultTime() const {
+    SimTime t = std::numeric_limits<SimTime>::infinity();
+    for (const auto& f : options.faults.gpu_falloffs) t = std::min(t, f.at);
+    for (const auto& s : options.faults.ecc_storms) t = std::min(t, s.at);
+    for (const auto& h : options.faults.host_port_flaps) t = std::min(t, h.at);
+    return t;
+  }
+
   /// The periodic activity a run needs while training advances. Called at
   /// start AND again after a warm-prefix pause — cold and forked tails
   /// issue the identical call sequence, which keeps them byte-identical.
@@ -158,13 +185,32 @@ struct Stack {
       metrics->scraper().stop();
       system.bmc().stopPeriodicSampling();
       if (monitor) monitor->stop();
+      // With the monitor stopped, an outage still in effect can never be
+      // observed recovering — close those incidents honestly now.
+      if (orchestrator) orchestrator->noteRunEnded();
     };
   }
 
   /// Drain the simulation to completion and summarize, exactly as the
   /// original single-shot Experiment::run did.
   ExperimentResult finishResult() {
-    system.sim().run();
+    if (options.watchdog > 0.0) {
+      // Liveness guard: a hung gang keeps periodic events (polls, scrapes)
+      // alive forever, so an unbounded run() would never return. Advance
+      // to the deadline and convert "still not finished" into a typed
+      // liveness failure the chaos oracles can match on.
+      system.sim().runUntil(options.watchdog);
+      if (!finished) {
+        throw std::runtime_error(
+            "watchdog: simulation still live at t=" +
+            std::to_string(options.watchdog) +
+            "s without the trainer finishing (hung gang?)");
+      }
+      // Finished: drain the (now self-terminating) remainder of the queue.
+      system.sim().run();
+    } else {
+      system.sim().run();
+    }
     if (!finished) {
       throw std::runtime_error(
           "Experiment: simulation drained without finishing");
@@ -193,9 +239,15 @@ struct Stack {
       result.recovery.degradations = orchestrator->degradations();
       result.recovery.final_gang_size = orchestrator->gangSize();
       result.recovery.mean_mttr = orchestrator->meanMttr();
+      result.recovery.terminal_state = orchestrator->terminalState();
+      result.recovery.quarantined_slots = orchestrator->quarantinedSlots();
       result.recovery.incidents = orchestrator->incidents();
       result.recovery.fault_history = injector->history();
       result.recovery.detections_log = monitor->log();
+      result.recovery.flows_started = system.network().flowsStarted();
+      result.recovery.flows_completed = system.network().flowsCompleted();
+      result.recovery.flows_failed = system.network().flowsFailed();
+      result.recovery.flows_active_at_end = system.network().activeFlows();
     }
 
     // Steady-state window: skip the priming phase and exclude checkpoint
@@ -225,6 +277,7 @@ struct Stack {
 ExperimentResult Experiment::run(SystemConfig config, const dl::ModelSpec& model,
                                  ExperimentOptions options) {
   Stack stack(config, model, std::move(options));
+  stack.activateFaults();
   stack.startTelemetry();
   stack.beginRunSpan();
   stack.trainer->start(stack.doneCallback());
@@ -258,11 +311,6 @@ WarmedExperiment::WarmedExperiment(SystemConfig config,
   if (options.warm_prefix <= 0) {
     throw std::invalid_argument("WarmedExperiment: warm_prefix must be > 0");
   }
-  if (options.faults.enabled) {
-    throw std::invalid_argument(
-        "WarmedExperiment: fault schedules cannot be warm-prefixed (injected "
-        "events are closures the snapshot cannot capture)");
-  }
   impl_ = std::make_unique<Impl>(config, model, std::move(options));
   Stack& stack = impl_->stack;
 
@@ -284,6 +332,17 @@ WarmedExperiment::WarmedExperiment(SystemConfig config,
     throw std::runtime_error(
         "WarmedExperiment: run ended before the warm-prefix boundary (check "
         "warmPrefixApplicable)");
+  }
+  // Fault activation is deferred to the resume step, so the schedule is
+  // only warm-prefixable when every injection lands strictly inside the
+  // tail. warmPrefixApplicable() can't know the boundary's simulated time
+  // up front; validate here and let callers fall back to a cold run.
+  if (stack.options.faults.enabled &&
+      stack.earliestFaultTime() <= stack.system.sim().now()) {
+    throw std::runtime_error(
+        "WarmedExperiment: fault schedule injects at or before the "
+        "warm-prefix boundary (t=" +
+        std::to_string(stack.system.sim().now()) + "s); run cold instead");
   }
 }
 
@@ -322,8 +381,9 @@ SimSnapshot WarmedExperiment::snapshot() const {
 
 ExperimentResult WarmedExperiment::finish() {
   Stack& stack = impl_->stack;
-  // The resume sequence — telemetry restart, then the next iteration —
-  // is the same call-for-call in the cold and fork paths.
+  // The resume sequence — fault activation, telemetry restart, then the
+  // next iteration — is the same call-for-call in the cold and fork paths.
+  stack.activateFaults();
   stack.startTelemetry();
   stack.trainer->resumeTraining();
   return stack.finishResult();
@@ -369,6 +429,7 @@ ExperimentResult WarmedExperiment::resumeFromSnapshot(
   stack.trainer->restoreRun(snap.trainer, stack.doneCallback());
 
   // Identical resume sequence to finish() above.
+  stack.activateFaults();
   stack.startTelemetry();
   stack.trainer->resumeTraining();
   return stack.finishResult();

@@ -64,6 +64,16 @@ struct RecoverySummary {
   int degradations = 0;
   std::size_t final_gang_size = 0;
   SimTime mean_mttr = 0.0;  // detection -> training resumed
+  /// Where the recovery state machine ended up (chaos oracles key on this).
+  RecoveryTerminalState terminal_state = RecoveryTerminalState::Idle;
+  /// Slots quarantined during the run, in quarantine order.
+  std::vector<falcon::SlotId> quarantined_slots;
+  /// Fabric flow conservation over the whole run: every flow ever started
+  /// must end completed or failed, with none left in flight at the end.
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t flows_failed = 0;
+  std::size_t flows_active_at_end = 0;
   std::vector<RecoveryIncident> incidents;
   std::vector<fabric::FaultRecord> fault_history;
   std::vector<falcon::FaultEvent> detections_log;
@@ -103,6 +113,12 @@ struct ExperimentOptions {
   /// Fault schedule + recovery capacity; faults.enabled = false runs the
   /// experiment exactly as before (no monitor, no orchestrator).
   FaultsConfig faults;
+  /// Liveness watchdog: if > 0 and the simulation is still live past this
+  /// simulated time without the trainer finishing, the run throws
+  /// std::runtime_error with a "watchdog:" detail instead of spinning on
+  /// periodic events forever. Chaos campaigns rely on this to turn a hung
+  /// gang into a typed liveness failure. 0 = no watchdog (legacy).
+  SimTime watchdog = 0.0;
   /// Warm-prefix boundary: pause after this many completed training
   /// iterations so the whole stack can be snapshotted and forked (0 =
   /// off, run continuously). Only meaningful when warmPrefixApplicable()
@@ -190,10 +206,14 @@ struct SimSnapshot {
 /// byte-identical.
 class WarmedExperiment {
  public:
-  /// Build the stack and run the warm prefix. Throws std::runtime_error
-  /// when the run finishes before reaching the pause boundary (the caller
-  /// should have checked warmPrefixApplicable), std::invalid_argument
-  /// when options.warm_prefix <= 0 or options.faults.enabled.
+  /// Build the stack and run the warm prefix. Fault schedules are
+  /// supported as long as every injection time lies strictly after the
+  /// pause boundary: fault activation is deferred to the resume step, so
+  /// the prefix itself is fault-free and snapshot-safe. Throws
+  /// std::runtime_error when the run finishes before reaching the pause
+  /// boundary or when a fault time falls inside the prefix (callers fall
+  /// back to a cold run), std::invalid_argument when
+  /// options.warm_prefix <= 0.
   WarmedExperiment(SystemConfig config, const dl::ModelSpec& model,
                    ExperimentOptions options);
   ~WarmedExperiment();

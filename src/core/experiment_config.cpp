@@ -1,6 +1,8 @@
 #include "core/experiment_config.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -34,52 +36,234 @@ devices::Precision precisionFromName(const std::string& name) {
 
 }  // namespace
 
-FaultsConfig parseFaultsConfig(const falcon::Json& doc) {
+namespace {
+
+constexpr const char* kFaultKinds =
+    "valid fault kinds: gpu_falloffs [{gpu, at}], "
+    "ecc_storms [{gpu, at, errors?}], host_port_flaps [{port, at, downtime}]";
+
+constexpr const char* kFaultSettings =
+    "valid settings: seed, poll_interval, error_storm_threshold, spare_gpus, "
+    "attach_failure_rate, max_attach_retries, attach_backoff_initial, "
+    "attach_backoff_multiplier, attach_backoff_max, attach_backoff_jitter, "
+    "attach_retry_budget, proactive_on_error_storm";
+
+Status faultsError(const std::string& what) {
+  return Status::invalidArgument("faults: " + what + "; " + kFaultKinds +
+                                 "; " + kFaultSettings);
+}
+
+/// Every fault-entry object must carry exactly the keys its kind defines
+/// (a typo'd or misplaced key silently changing a schedule is how a
+/// reproducer stops reproducing).
+Status checkEntryKeys(const falcon::Json& entry, const char* kind,
+                      std::initializer_list<const char*> required,
+                      std::initializer_list<const char*> optional) {
+  if (!entry.isObject()) {
+    return faultsError(std::string(kind) + " entries must be objects");
+  }
+  for (const auto& [key, value] : entry.asObject()) {
+    (void)value;
+    bool known = false;
+    for (const char* k : required) known = known || key == k;
+    for (const char* k : optional) known = known || key == k;
+    if (!known) {
+      return faultsError("unknown key '" + key + "' in " + kind + " entry");
+    }
+  }
+  for (const char* k : required) {
+    if (entry.find(k) == nullptr) {
+      return faultsError(std::string(kind) + " entry missing key '" + k + "'");
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Status parseFaultsConfig(const falcon::Json& doc, FaultsConfig* out) {
+  if (!doc.isObject()) {
+    return faultsError("document must be a JSON object");
+  }
+  static constexpr const char* kKnownKeys[] = {
+      "seed",          "poll_interval",       "error_storm_threshold",
+      "spare_gpus",    "attach_failure_rate", "max_attach_retries",
+      "attach_backoff_initial",  "attach_backoff_multiplier",
+      "attach_backoff_max",      "attach_backoff_jitter",
+      "attach_retry_budget",     "proactive_on_error_storm",
+      "gpu_falloffs",  "ecc_storms",          "host_port_flaps"};
+  for (const auto& [key, value] : doc.asObject()) {
+    (void)value;
+    bool known = false;
+    for (const char* k : kKnownKeys) known = known || key == k;
+    if (!known) return faultsError("unknown key '" + key + "'");
+  }
+
   FaultsConfig faults;
   faults.enabled = true;
-  if (const auto* v = doc.find("seed")) {
-    faults.seed = static_cast<std::uint64_t>(v->asInt());
-  }
-  if (const auto* v = doc.find("poll_interval")) {
-    faults.health_poll_interval = v->asDouble();
-  }
-  if (const auto* v = doc.find("error_storm_threshold")) {
-    faults.error_storm_threshold = static_cast<std::uint64_t>(v->asInt());
-  }
-  if (const auto* v = doc.find("spare_gpus")) {
-    faults.spare_gpus = static_cast<int>(v->asInt());
-  }
-  if (const auto* v = doc.find("attach_failure_rate")) {
-    faults.attach_failure_rate = v->asDouble();
-  }
-  if (const auto* v = doc.find("max_attach_retries")) {
-    faults.policy.max_attach_retries = static_cast<int>(v->asInt());
-  }
-  if (const auto* v = doc.find("gpu_falloffs")) {
-    for (const auto& f : v->asArray()) {
-      faults.gpu_falloffs.push_back({static_cast<int>(f.at("gpu").asInt()),
-                                     f.at("at").asDouble()});
+  try {
+    if (const auto* v = doc.find("seed")) {
+      faults.seed = static_cast<std::uint64_t>(v->asInt());
     }
-  }
-  if (const auto* v = doc.find("ecc_storms")) {
-    for (const auto& f : v->asArray()) {
-      FaultsConfig::EccStorm storm;
-      storm.gpu_index = static_cast<int>(f.at("gpu").asInt());
-      storm.at = f.at("at").asDouble();
-      if (const auto* e = f.find("errors")) {
-        storm.errors = static_cast<std::uint64_t>(e->asInt());
+    if (const auto* v = doc.find("poll_interval")) {
+      faults.health_poll_interval = v->asDouble();
+      if (faults.health_poll_interval <= 0.0) {
+        return faultsError("poll_interval must be > 0");
       }
-      faults.ecc_storms.push_back(storm);
     }
-  }
-  if (const auto* v = doc.find("host_port_flaps")) {
-    for (const auto& f : v->asArray()) {
-      faults.host_port_flaps.push_back({static_cast<int>(f.at("port").asInt()),
-                                        f.at("at").asDouble(),
-                                        f.at("downtime").asDouble()});
+    if (const auto* v = doc.find("error_storm_threshold")) {
+      faults.error_storm_threshold = static_cast<std::uint64_t>(v->asInt());
     }
+    if (const auto* v = doc.find("spare_gpus")) {
+      faults.spare_gpus = static_cast<int>(v->asInt());
+      if (faults.spare_gpus < 0) return faultsError("spare_gpus must be >= 0");
+    }
+    if (const auto* v = doc.find("attach_failure_rate")) {
+      faults.attach_failure_rate = v->asDouble();
+      if (faults.attach_failure_rate < 0.0 || faults.attach_failure_rate > 1.0) {
+        return faultsError("attach_failure_rate must be in [0, 1]");
+      }
+    }
+    if (const auto* v = doc.find("max_attach_retries")) {
+      faults.policy.max_attach_retries = static_cast<int>(v->asInt());
+    }
+    if (const auto* v = doc.find("attach_backoff_initial")) {
+      faults.policy.attach_backoff_initial = v->asDouble();
+    }
+    if (const auto* v = doc.find("attach_backoff_multiplier")) {
+      faults.policy.attach_backoff_multiplier = v->asDouble();
+    }
+    if (const auto* v = doc.find("attach_backoff_max")) {
+      faults.policy.attach_backoff_max = v->asDouble();
+    }
+    if (const auto* v = doc.find("attach_backoff_jitter")) {
+      faults.policy.attach_backoff_jitter = v->asDouble();
+      if (faults.policy.attach_backoff_jitter < 0.0 ||
+          faults.policy.attach_backoff_jitter >= 1.0) {
+        return faultsError("attach_backoff_jitter must be in [0, 1)");
+      }
+    }
+    if (const auto* v = doc.find("attach_retry_budget")) {
+      faults.policy.attach_retry_budget = v->asDouble();
+      if (faults.policy.attach_retry_budget < 0.0) {
+        return faultsError("attach_retry_budget must be >= 0");
+      }
+    }
+    if (const auto* v = doc.find("proactive_on_error_storm")) {
+      faults.policy.proactive_on_error_storm = v->asBool();
+    }
+    if (const auto* v = doc.find("gpu_falloffs")) {
+      for (const auto& f : v->asArray()) {
+        if (Status st = checkEntryKeys(f, "gpu_falloffs", {"gpu", "at"}, {});
+            !st.ok) {
+          return st;
+        }
+        faults.gpu_falloffs.push_back({static_cast<int>(f.at("gpu").asInt()),
+                                       f.at("at").asDouble()});
+      }
+    }
+    if (const auto* v = doc.find("ecc_storms")) {
+      for (const auto& f : v->asArray()) {
+        if (Status st =
+                checkEntryKeys(f, "ecc_storms", {"gpu", "at"}, {"errors"});
+            !st.ok) {
+          return st;
+        }
+        FaultsConfig::EccStorm storm;
+        storm.gpu_index = static_cast<int>(f.at("gpu").asInt());
+        storm.at = f.at("at").asDouble();
+        if (const auto* e = f.find("errors")) {
+          storm.errors = static_cast<std::uint64_t>(e->asInt());
+        }
+        faults.ecc_storms.push_back(storm);
+      }
+    }
+    if (const auto* v = doc.find("host_port_flaps")) {
+      for (const auto& f : v->asArray()) {
+        if (Status st = checkEntryKeys(f, "host_port_flaps",
+                                       {"port", "at", "downtime"}, {});
+            !st.ok) {
+          return st;
+        }
+        faults.host_port_flaps.push_back(
+            {static_cast<int>(f.at("port").asInt()), f.at("at").asDouble(),
+             f.at("downtime").asDouble()});
+      }
+    }
+  } catch (const std::exception& e) {
+    // Shape errors from asInt/asDouble/at surface as JsonError.
+    return faultsError(e.what());
   }
+  *out = std::move(faults);
+  return Status::success();
+}
+
+FaultsConfig parseFaultsConfig(const falcon::Json& doc) {
+  FaultsConfig faults;
+  const Status st = parseFaultsConfig(doc, &faults);
+  if (!st.ok) throw std::invalid_argument(st.detail);
   return faults;
+}
+
+falcon::Json faultsConfigToJson(const FaultsConfig& faults) {
+  // Fixed key order and defaults always emitted: shrunk chaos reproducers
+  // must be byte-stable across runs, so the dump never depends on which
+  // keys the source document happened to set.
+  falcon::Json doc = falcon::Json::object();
+  doc.set("seed", falcon::Json(static_cast<std::int64_t>(faults.seed)));
+  doc.set("poll_interval", falcon::Json(faults.health_poll_interval));
+  doc.set("error_storm_threshold",
+          falcon::Json(static_cast<std::int64_t>(faults.error_storm_threshold)));
+  doc.set("spare_gpus", falcon::Json(static_cast<std::int64_t>(faults.spare_gpus)));
+  doc.set("attach_failure_rate", falcon::Json(faults.attach_failure_rate));
+  doc.set("max_attach_retries",
+          falcon::Json(static_cast<std::int64_t>(faults.policy.max_attach_retries)));
+  doc.set("attach_backoff_initial",
+          falcon::Json(faults.policy.attach_backoff_initial));
+  doc.set("attach_backoff_multiplier",
+          falcon::Json(faults.policy.attach_backoff_multiplier));
+  doc.set("attach_backoff_max", falcon::Json(faults.policy.attach_backoff_max));
+  doc.set("attach_backoff_jitter",
+          falcon::Json(faults.policy.attach_backoff_jitter));
+  doc.set("attach_retry_budget",
+          falcon::Json(faults.policy.attach_retry_budget));
+  doc.set("proactive_on_error_storm",
+          falcon::Json(faults.policy.proactive_on_error_storm));
+  falcon::Json falloffs = falcon::Json::array();
+  for (const auto& f : faults.gpu_falloffs) {
+    falcon::Json e = falcon::Json::object();
+    e.set("gpu", falcon::Json(static_cast<std::int64_t>(f.gpu_index)));
+    e.set("at", falcon::Json(f.at));
+    falloffs.push(std::move(e));
+  }
+  doc.set("gpu_falloffs", std::move(falloffs));
+  falcon::Json storms = falcon::Json::array();
+  for (const auto& s : faults.ecc_storms) {
+    falcon::Json e = falcon::Json::object();
+    e.set("gpu", falcon::Json(static_cast<std::int64_t>(s.gpu_index)));
+    e.set("at", falcon::Json(s.at));
+    e.set("errors", falcon::Json(static_cast<std::int64_t>(s.errors)));
+    storms.push(std::move(e));
+  }
+  doc.set("ecc_storms", std::move(storms));
+  falcon::Json flaps = falcon::Json::array();
+  for (const auto& h : faults.host_port_flaps) {
+    falcon::Json e = falcon::Json::object();
+    e.set("port", falcon::Json(static_cast<std::int64_t>(h.port)));
+    e.set("at", falcon::Json(h.at));
+    e.set("downtime", falcon::Json(h.downtime));
+    flaps.push(std::move(e));
+  }
+  doc.set("host_port_flaps", std::move(flaps));
+  return doc;
+}
+
+SimTime earliestFaultTime(const FaultsConfig& faults) {
+  SimTime t = std::numeric_limits<SimTime>::infinity();
+  for (const auto& f : faults.gpu_falloffs) t = std::min(t, f.at);
+  for (const auto& s : faults.ecc_storms) t = std::min(t, s.at);
+  for (const auto& h : faults.host_port_flaps) t = std::min(t, h.at);
+  return t;
 }
 
 MetricsConfig parseMetricsConfig(const falcon::Json& doc) {
@@ -143,6 +327,9 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
     if (const auto* v = e.find("warm_prefix")) {
       s.options.warm_prefix = v->asInt();
     }
+    if (const auto* v = e.find("watchdog")) {
+      s.options.watchdog = v->asDouble();
+    }
     if (const auto* v = e.find("faults")) {
       s.options.faults = parseFaultsConfig(*v);
     }
@@ -182,7 +369,11 @@ std::int64_t simulatedItersPerEpoch(const ExperimentSpec& spec) {
 bool warmPrefixApplicable(const ExperimentSpec& spec) {
   const std::int64_t w = spec.options.warm_prefix;
   if (w <= 0) return false;
-  if (spec.options.faults.enabled) return false;
+  // Fault schedules are fork-eligible: activation is deferred to the
+  // resume step, so a prefix is fault-free whenever every injection time
+  // lands inside the tail. That is a run-time property (it needs the
+  // pause boundary's simulated time); WarmedExperiment validates it and
+  // callers fall back to a cold run when it fails.
   if (spec.options.trainer.checkpoint_every_iters > 0 &&
       w >= spec.options.trainer.checkpoint_every_iters) {
     return false;
@@ -210,6 +401,10 @@ std::string warmPrefixKey(const ExperimentSpec& spec) {
       << "|workers=" << t.pipeline.preprocess_workers                //
       << "|pattern=" << static_cast<int>(t.pipeline.pattern)         //
       << "|seed=" << t.seed                                          //
+      // Spares are installed at construction, so they are prefix
+      // topology; every other faults field only shapes the tail.
+      << "|spares="
+      << (spec.options.faults.enabled ? spec.options.faults.spare_gpus : 0)  //
       << "|sample=" << spec.options.sample_interval                  //
       << "|scrape=" << spec.options.metrics.scrape_interval          //
       << "|trace=" << spec.options.trace                             //
@@ -223,8 +418,22 @@ std::string warmPrefixKey(const ExperimentSpec& spec) {
 ExperimentResult runExperimentSpec(const ExperimentSpec& spec) {
   const dl::ModelSpec model = dl::workload(spec.workload);
   if (warmPrefixApplicable(spec)) {
-    WarmedExperiment warmed(spec.config, model, spec.options);
-    return warmed.finish();
+    if (!spec.options.faults.enabled) {
+      WarmedExperiment warmed(spec.config, model, spec.options);
+      return warmed.finish();
+    }
+    // A faulted spec is only phased when its whole schedule lands inside
+    // the tail — knowable only once the prefix's pause time exists. The
+    // ctor validates and throws; fall back to a continuous run then.
+    // (Only ctor errors are caught: a watchdog trip in finish() must
+    // propagate as the run's failure, not trigger a doomed re-run.)
+    std::optional<WarmedExperiment> warmed;
+    try {
+      warmed.emplace(spec.config, model, spec.options);
+    } catch (const std::runtime_error&) {
+      return Experiment::run(spec.config, model, spec.options);
+    }
+    return warmed->finish();
   }
   return Experiment::run(spec.config, model, spec.options);
 }

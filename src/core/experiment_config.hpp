@@ -53,13 +53,34 @@ dl::ModelSpec benchmarkFromName(const std::string& name);
 /// standalone --faults document):
 ///
 ///   {"seed": 7, "poll_interval": 0.5, "spare_gpus": 2,
-///    "attach_failure_rate": 0.3,
+///    "attach_failure_rate": 0.3, "max_attach_retries": 6,
+///    "attach_backoff_initial": 0.25, "attach_backoff_multiplier": 2.0,
+///    "attach_backoff_max": 4.0, "attach_backoff_jitter": 0.2,
+///    "attach_retry_budget": 30.0, "proactive_on_error_storm": true,
 ///    "gpu_falloffs":    [{"gpu": 5, "at": 30.0}],
 ///    "ecc_storms":      [{"gpu": 1, "at": 12.0, "errors": 500}],
 ///    "host_port_flaps": [{"port": 2, "at": 60.0, "downtime": 2.0}]}
 ///
 /// Parsing a faults object always sets enabled = true.
+///
+/// The Status overload validates strictly: unknown keys (top-level or per
+/// fault entry), wrong shapes and out-of-range values return
+/// InvalidArgument whose detail lists the valid fault kinds, mirroring
+/// WorkloadRegistry's NotFound-lists-known-names pattern. On error *out
+/// is untouched.
+Status parseFaultsConfig(const falcon::Json& doc, FaultsConfig* out);
+
+/// Legacy throwing wrapper over the Status overload.
 FaultsConfig parseFaultsConfig(const falcon::Json& doc);
+
+/// Serialize a fault schedule back to the --faults JSON document with a
+/// fixed key order (defaults included), so shrunk chaos reproducers are
+/// byte-stable across runs. Round-trips exactly through
+/// parseFaultsConfig.
+falcon::Json faultsConfigToJson(const FaultsConfig& faults);
+
+/// Earliest injection time in the schedule (+infinity when it has none).
+SimTime earliestFaultTime(const FaultsConfig& faults);
 
 /// Parse a metrics object (the "metrics" key of an experiment, or a
 /// standalone --metrics document):
@@ -72,11 +93,15 @@ FaultsConfig parseFaultsConfig(const falcon::Json& doc);
 MetricsConfig parseMetricsConfig(const falcon::Json& doc);
 
 /// Whether `spec` can run as a warm-prefix phased experiment: warm_prefix
-/// is set, no fault schedule (injected events are closures a snapshot
-/// cannot capture), and the pause boundary lands strictly inside the first
-/// epoch and before the first periodic checkpoint — pausing ON a
+/// is set and the pause boundary lands strictly inside the first epoch
+/// and before the first periodic checkpoint — pausing ON a
 /// checkpoint/epoch boundary would suppress the checkpoint the continuous
-/// run takes there. Inapplicable specs run continuously.
+/// run takes there. Fault schedules are fork-eligible because activation
+/// is deferred to the resume step; whether every injection time actually
+/// lands inside the tail is only knowable once the prefix's pause time
+/// exists, so that check happens at run time (WarmedExperiment throws /
+/// the SweepRunner falls back to a cold run). Inapplicable specs run
+/// continuously.
 bool warmPrefixApplicable(const ExperimentSpec& spec);
 
 /// Canonical key of everything a spec's warm prefix depends on: all of

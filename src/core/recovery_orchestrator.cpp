@@ -17,20 +17,51 @@ const char* toString(RecoveryIncident::Path p) {
   return "?";
 }
 
+const char* toString(RecoveryTerminalState s) {
+  switch (s) {
+    case RecoveryTerminalState::Idle: return "idle";
+    case RecoveryTerminalState::Recovered: return "recovered";
+    case RecoveryTerminalState::Degraded: return "degraded";
+    case RecoveryTerminalState::Unrecoverable: return "unrecoverable";
+    case RecoveryTerminalState::InFlight: return "in-flight";
+  }
+  return "?";
+}
+
 RecoveryOrchestrator::RecoveryOrchestrator(ComposableSystem& system,
                                            falcon::HealthMonitor& monitor,
                                            dl::Trainer& trainer,
-                                           RecoveryPolicy policy)
+                                           RecoveryPolicy policy,
+                                           std::uint64_t jitter_seed)
     : system_(system), monitor_(monitor), trainer_(trainer), policy_(policy),
-      gang_(trainer.gpuGroup()) {
+      rng_(jitter_seed), gang_(trainer.gpuGroup()) {
   monitor_.subscribe([this](const falcon::FaultEvent& ev) { onFault(ev); });
+}
+
+bool RecoveryOrchestrator::slotQuarantined(falcon::SlotId slot) const {
+  for (const auto& q : quarantined_) {
+    if (q.drawer == slot.drawer && q.index == slot.index) return true;
+  }
+  return false;
+}
+
+RecoveryTerminalState RecoveryOrchestrator::terminalState() const {
+  if (aborted_run_) return RecoveryTerminalState::Unrecoverable;
+  bool abandoned = false;
+  for (const auto& inc : incidents_) {
+    if (!inc.resolved()) return RecoveryTerminalState::InFlight;
+    abandoned = abandoned || inc.abandoned;
+  }
+  if (incidents_.empty()) return RecoveryTerminalState::Idle;
+  if (degradations_ > 0 || abandoned) return RecoveryTerminalState::Degraded;
+  return RecoveryTerminalState::Recovered;
 }
 
 SimTime RecoveryOrchestrator::meanMttr() const {
   SimTime sum = 0.0;
   int n = 0;
   for (const auto& inc : incidents_) {
-    if (inc.resolved()) {
+    if (inc.resolved() && !inc.abandoned) {
       sum += inc.mttr();
       ++n;
     }
@@ -113,6 +144,7 @@ void RecoveryOrchestrator::quarantine(falcon::SlotId slot) {
   // removeDevice frees the slot, so the planner can never offer the dead
   // device back as a spare.
   chassis.removeDevice(slot);
+  quarantined_.push_back(slot);
   instant("quarantine",
           {{"drawer", slot.drawer}, {"slot", slot.index}});
 }
@@ -146,6 +178,7 @@ void RecoveryOrchestrator::handleGpuLoss(std::size_t inc, devices::Gpu* failed,
                     }
                     std::replace(gang_.begin(), gang_.end(), failed, spare);
                     incidents_[inc].path = RecoveryIncident::Path::SpareAttach;
+                    incidents_[inc].spare_slot = spare_slot;
                     instant("spare-attached",
                             {{"drawer", spare_slot.drawer},
                              {"slot", spare_slot.index},
@@ -164,8 +197,11 @@ void RecoveryOrchestrator::handleNvmeLoss(std::size_t inc,
   const auto plan =
       falcon::planAllocation(chassis, {falcon::ResourceRequest{port, 0, 1}});
   if (!plan.feasible) {
-    // No spare drive: nothing to re-point storage at. The incident stays
-    // open; reads against the dead node fail soft and the run limps on.
+    // No spare drive: nothing to re-point storage at. Close the incident
+    // as abandoned (service was not restored); reads against the dead
+    // node fail soft and the run limps on.
+    incidents_[inc].abandoned = true;
+    incidents_[inc].recovered_at = system_.sim().now();
     instant("nvme-unrecoverable", {{"drawer", slot.drawer}});
     return;
   }
@@ -176,6 +212,8 @@ void RecoveryOrchestrator::handleNvmeLoss(std::size_t inc,
   attachWithRetry(inc, spare_slot, port, policy_.attach_backoff_initial,
                   [this, inc, spare_slot](bool ok) {
                     if (!ok) {
+                      incidents_[inc].abandoned = true;
+                      incidents_[inc].recovered_at = system_.sim().now();
                       instant("nvme-unrecoverable", {});
                       return;
                     }
@@ -183,11 +221,21 @@ void RecoveryOrchestrator::handleNvmeLoss(std::size_t inc,
                     system_.falconNvme().retarget(info.device_node);
                     incidents_[inc].path =
                         RecoveryIncident::Path::StorageRetarget;
+                    incidents_[inc].spare_slot = spare_slot;
                     instant("storage-retargeted",
                             {{"drawer", spare_slot.drawer},
                              {"slot", spare_slot.index}});
                     resumeTraining();
                   });
+}
+
+SimTime RecoveryOrchestrator::jitteredBackoff(SimTime backoff) {
+  if (policy_.attach_backoff_max > 0.0) {
+    backoff = std::min(backoff, policy_.attach_backoff_max);
+  }
+  const double j = policy_.attach_backoff_jitter;
+  if (j > 0.0) backoff *= rng_.uniform(1.0 - j, 1.0 + j);
+  return backoff;
 }
 
 void RecoveryOrchestrator::attachWithRetry(std::size_t inc,
@@ -204,15 +252,27 @@ void RecoveryOrchestrator::attachWithRetry(std::size_t inc,
     onDone(false);
     return;
   }
+  const SimTime wait = jitteredBackoff(backoff);
+  if (policy_.attach_retry_budget > 0.0 &&
+      incidents_[inc].backoff_waited + wait > policy_.attach_retry_budget) {
+    // The *budget* caps time-to-decision where max_attach_retries only
+    // caps attempts: give up now rather than blow the MTTR SLO waiting.
+    instant("attach-budget-exhausted",
+            {{"waited_s", incidents_[inc].backoff_waited},
+             {"budget_s", policy_.attach_retry_budget}});
+    onDone(false);
+    return;
+  }
   ++incidents_[inc].attach_retries;
   ++reattach_retries_;
+  incidents_[inc].backoff_waited += wait;
   if (ProfileSink* p = system_.sim().profiler()) {
     p->setCounter("reattach_retries", "count",
                   static_cast<double>(reattach_retries_));
   }
-  instant("attach-retry", {{"backoff_s", backoff}});
+  instant("attach-retry", {{"backoff_s", wait}});
   system_.sim().schedule(
-      backoff, [this, inc, slot, port, backoff, onDone = std::move(onDone)] {
+      wait, [this, inc, slot, port, backoff, onDone = std::move(onDone)] {
         attachWithRetry(inc, slot, port,
                         backoff * policy_.attach_backoff_multiplier, onDone);
       });
@@ -230,11 +290,36 @@ void RecoveryOrchestrator::degrade(std::size_t inc, devices::Gpu* failed) {
 }
 
 void RecoveryOrchestrator::resumeTraining() {
+  if (gang_.empty() && !trainer_.finished()) {
+    // Every gang GPU is gone and no spare could replace any of them.
+    // Without an abort the run would hang forever on periodic ticks (the
+    // watchdog would trip) — end it with an honest typed failure instead.
+    aborted_run_ = true;
+    for (auto& inc : incidents_) {
+      if (!inc.resolved()) inc.abandoned = true;
+    }
+    instant("gang-exhausted", {{"incidents", incidents_.size()}});
+    trainer_.abortTraining("unrecoverable: gang exhausted (no survivors, no spares)");
+    closeOpenIncidents();
+    return;
+  }
   if (gang_.empty() || trainer_.finished() ||
       !trainer_.requestRestore(gang_, [this] { closeOpenIncidents(); })) {
     // Nothing to restore (training over, or no survivors): account the
     // incidents as resolved now so MTTR stays meaningful.
     closeOpenIncidents();
+  }
+}
+
+void RecoveryOrchestrator::noteRunEnded() {
+  const SimTime now = system_.sim().now();
+  for (auto& inc : incidents_) {
+    if (inc.resolved() || inc.path != RecoveryIncident::Path::WaitForLink) {
+      continue;
+    }
+    inc.abandoned = true;
+    inc.recovered_at = now;
+    instant("outage-outlived-run", {{"port", inc.fault.port}});
   }
 }
 

@@ -193,9 +193,19 @@ std::vector<SweepRun> SweepRunner::run(
     SweepRun* first = &out[g.members.front()];
     prefix_tasks.push_back([group, first] {
       try {
+        // The donor only exists to be snapshotted, and fault activation
+        // is deferred past the pause — so the donor's fault *schedule* is
+        // irrelevant to the prefix (spares and attach noise shape
+        // construction and stay). Strip it: one member's early fault
+        // time must not fail the whole group's prefix; each member
+        // checks its own schedule against the pause time in phase B.
+        ExperimentOptions donor_options = first->spec.options;
+        donor_options.faults.gpu_falloffs.clear();
+        donor_options.faults.ecc_storms.clear();
+        donor_options.faults.host_port_flaps.clear();
         WarmedExperiment warmed(first->spec.config,
                                 dl::workload(first->spec.workload),
-                                first->spec.options);
+                                std::move(donor_options));
         group->snapshot = std::make_unique<SimSnapshot>(warmed.snapshot());
       } catch (const std::exception& e) {
         group->status = Status::internal(
@@ -221,7 +231,17 @@ std::vector<SweepRun> SweepRunner::run(
     tasks.push_back([&out, group, i] {
       SweepRun& run = out[i];
       try {
-        if (group != nullptr && group->status.ok) {
+        // A member may only fork when its own fault schedule (if any)
+        // lands strictly inside the tail — the prefix was validated
+        // against the group's FIRST member, and schedules differ across
+        // a chaos sweep. The snapshot's clock is the pause boundary;
+        // members injecting at or before it run cold instead.
+        const bool faults_fit_tail =
+            !run.spec.options.faults.enabled ||
+            (group != nullptr && group->snapshot != nullptr &&
+             earliestFaultTime(run.spec.options.faults) >
+                 group->snapshot->sim.now);
+        if (group != nullptr && group->status.ok && faults_fit_tail) {
           run.result = WarmedExperiment::resumeFromSnapshot(
               run.spec.config, dl::workload(run.spec.workload),
               run.spec.options, *group->snapshot);

@@ -737,6 +737,16 @@ void Trainer::restoreRun(const State& st,
   }
 }
 
+bool Trainer::abortTraining(const std::string& reason) {
+  if (!started_ || finished_) return false;
+  // Orphan in-flight continuations and close open trace spans, exactly as
+  // a restore would — then finish with an honest error instead of resuming.
+  ++gen_;
+  while (track_depth_ > 0) endTrackSpan({{"aborted", 1}});
+  finish(false, reason);
+  return true;
+}
+
 void Trainer::finish(bool completed, const std::string& error) {
   finished_ = true;
   pipeline_->stop();

@@ -154,6 +154,14 @@ class Trainer {
   bool requestRestore(std::vector<devices::Gpu*> gpus,
                       std::function<void()> onResumed = nullptr);
 
+  /// Abort a running training job with an honest error result: in-flight
+  /// work is orphaned exactly as in requestRestore and the done callback
+  /// fires with completed = false and `reason` as the error. The escape
+  /// hatch for unrecoverable situations (e.g. every gang GPU lost with no
+  /// spares) where hanging forever would be the alternative. Returns
+  /// false if training has not started or already finished.
+  bool abortTraining(const std::string& reason);
+
   /// Observer hooks for external telemetry (the metrics collectors): fired
   /// with the wall time of every completed iteration / durable checkpoint.
   /// The observer must outlive the run; pass nullptr to detach.

@@ -4,10 +4,13 @@
 // experiment.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/experiment_config.hpp"
+#include "core/sweep_runner.hpp"
 #include "telemetry/alert_engine.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -221,6 +224,124 @@ TEST(AlertEngine, EccStormFiresAndResolvesThroughExperiment) {
   ASSERT_NE(resolved, nullptr);
   EXPECT_GT(resolved->time, fired->time);
   EXPECT_EQ(result.metrics->alerts().firingCount(), 0u);
+}
+
+// AlertEngine x recovery: with a spare and the proactive policy on, the
+// same ECC storm fires the SLO alert AND drives a spare-attach recovery;
+// the alert must resolve once the sick device is swapped out (its error
+// counter goes quiet), within one scrape + one health poll of the swap.
+TEST(AlertEngine, EccAlertResolvesAfterSpareAttachRecovery) {
+  core::ExperimentSpec spec;
+  spec.name = "ecc-recovery";
+  spec.workload = "ResNet-50";
+  spec.options.workload = spec.workload;
+  spec.config = core::SystemConfig::FalconGpus;
+  spec.options.trainer.epochs = 1;
+  spec.options.trainer.max_iterations_per_epoch = 20;
+  spec.options.trainer.checkpoint_every_iters = 8;
+  spec.options.metrics.scrape_interval = 0.25;
+  spec.options.metrics.alerts = {"ecc: ecc_errors_total rate > 0"};
+  spec.options.faults.enabled = true;
+  spec.options.faults.health_poll_interval = 0.1;
+  spec.options.faults.spare_gpus = 1;
+  // proactive_on_error_storm defaults true: the storm is treated as a
+  // failure prediction and the device is swapped before it falls off.
+  const SimTime t_storm = 1.0;
+  spec.options.faults.ecc_storms.push_back({2, t_storm, 500});
+
+  const auto result = core::runExperimentSpec(spec);
+  ASSERT_NE(result.metrics, nullptr);
+  ASSERT_TRUE(result.training.completed);
+
+  // The recovery side: exactly one incident, resolved by spare attach.
+  ASSERT_EQ(result.recovery.incidents.size(), 1u);
+  const auto& inc = result.recovery.incidents.front();
+  EXPECT_EQ(inc.path, core::RecoveryIncident::Path::SpareAttach);
+  ASSERT_TRUE(inc.resolved());
+  EXPECT_FALSE(inc.abandoned);
+  EXPECT_EQ(result.recovery.terminal_state,
+            core::RecoveryTerminalState::Recovered);
+  EXPECT_EQ(result.recovery.final_gang_size, 8u);
+
+  // The alerting side: fired within scrape+poll of the storm, resolved
+  // within scrape+poll of the recovery (quarantine silences the counter).
+  const telemetry::Alert* fired = nullptr;
+  const telemetry::Alert* resolved = nullptr;
+  for (const auto& alert : result.metrics->alerts().log()) {
+    if (alert.rule != "ecc") continue;
+    if (alert.firing && fired == nullptr) fired = &alert;
+    if (!alert.firing && fired != nullptr) resolved = &alert;
+  }
+  const SimTime window = spec.options.metrics.scrape_interval +
+                         spec.options.faults.health_poll_interval + 1e-9;
+  ASSERT_NE(fired, nullptr);
+  EXPECT_GE(fired->time, t_storm);
+  EXPECT_LE(fired->time, t_storm + window);
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_GT(resolved->time, fired->time);
+  EXPECT_LE(resolved->time, inc.recovered_at + window);
+  EXPECT_EQ(result.metrics->alerts().firingCount(), 0u);
+}
+
+// The same alert-through-recovery suite must come out byte-identical
+// whether the SweepRunner fans it across 1 or 4 workers: alert logs are
+// part of the determinism contract, not just training numbers.
+TEST(AlertEngine, AlertLogIsByteIdenticalAcrossSweepWorkerCounts) {
+  auto makeSpec = [](const char* name, int storm_gpu) {
+    core::ExperimentSpec spec;
+    spec.name = name;
+    spec.workload = "MobileNetV2";
+    spec.options.workload = spec.workload;
+    spec.config = core::SystemConfig::FalconGpus;
+    spec.options.trainer.epochs = 1;
+    spec.options.trainer.max_iterations_per_epoch = 12;
+    spec.options.trainer.checkpoint_every_iters = 4;
+    spec.options.metrics.scrape_interval = 0.1;
+    spec.options.metrics.alerts = {"ecc: ecc_errors_total rate > 0"};
+    spec.options.faults.enabled = true;
+    spec.options.faults.health_poll_interval = 0.1;
+    spec.options.faults.spare_gpus = 1;
+    // Non-proactive: the storm stays visible to the scraper (a proactive
+    // swap would quarantine the slot before the next scrape), so the
+    // alert fires and later resolves when the counter goes quiet. The
+    // falloff on a second device drives a spare-attach in the same run.
+    spec.options.faults.policy.proactive_on_error_storm = false;
+    spec.options.faults.ecc_storms.push_back({storm_gpu, 0.2, 400});
+    spec.options.faults.gpu_falloffs.push_back({(storm_gpu + 2) % 8, 0.5});
+    return spec;
+  };
+  const std::vector<core::ExperimentSpec> specs = {
+      makeSpec("ecc-a", 1), makeSpec("ecc-b", 3), makeSpec("ecc-c", 5),
+      makeSpec("ecc-d", 6)};
+
+  auto serializeAlerts = [](const core::ExperimentResult& r) {
+    std::string s;
+    for (const auto& a : r.metrics->alerts().log()) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "%.9f|%s|%s|%d|%.9f\n", a.time,
+                    a.rule.c_str(), a.series.c_str(), a.firing ? 1 : 0,
+                    a.value);
+      s += line;
+    }
+    return s;
+  };
+
+  core::SweepOptions serial_opt;
+  serial_opt.jobs = 1;
+  core::SweepOptions parallel_opt;
+  parallel_opt.jobs = 4;
+  const auto serial = core::SweepRunner(serial_opt).run(specs);
+  const auto parallel = core::SweepRunner(parallel_opt).run(specs);
+  ASSERT_EQ(serial.size(), specs.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].status.ok) << serial[i].status.detail;
+    ASSERT_TRUE(parallel[i].status.ok) << parallel[i].status.detail;
+    EXPECT_FALSE(serial[i].result.recovery.incidents.empty())
+        << specs[i].name << " exercised no recovery";
+    const std::string log = serializeAlerts(serial[i].result);
+    EXPECT_FALSE(log.empty()) << specs[i].name << " fired no alert";
+    EXPECT_EQ(log, serializeAlerts(parallel[i].result)) << specs[i].name;
+  }
 }
 
 }  // namespace

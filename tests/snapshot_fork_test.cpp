@@ -122,9 +122,18 @@ TEST(WarmPrefix, ApplicabilityGuardsBoundaryCollisions) {
   EXPECT_FALSE(core::warmPrefixApplicable(specWith(12, 1, 12)));  // epoch edge
   EXPECT_FALSE(core::warmPrefixApplicable(specWith(12, 1, 20)));  // past epoch
 
+  // Fault schedules are fork-eligible; whether the schedule actually fits
+  // the variant tail is a runtime check (WarmedExperiment ctor + the
+  // SweepRunner's per-member faults_fit_tail test).
   auto faulted = specWith(12, 1, 4);
   faulted.options.faults.enabled = true;
-  EXPECT_FALSE(core::warmPrefixApplicable(faulted));
+  EXPECT_TRUE(core::warmPrefixApplicable(faulted));
+
+  // ...but spares change the prefix topology, so they key the group.
+  auto spared = specWith(12, 1, 4);
+  spared.options.faults.enabled = true;
+  spared.options.faults.spare_gpus = 1;
+  EXPECT_NE(core::warmPrefixKey(faulted), core::warmPrefixKey(spared));
 
   auto ckpt = specWith(600, 1, 500);  // lands on checkpoint_every_iters
   EXPECT_FALSE(core::warmPrefixApplicable(ckpt));
