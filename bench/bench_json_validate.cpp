@@ -1,7 +1,11 @@
-// Validates a BENCH_simcore.json export produced by micro_simcore: the
-// document must carry the expected schema tag and a non-empty benchmark
-// array with sane per-run fields, and the recompute/event-queue series the
-// perf gates track must be present. Exit code 0 on success, 1 with a
+// Validates a BENCH_simcore.json export produced by micro_simcore (and
+// amended by solver_scaling): the document must carry the expected schema
+// tag and a non-empty benchmark array with sane per-run fields, the
+// recompute/event-queue series the perf gates track must be present, and
+// the solver_scaling section must hold a strictly growing chassis sweep
+// whose routing/batching invariants held (routes equivalent to the flat
+// oracle, batched arrivals bit-identical and no slower than serial,
+// steady-state routing allocation-free). Exit code 0 on success, 1 with a
 // diagnostic on stderr otherwise. Used by the bench_smoke ctest.
 #include <cstdio>
 #include <fstream>
@@ -75,6 +79,53 @@ int main(int argc, char** argv) {
                                "BM_EventQueueScheduleRun/1000"}) {
     if (names.count(required) == 0) {
       return fail(std::string("required series absent: ") + required);
+    }
+  }
+
+  const Json* scaling = doc.find("solver_scaling");
+  if (scaling == nullptr || !scaling->isObject()) {
+    return fail("missing solver_scaling section");
+  }
+  const Json* allocs = scaling->find("route_steady_allocs");
+  if (allocs == nullptr || !allocs->isNumber() || allocs->asDouble() != 0.0) {
+    return fail("route_steady_allocs missing or non-zero");
+  }
+  const Json* scenarios = scaling->find("scenarios");
+  if (scenarios == nullptr || !scenarios->isArray() ||
+      scenarios->asArray().empty()) {
+    return fail("solver_scaling.scenarios missing or empty");
+  }
+  double prev_chassis = 0.0, prev_gpus = 0.0;
+  for (const Json& s : scenarios->asArray()) {
+    if (!s.isObject()) return fail("solver_scaling scenario is not an object");
+    const Json* chassis = s.find("chassis");
+    const Json* gpus = s.find("gpus");
+    if (chassis == nullptr || !chassis->isNumber() ||
+        chassis->asDouble() <= prev_chassis) {
+      return fail("scenario chassis counts must be strictly increasing");
+    }
+    if (gpus == nullptr || !gpus->isNumber() || gpus->asDouble() <= prev_gpus) {
+      return fail("scenario gpu counts must be strictly increasing");
+    }
+    prev_chassis = chassis->asDouble();
+    prev_gpus = gpus->asDouble();
+    const std::string at = "chassis=" + std::to_string(
+        static_cast<long long>(chassis->asDouble()));
+    for (const char* rate : {"routes_per_sec_flat", "routes_per_sec_hier"}) {
+      const Json* v = s.find(rate);
+      if (v == nullptr || !v->isNumber() || v->asDouble() <= 0.0) {
+        return fail(at + ": " + rate + " missing or non-positive");
+      }
+    }
+    const Json* speedup = s.find("batched_speedup");
+    if (speedup == nullptr || !speedup->isNumber() || speedup->asDouble() < 1.0) {
+      return fail(at + ": batched_speedup missing or below 1x");
+    }
+    for (const char* flag : {"route_equivalent", "batched_bit_identical"}) {
+      const Json* v = s.find(flag);
+      if (v == nullptr || !v->isBool() || !v->asBool()) {
+        return fail(at + ": " + flag + " missing or false");
+      }
     }
   }
   return 0;

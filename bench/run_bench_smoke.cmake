@@ -1,7 +1,9 @@
-# Smoke-runs micro_simcore with a tiny min_time and validates that the
-# BENCH_simcore.json export is produced and well-formed. Invoked as the
-# bench_smoke ctest with -DBENCH_BIN / -DVALIDATE_BIN / -DOUT_JSON.
-foreach(var BENCH_BIN VALIDATE_BIN OUT_JSON)
+# Smoke-runs micro_simcore with a tiny min_time, appends the solver
+# scaling sweep (routes/s + batched-arrival gates) to the export, and
+# validates that the combined BENCH_simcore.json is well-formed. Invoked
+# as the bench_smoke ctest with -DBENCH_BIN / -DSCALING_BIN /
+# -DVALIDATE_BIN / -DOUT_JSON.
+foreach(var BENCH_BIN SCALING_BIN VALIDATE_BIN OUT_JSON)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "run_bench_smoke.cmake: ${var} not set")
   endif()
@@ -22,6 +24,16 @@ endif()
 
 if(NOT EXISTS "${OUT_JSON}")
   message(FATAL_ERROR "micro_simcore did not produce ${OUT_JSON}")
+endif()
+
+execute_process(
+  COMMAND "${SCALING_BIN}" "${OUT_JSON}"
+  RESULT_VARIABLE scaling_rc
+  OUTPUT_VARIABLE scaling_out
+  ERROR_VARIABLE scaling_err)
+if(NOT scaling_rc EQUAL 0)
+  message(FATAL_ERROR
+          "solver_scaling gate failed (${scaling_rc})\n${scaling_out}\n${scaling_err}")
 endif()
 
 execute_process(

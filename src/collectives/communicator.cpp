@@ -69,7 +69,7 @@ void Communicator::endPhase() {
 }
 
 Bandwidth Communicator::protocolRate(fabric::NodeId a, fabric::NodeId b) const {
-  auto route = topo_.route(a, b);
+  const auto& route = topo_.routeCached(a, b);
   if (!route || route->links.empty()) {
     return std::numeric_limits<Bandwidth>::infinity();
   }
@@ -86,8 +86,8 @@ Bandwidth Communicator::protocolRate(fabric::NodeId a, fabric::NodeId b) const {
 std::vector<std::vector<int>> Communicator::nvlinkIslands() const {
   const int n = size();
   auto pureNvlink = [this](int i, int j) {
-    auto route = topo_.route(ranks_[static_cast<std::size_t>(i)],
-                             ranks_[static_cast<std::size_t>(j)]);
+    const auto& route = topo_.routeCached(ranks_[static_cast<std::size_t>(i)],
+                                          ranks_[static_cast<std::size_t>(j)]);
     if (!route || route->links.empty()) return false;
     for (fabric::LinkId l : route->links) {
       if (topo_.link(l).kind != fabric::LinkKind::NVLink) return false;
@@ -175,18 +175,26 @@ void Communicator::opFinished() {
   }
 }
 
-void Communicator::sendChunk(std::shared_ptr<Op> op, int fromRank, int toRank,
-                             Bytes bytes, std::function<void()> done) {
-  const fabric::NodeId src = ranks_[static_cast<std::size_t>(fromRank)];
-  const fabric::NodeId dst = ranks_[static_cast<std::size_t>(toRank)];
-  op->bytes_on_fabric += bytes;
-  fabric::FlowOptions fo;
-  fo.maxRate = protocolRate(src, dst);
-  fo.extraLatency = fabric::catalog::dmaEndpointOverhead();
-  fo.tag = "nccl";
-  net_.startFlow(src, dst, bytes,
-                 [cb = std::move(done)](const fabric::FlowResult&) { cb(); },
-                 std::move(fo));
+void Communicator::sendChunks(std::shared_ptr<Op> op,
+                              const std::vector<std::pair<int, int>>& pairs,
+                              Bytes bytes, std::function<void()> eachDone) {
+  std::vector<fabric::FlowRequest> requests;
+  requests.reserve(pairs.size());
+  for (const auto& [fromRank, toRank] : pairs) {
+    const fabric::NodeId src = ranks_[static_cast<std::size_t>(fromRank)];
+    const fabric::NodeId dst = ranks_[static_cast<std::size_t>(toRank)];
+    op->bytes_on_fabric += bytes;
+    fabric::FlowRequest rq;
+    rq.src = src;
+    rq.dst = dst;
+    rq.bytes = bytes;
+    rq.done = [cb = eachDone](const fabric::FlowResult&) { cb(); };
+    rq.options.maxRate = protocolRate(src, dst);
+    rq.options.extraLatency = fabric::catalog::dmaEndpointOverhead();
+    rq.options.tag = "nccl";
+    requests.push_back(std::move(rq));
+  }
+  net_.startFlows(std::move(requests));
 }
 
 void Communicator::runRing(std::shared_ptr<Op> op,
@@ -214,15 +222,17 @@ void Communicator::runRing(std::shared_ptr<Op> op,
     }
     auto self = weak_step.lock();
     auto remaining = std::make_shared<int>(n);
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
-      const int from = members[static_cast<std::size_t>(i)];
-      const int to = members[static_cast<std::size_t>((i + 1) % n)];
-      sendChunk(op, from, to, chunkBytes, [this, remaining, self, s] {
-        if (--*remaining == 0) {
-          sim_.schedule(options_.step_overhead, [self, s] { (*self)(s + 1); });
-        }
-      });
+      pairs.emplace_back(members[static_cast<std::size_t>(i)],
+                         members[static_cast<std::size_t>((i + 1) % n)]);
     }
+    sendChunks(op, pairs, chunkBytes, [this, remaining, self, s] {
+      if (--*remaining == 0) {
+        sim_.schedule(options_.step_overhead, [self, s] { (*self)(s + 1); });
+      }
+    });
   };
   (*step)(0);
 }
@@ -278,13 +288,11 @@ void Communicator::runFanSequential(std::shared_ptr<Op> op, int root,
       return;
     }
     auto remaining = std::make_shared<int>(static_cast<int>(pairs.size()));
-    for (const auto& [from, to] : pairs) {
-      sendChunk(op, from, to, bytes, [this, remaining, self, r] {
-        if (--*remaining == 0) {
-          sim_.schedule(options_.step_overhead, [self, r] { (*self)(r + 1); });
-        }
-      });
-    }
+    sendChunks(op, pairs, bytes, [this, remaining, self, r] {
+      if (--*remaining == 0) {
+        sim_.schedule(options_.step_overhead, [self, r] { (*self)(r + 1); });
+      }
+    });
   };
   (*round)(0);
 }
@@ -421,17 +429,19 @@ void Communicator::runAllReduce(std::shared_ptr<Op> op, Bytes bytes,
       // Everyone sends to rank 0, rank 0 replies to everyone (PyTorch DP's
       // master-centric pattern; also the ablation baseline).
       auto gathered = std::make_shared<int>(n - 1);
-      for (int i = 1; i < n; ++i) {
-        sendChunk(op, i, 0, bytes, [this, op, gathered, bytes, done, n] {
-          if (--*gathered != 0) return;
-          auto scattered = std::make_shared<int>(n - 1);
-          for (int j = 1; j < n; ++j) {
-            sendChunk(op, 0, j, bytes, [this, op, scattered, done] {
-              if (--*scattered == 0) finish(op, done);
-            });
-          }
+      std::vector<std::pair<int, int>> to_root;
+      to_root.reserve(static_cast<std::size_t>(n - 1));
+      for (int i = 1; i < n; ++i) to_root.emplace_back(i, 0);
+      sendChunks(op, to_root, bytes, [this, op, gathered, bytes, done, n] {
+        if (--*gathered != 0) return;
+        auto scattered = std::make_shared<int>(n - 1);
+        std::vector<std::pair<int, int>> from_root;
+        from_root.reserve(static_cast<std::size_t>(n - 1));
+        for (int j = 1; j < n; ++j) from_root.emplace_back(0, j);
+        sendChunks(op, from_root, bytes, [this, op, scattered, done] {
+          if (--*scattered == 0) finish(op, done);
         });
-      }
+      });
       break;
     }
     case Algorithm::Auto:
@@ -494,14 +504,16 @@ void Communicator::allToAll(Bytes shardBytes, CollectiveCallback done) {
       return;
     }
     auto remaining = std::make_shared<int>(n * (n - 1));
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(static_cast<std::size_t>(n * (n - 1)));
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
-        if (i == j) continue;
-        sendChunk(op, i, j, shardBytes, [this, remaining, op, done] {
-          if (--*remaining == 0) finish(op, done);
-        });
+        if (i != j) pairs.emplace_back(i, j);
       }
     }
+    sendChunks(op, pairs, shardBytes, [this, remaining, op, done] {
+      if (--*remaining == 0) finish(op, done);
+    });
   });
 }
 

@@ -148,8 +148,13 @@ class Communicator {
                         bool toRoot, std::function<void()> done);
   void runHierarchical(std::shared_ptr<Op> op, Bytes bytes,
                        std::function<void()> done);
-  void sendChunk(std::shared_ptr<Op> op, int fromRank, int toRank, Bytes bytes,
-                 std::function<void()> done);
+  /// Inject one wave of same-size chunks ((from, to) rank pairs) as a
+  /// single batched arrival — one solve epoch for the whole wave instead
+  /// of one per flow (FlowNetwork::startFlows). `eachDone` fires once per
+  /// landed chunk.
+  void sendChunks(std::shared_ptr<Op> op,
+                  const std::vector<std::pair<int, int>>& pairs, Bytes bytes,
+                  std::function<void()> eachDone);
   void finish(std::shared_ptr<Op> op, CollectiveCallback done);
 
   Simulator& sim_;

@@ -330,6 +330,9 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
     if (const auto* v = e.find("watchdog")) {
       s.options.watchdog = v->asDouble();
     }
+    if (const auto* v = e.find("hierarchical_routing")) {
+      s.options.hierarchical_routing = v->asBool();
+    }
     if (const auto* v = e.find("faults")) {
       s.options.faults = parseFaultsConfig(*v);
     }
@@ -408,6 +411,9 @@ std::string warmPrefixKey(const ExperimentSpec& spec) {
       << "|sample=" << spec.options.sample_interval                  //
       << "|scrape=" << spec.options.metrics.scrape_interval          //
       << "|trace=" << spec.options.trace                             //
+      // Hierarchical routing may pick a different equal-cost path, so a
+      // warmed prefix is only reusable under the same routing mode.
+      << "|hier=" << spec.options.hierarchical_routing               //
       << "|warm=" << spec.options.warm_prefix << "|alerts=";
   for (const std::string& rule : spec.options.metrics.alerts) {
     key << rule << ';';

@@ -4,16 +4,8 @@
 
 namespace composim::dl {
 
-// Deprecated wrappers: the architectures live in
-// dl/graph_ir/builders.cpp and are registered by the WorkloadRegistry.
-
-ModelSpec mobileNetV2() { return workload("MobileNetV2"); }
-ModelSpec resNet50() { return workload("ResNet-50"); }
-ModelSpec yoloV5L() { return workload("YOLOv5-L"); }
-ModelSpec bertBase() { return workload("BERT"); }
-ModelSpec bertLarge() { return workload("BERT-L"); }
-ModelSpec gpt2Medium() { return workload("GPT-2-medium"); }
-ModelSpec vitBase16() { return workload("ViT-B/16"); }
+// The architectures live in dl/graph_ir/builders.cpp and are registered
+// by the WorkloadRegistry; this file only keeps the zoo-wide helpers.
 
 std::vector<ModelSpec> benchmarkZoo() {
   return WorkloadRegistry::instance().paperZoo();

@@ -6,16 +6,14 @@
 //   BERT-base    NLP (Q&A)        SQuAD v1.1  110M    depth  12
 //   BERT-large   NLP (Q&A)        SQuAD v1.1  340M    depth  24
 //
-// The models themselves now live in the workload registry as operator
-// graphs (dl/graph_ir/builders.hpp, lowered through dl/graph_ir/
-// lowering.hpp); parameter counts still come out of the real architecture
-// arithmetic, and per-model sustained-efficiency fractions remain the
-// calibration knob mapping FLOPs to V100 wall-clock (DESIGN.md §4, §15).
-//
-// DEPRECATED: the free factory functions below are thin wrappers over
-// WorkloadRegistry lookup, kept for source compatibility. New code should
-// use dl::workload("ResNet-50") / WorkloadRegistry::instance(), which
-// also resolve graph-IR-loaded workloads ("graph:<path>").
+// The models themselves live in the workload registry as operator graphs
+// (dl/graph_ir/builders.hpp, lowered through dl/graph_ir/lowering.hpp);
+// parameter counts still come out of the real architecture arithmetic,
+// and per-model sustained-efficiency fractions remain the calibration
+// knob mapping FLOPs to V100 wall-clock (DESIGN.md §4, §15). Look
+// individual models up with dl::workload("ResNet-50") /
+// WorkloadRegistry::instance(), which also resolve graph-IR-loaded
+// workloads ("graph:<path>").
 #pragma once
 
 #include <vector>
@@ -26,38 +24,11 @@
 
 namespace composim::dl {
 
-/// Deprecated: use workload("MobileNetV2").
-ModelSpec mobileNetV2();
-/// Deprecated: use workload("ResNet-50").
-ModelSpec resNet50();
-/// Deprecated: use workload("YOLOv5-L").
-ModelSpec yoloV5L();
-/// Deprecated: use workload("BERT").
-ModelSpec bertBase();
-/// Deprecated: use workload("BERT-L").
-ModelSpec bertLarge();
-
-/// All five, in Table II order (registry-backed).
+/// All five paper benchmarks, in Table II order (registry-backed).
 std::vector<ModelSpec> benchmarkZoo();
 
 /// The dataset each benchmark trains on: registry lookup by the model's
 /// dataset name; throws std::invalid_argument for unregistered datasets.
 DatasetSpec datasetFor(const ModelSpec& model);
-
-// --- extension workloads (not in the paper; §VI's "richer set of
-// experiments"). They train on SQuAD-shaped token features so the input
-// pipeline stays meaningful. ---
-
-/// Deprecated: use workload("GPT-2-medium"). 24-layer decoder, d=1024,
-/// 355M parameters — a close cousin of BERT-large with a much larger
-/// embedding table, for testing the recommender on unseen-but-similar
-/// workloads.
-ModelSpec gpt2Medium();
-
-/// Deprecated: use workload("ViT-B/16"). ViT-Base/16 at 224 px: 12-layer
-/// encoder over 197 patch tokens, 86M parameters — a vision transformer
-/// that behaves like NLP on the fabric (big GEMMs, no CPU-side
-/// augmentation pressure).
-ModelSpec vitBase16();
 
 }  // namespace composim::dl

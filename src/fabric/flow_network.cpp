@@ -21,44 +21,45 @@ AsyncSpanId FlowNetwork::beginFlowSpan(NodeId src, NodeId dst, Bytes bytes,
                                {"bytes", bytes}});
 }
 
-FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
-                              FlowCallback done, FlowOptions options) {
-  auto route = topo_.route(src, dst);
-  if (!route) {
-    ++flows_started_;
-    ++flows_failed_;
-    if (ProfileSink* sink = sim_.profiler()) {
-      sink->instant("fabric", "flow-unroutable",
-                    {{"src", topo_.node(src).name},
-                     {"dst", topo_.node(dst).name}});
-    }
-    FlowResult r{FlowStatus::Failed, 0, sim_.now(), sim_.now()};
-    sim_.schedule(0.0, [cb = std::move(done), r] {
-      if (cb) cb(r);
-    });
-    return kInvalidFlow;
+FlowId FlowNetwork::admitUnroutable(NodeId src, NodeId dst, FlowCallback done) {
+  ++flows_started_;
+  ++flows_failed_;
+  if (ProfileSink* sink = sim_.profiler()) {
+    sink->instant("fabric", "flow-unroutable",
+                  {{"src", topo_.node(src).name},
+                   {"dst", topo_.node(dst).name}});
   }
-  const SimTime latency = route->latency + options.extraLatency;
+  FlowResult r{FlowStatus::Failed, 0, sim_.now(), sim_.now()};
+  sim_.schedule(0.0, [cb = std::move(done), r] {
+    if (cb) cb(r);
+  });
+  return kInvalidFlow;
+}
+
+FlowId FlowNetwork::admitLatencyOnly(SimTime latency, NodeId src, NodeId dst,
+                                     Bytes bytes, FlowCallback done,
+                                     const std::string& tag) {
+  // Control message or same-node transfer: latency only. Tracked as a
+  // cancellable scheduled event so the returned id stays live until the
+  // callback fires (cancelFlow() revokes it and reports Failed).
   const FlowId id = next_id_++;
   ++flows_started_;
+  LatencyFlow lf;
+  lf.bytes = bytes;
+  lf.start = sim_.now();
+  lf.done = std::move(done);
+  lf.span = beginFlowSpan(src, dst, bytes, tag);
+  lf.event = sim_.schedule(latency, [this, id] { onLatencyFlowDone(id); });
+  latency_flows_.emplace(id, std::move(lf));
+  return id;
+}
 
-  if (bytes <= 0 || route->links.empty()) {
-    // Control message or same-node transfer: latency only. Tracked as a
-    // cancellable scheduled event so the returned id stays live until the
-    // callback fires (cancelFlow() revokes it and reports Failed).
-    LatencyFlow lf;
-    lf.bytes = bytes;
-    lf.start = sim_.now();
-    lf.done = std::move(done);
-    lf.span = beginFlowSpan(src, dst, bytes, options.tag);
-    lf.event = sim_.schedule(latency, [this, id] { onLatencyFlowDone(id); });
-    latency_flows_.emplace(id, std::move(lf));
-    return id;
-  }
-
-  advanceProgress();
-  ensureLinkTables();
-
+FlowId FlowNetwork::admitByteFlow(const Route& route, NodeId src, NodeId dst,
+                                  Bytes bytes, FlowCallback done,
+                                  FlowOptions options,
+                                  std::vector<LinkId>& seeds) {
+  const FlowId id = next_id_++;
+  ++flows_started_;
   std::uint32_t slot;
   if (free_slots_.empty()) {
     slot = static_cast<std::uint32_t>(slots_.size());
@@ -71,13 +72,13 @@ FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
   }
   ActiveFlow& f = slots_[slot];
   f.id = id;
-  f.links = route->links;
+  f.links = route.links;
   f.remaining = static_cast<double>(bytes);
   f.rate = 0.0;
   f.max_rate = options.maxRate;
   f.total = bytes;
   f.start = sim_.now();
-  f.arrival_latency = latency;
+  f.arrival_latency = route.latency + options.extraLatency;
   f.projected_finish = kInf;
   f.done = std::move(done);
   f.tag = std::move(options.tag);
@@ -90,10 +91,71 @@ FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
     // Ids are monotonic, so appending keeps the list id-sorted.
     link_flows_[static_cast<std::size_t>(l)].push_back(slot);
   }
+  seeds.insert(seeds.end(), f.links.begin(), f.links.end());
+  return id;
+}
 
-  resolveAfterChange(f.links);
+FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
+                              FlowCallback done, FlowOptions options) {
+  const auto& route = topo_.routeCached(src, dst);
+  if (!route) return admitUnroutable(src, dst, std::move(done));
+  if (bytes <= 0 || route->links.empty()) {
+    return admitLatencyOnly(route->latency + options.extraLatency, src, dst,
+                            bytes, std::move(done), options.tag);
+  }
+  advanceProgress();
+  ensureLinkTables();
+  arrival_seeds_.clear();
+  const FlowId id = admitByteFlow(*route, src, dst, bytes, std::move(done),
+                                  std::move(options), arrival_seeds_);
+  resolveAfterChange(arrival_seeds_);
   scheduleNextCompletion();
   return id;
+}
+
+std::vector<FlowId> FlowNetwork::startFlows(std::vector<FlowRequest> requests) {
+  std::vector<FlowId> ids;
+  ids.reserve(requests.size());
+  if (requests.empty()) return ids;
+  // Route everything first (cache entries have stable addresses across
+  // inserts), so the solver prep — advanceProgress in particular, whose
+  // per-call byte-counter rounding must match the serial path — runs
+  // exactly once and only when a byte flow is actually admitted.
+  std::vector<const std::optional<Route>*> routes;
+  routes.reserve(requests.size());
+  bool any_bytes = false;
+  for (const FlowRequest& rq : requests) {
+    const auto& r = topo_.routeCached(rq.src, rq.dst);
+    routes.push_back(&r);
+    if (r && rq.bytes > 0 && !r->links.empty()) any_bytes = true;
+  }
+  if (any_bytes) {
+    advanceProgress();
+    ensureLinkTables();
+  }
+  // No inline callbacks fire during admission (unroutable and latency-only
+  // completions are deferred events), so member seed scratch is safe here.
+  arrival_seeds_.clear();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    FlowRequest& rq = requests[i];
+    const auto& route = *routes[i];
+    if (!route) {
+      ids.push_back(admitUnroutable(rq.src, rq.dst, std::move(rq.done)));
+    } else if (rq.bytes <= 0 || route->links.empty()) {
+      ids.push_back(admitLatencyOnly(route->latency + rq.options.extraLatency,
+                                     rq.src, rq.dst, rq.bytes,
+                                     std::move(rq.done), rq.options.tag));
+    } else {
+      ids.push_back(admitByteFlow(*route, rq.src, rq.dst, rq.bytes,
+                                  std::move(rq.done), std::move(rq.options),
+                                  arrival_seeds_));
+    }
+  }
+  if (any_bytes) {
+    resolveAfterChange(arrival_seeds_);
+    scheduleNextCompletion();
+  }
+  return ids;
 }
 
 void FlowNetwork::onLatencyFlowDone(FlowId id) {
@@ -109,19 +171,23 @@ void FlowNetwork::onLatencyFlowDone(FlowId id) {
   if (lf.done) lf.done(r);
 }
 
-bool FlowNetwork::cancelFlow(FlowId id) {
-  if (auto lit = latency_flows_.find(id); lit != latency_flows_.end()) {
-    LatencyFlow lf = std::move(lit->second);
-    latency_flows_.erase(lit);
-    sim_.cancel(lf.event);
-    ++flows_failed_;
-    if (ProfileSink* sink = sim_.profiler()) {
-      sink->endAsyncSpan(lf.span, {{"status", "failed"}});
-    }
-    FlowResult r{FlowStatus::Failed, 0, lf.start, sim_.now()};
-    if (lf.done) lf.done(r);
-    return true;
+bool FlowNetwork::cancelLatencyFlow(FlowId id) {
+  auto lit = latency_flows_.find(id);
+  if (lit == latency_flows_.end()) return false;
+  LatencyFlow lf = std::move(lit->second);
+  latency_flows_.erase(lit);
+  sim_.cancel(lf.event);
+  ++flows_failed_;
+  if (ProfileSink* sink = sim_.profiler()) {
+    sink->endAsyncSpan(lf.span, {{"status", "failed"}});
   }
+  FlowResult r{FlowStatus::Failed, 0, lf.start, sim_.now()};
+  if (lf.done) lf.done(r);
+  return true;
+}
+
+bool FlowNetwork::cancelFlow(FlowId id) {
+  if (cancelLatencyFlow(id)) return true;
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) return false;
   advanceProgress();
@@ -132,6 +198,39 @@ bool FlowNetwork::cancelFlow(FlowId id) {
   resolveAfterChange(seeds);
   scheduleNextCompletion();
   return true;
+}
+
+std::size_t FlowNetwork::cancelFlows(const std::vector<FlowId>& ids) {
+  bool any_active = false;
+  for (FlowId id : ids) {
+    if (id_to_slot_.count(id) != 0) {
+      any_active = true;
+      break;
+    }
+  }
+  if (any_active) advanceProgress();
+  // Local seeds: Failed callbacks run inline and may re-enter
+  // startFlow(s)/cancelFlow(s), which clobber the member scratch.
+  std::vector<LinkId> seeds;
+  std::size_t cancelled = 0;
+  for (FlowId id : ids) {
+    if (cancelLatencyFlow(id)) {
+      ++cancelled;
+      continue;
+    }
+    auto it = id_to_slot_.find(id);
+    if (it == id_to_slot_.end()) continue;
+    const std::uint32_t slot = it->second;
+    seeds.insert(seeds.end(), slots_[slot].links.begin(),
+                 slots_[slot].links.end());
+    finishFlow(slot, FlowStatus::Failed);
+    ++cancelled;
+  }
+  if (any_active) {
+    resolveAfterChange(seeds);
+    scheduleNextCompletion();
+  }
+  return cancelled;
 }
 
 void FlowNetwork::failLink(LinkId link) {

@@ -61,6 +61,15 @@ struct FlowOptions {
   std::string tag;
 };
 
+/// One transfer in a batched arrival (see FlowNetwork::startFlows).
+struct FlowRequest {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bytes bytes = 0;
+  FlowCallback done;
+  FlowOptions options;
+};
+
 class FlowNetwork {
  public:
   FlowNetwork(Simulator& sim, Topology& topo) : sim_(sim), topo_(topo) {}
@@ -76,11 +85,28 @@ class FlowNetwork {
   FlowId startFlow(NodeId src, NodeId dst, Bytes bytes, FlowCallback done,
                    FlowOptions options = {});
 
+  /// Same-timestamp arrival coalescer: admit every request, then run ONE
+  /// rate recomputation over the union of touched components instead of
+  /// one per flow — the hot path for collective setup, where a ring/fan
+  /// step injects N flows at the same instant. Results are bit-identical
+  /// to N serial startFlow() calls (the intermediate solves a serial
+  /// arrival sequence performs at one timestamp are transient and fully
+  /// overwritten by the last one); only the recomputation/solve counters
+  /// differ. Returned ids are positionally aligned with `requests`
+  /// (kInvalidFlow for unroutable entries, which still fail soft).
+  std::vector<FlowId> startFlows(std::vector<FlowRequest> requests);
+
   /// Abort an in-flight flow; its callback fires with Failed status.
   /// Returns false if the flow is unknown (already finished). Latency-only
   /// flows (zero-byte or same-node) are cancellable too: their scheduled
   /// completion is revoked and the callback fires Failed instead.
   bool cancelFlow(FlowId id);
+
+  /// Batched teardown: cancel every listed flow with a single rate
+  /// recomputation (collective abort). Unknown ids are skipped; returns
+  /// the number actually cancelled. Bit-identical to serial cancelFlow()
+  /// calls at the same timestamp.
+  std::size_t cancelFlows(const std::vector<FlowId>& ids);
 
   /// Fail every flow crossing `link` (used for link-down injection) and
   /// mark the link down in the topology. Victims come straight from the
@@ -182,6 +208,16 @@ class FlowNetwork {
 
   void advanceProgress();
   void ensureLinkTables();
+  // Admission helpers shared by startFlow and startFlows. The caller runs
+  // advanceProgress()/ensureLinkTables() before any byte-flow admission
+  // and resolveAfterChange(seeds) after the batch.
+  FlowId admitUnroutable(NodeId src, NodeId dst, FlowCallback done);
+  FlowId admitLatencyOnly(SimTime latency, NodeId src, NodeId dst, Bytes bytes,
+                          FlowCallback done, const std::string& tag);
+  FlowId admitByteFlow(const Route& route, NodeId src, NodeId dst, Bytes bytes,
+                       FlowCallback done, FlowOptions options,
+                       std::vector<LinkId>& seeds);
+  bool cancelLatencyFlow(FlowId id);
   /// Open a profiling span for a flow (no-op when profiling is off).
   AsyncSpanId beginFlowSpan(NodeId src, NodeId dst, Bytes bytes,
                             const std::string& tag);
@@ -238,6 +274,7 @@ class FlowNetwork {
   std::vector<std::uint32_t> completion_heap_;  // slots by projected_finish
   std::vector<std::uint32_t> done_scratch_;     // completion-event reuse
   std::vector<LinkId> seed_scratch_;
+  std::vector<LinkId> arrival_seeds_;           // startFlow(s) batch seeds
   std::vector<std::string> link_counter_names_;  // lazy, profiling only
 
   FlowId next_id_ = 1;

@@ -39,7 +39,7 @@ TEST(WorkloadRegistry, UnknownNameIsNotFoundAndListsKnown) {
   EXPECT_NE(s.detail.find("graph:<path>"), std::string::npos) << s.detail;
 }
 
-TEST(WorkloadRegistry, PaperZooMatchesDeprecatedBenchmarkZoo) {
+TEST(WorkloadRegistry, BenchmarkZooMatchesPaperZoo) {
   const auto zoo = dl::benchmarkZoo();
   const auto paper = dl::WorkloadRegistry::instance().paperZoo();
   ASSERT_EQ(zoo.size(), 5u);
@@ -50,15 +50,14 @@ TEST(WorkloadRegistry, PaperZooMatchesDeprecatedBenchmarkZoo) {
   }
 }
 
-TEST(WorkloadRegistry, DeprecatedWrappersRouteThroughRegistry) {
-  EXPECT_EQ(dl::resNet50().totalParams(),
-            dl::workload("ResNet-50").totalParams());
-  EXPECT_EQ(dl::bertLarge().name, "BERT-L");
-  EXPECT_EQ(dl::gpt2Medium().name, "GPT-2-medium");
-  EXPECT_EQ(dl::vitBase16().name, "ViT-B/16");
-  EXPECT_EQ(dl::mobileNetV2().name, "MobileNetV2");
-  EXPECT_EQ(dl::yoloV5L().name, "YOLOv5-L");
-  EXPECT_EQ(dl::bertBase().name, "BERT");
+TEST(WorkloadRegistry, LookupResolvesEveryZooModelByName) {
+  EXPECT_EQ(dl::workload("ResNet-50").name, "ResNet-50");
+  EXPECT_EQ(dl::workload("BERT-L").name, "BERT-L");
+  EXPECT_EQ(dl::workload("GPT-2-medium").name, "GPT-2-medium");
+  EXPECT_EQ(dl::workload("ViT-B/16").name, "ViT-B/16");
+  EXPECT_EQ(dl::workload("MobileNetV2").name, "MobileNetV2");
+  EXPECT_EQ(dl::workload("YOLOv5-L").name, "YOLOv5-L");
+  EXPECT_EQ(dl::workload("BERT").name, "BERT");
 }
 
 TEST(WorkloadRegistry, AddRejectsDuplicatesAndNullFactories) {
