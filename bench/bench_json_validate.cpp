@@ -1,12 +1,21 @@
-// Validates a BENCH_simcore.json export produced by micro_simcore (and
-// amended by solver_scaling): the document must carry the expected schema
-// tag and a non-empty benchmark array with sane per-run fields, the
-// recompute/event-queue series the perf gates track must be present, and
-// the solver_scaling section must hold a strictly growing chassis sweep
-// whose routing/batching invariants held (routes equivalent to the flat
-// oracle, batched arrivals bit-identical and no slower than serial,
-// steady-state routing allocation-free). Exit code 0 on success, 1 with a
-// diagnostic on stderr otherwise. Used by the bench_smoke ctest.
+// Validates composim bench JSON exports, dispatching on the schema tag:
+//
+//  * "composim.bench.simcore/1" (BENCH_simcore.json, written by
+//    micro_simcore and amended by solver_scaling): a non-empty benchmark
+//    array with sane per-run fields, the recompute/event-queue series the
+//    perf gates track, and a solver_scaling section with a strictly
+//    growing chassis sweep whose routing/batching invariants held (routes
+//    equivalent to the flat oracle, batched arrivals bit-identical and no
+//    slower than serial, steady-state routing allocation-free).
+//  * "composim.bench.analysis/1" (BENCH_analysis.json, written by
+//    bottleneck_attribution): per-run attribution buckets nonnegative and
+//    summing to iteration wall time within 0.1%, critical-path coverage
+//    >= 95%, the jobs-1-vs-4 determinism flag, and the run-diff's
+//    compute-not-dominant flag.
+//
+// Exit code 0 on success, 1 with a diagnostic on stderr otherwise. Used
+// by the bench_smoke and bench_analysis ctests; accepts one or more
+// files and validates each in turn.
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -25,28 +34,7 @@ int fail(const std::string& why) {
   return 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) return fail("usage: bench_json_validate <BENCH_simcore.json>");
-
-  std::ifstream in(argv[1]);
-  if (!in) return fail(std::string("cannot open ") + argv[1]);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-
-  Json doc;
-  try {
-    doc = Json::parse(buf.str());
-  } catch (const JsonError& e) {
-    return fail(std::string("parse error: ") + e.what());
-  }
-  if (!doc.isObject()) return fail("top-level value is not an object");
-  const Json* schema = doc.find("schema");
-  if (schema == nullptr || !schema->isString() ||
-      schema->asString() != "composim.bench.simcore/1") {
-    return fail("missing or unexpected schema tag");
-  }
+int validateSimcore(const Json& doc) {
   const Json* benches = doc.find("benchmarks");
   if (benches == nullptr || !benches->isArray()) {
     return fail("missing benchmarks array");
@@ -127,6 +115,117 @@ int main(int argc, char** argv) {
         return fail(at + ": " + flag + " missing or false");
       }
     }
+  }
+  return 0;
+}
+
+int validateAnalysis(const Json& doc) {
+  constexpr double kTolerancePct = 0.1;
+  constexpr double kMinCoveragePct = 95.0;
+  const Json* runs = doc.find("runs");
+  if (runs == nullptr || !runs->isArray() || runs->asArray().empty()) {
+    return fail("missing or empty runs array");
+  }
+  for (const Json& run : runs->asArray()) {
+    if (!run.isObject()) return fail("run entry is not an object");
+    const Json* name = run.find("name");
+    if (name == nullptr || !name->isString() || name->asString().empty()) {
+      return fail("run entry without a name");
+    }
+    const std::string& at = name->asString();
+    const Json* iters = run.find("iterations");
+    if (iters == nullptr || !iters->isNumber() || iters->asDouble() <= 0.0) {
+      return fail(at + ": iterations missing or non-positive");
+    }
+    const Json* wall = run.find("wall_mean_s");
+    if (wall == nullptr || !wall->isNumber() || wall->asDouble() <= 0.0) {
+      return fail(at + ": wall_mean_s missing or non-positive");
+    }
+    double partition = 0.0;
+    for (const char* bucket :
+         {"compute_mean_s", "exposed_comm_mean_s", "fabric_contention_mean_s",
+          "stall_mean_s", "overlapped_comm_mean_s"}) {
+      const Json* v = run.find(bucket);
+      if (v == nullptr || !v->isNumber() || v->asDouble() < 0.0) {
+        return fail(at + ": " + bucket + " missing or negative");
+      }
+      // overlapped comm re-counts compute time; it is not in the partition.
+      if (std::string(bucket) != "overlapped_comm_mean_s") {
+        partition += v->asDouble();
+      }
+    }
+    const double err_pct =
+        100.0 * (partition > wall->asDouble() ? partition - wall->asDouble()
+                                              : wall->asDouble() - partition) /
+        wall->asDouble();
+    if (err_pct > kTolerancePct) {
+      return fail(at + ": buckets sum off wall time by " +
+                  std::to_string(err_pct) + "% (tolerance " +
+                  std::to_string(kTolerancePct) + "%)");
+    }
+    const Json* cov = run.find("coverage_pct");
+    if (cov == nullptr || !cov->isNumber() ||
+        cov->asDouble() < kMinCoveragePct) {
+      return fail(at + ": coverage_pct missing or below 95%");
+    }
+    const Json* err = run.find("max_attribution_error_pct");
+    if (err == nullptr || !err->isNumber() || err->asDouble() > kTolerancePct) {
+      return fail(at + ": max_attribution_error_pct missing or over tolerance");
+    }
+  }
+  const Json* det = doc.find("determinism");
+  if (det == nullptr || !det->isObject()) {
+    return fail("missing determinism section");
+  }
+  const Json* ident = det->find("jobs1_vs_jobs4_identical");
+  if (ident == nullptr || !ident->isBool() || !ident->asBool()) {
+    return fail("jobs1_vs_jobs4_identical missing or false");
+  }
+  const Json* diff = doc.find("run_diff");
+  if (diff == nullptr || !diff->isObject()) {
+    return fail("missing run_diff section");
+  }
+  const Json* nd = diff->find("compute_not_dominant");
+  if (nd == nullptr || !nd->isBool() || !nd->asBool()) {
+    return fail("run_diff.compute_not_dominant missing or false");
+  }
+  return 0;
+}
+
+int validateFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return fail(std::string("cannot open ") + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const JsonError& e) {
+    return fail(std::string("parse error: ") + e.what());
+  }
+  if (!doc.isObject()) return fail("top-level value is not an object");
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->isString()) {
+    return fail("missing schema tag");
+  }
+  if (schema->asString() == "composim.bench.simcore/1") {
+    return validateSimcore(doc);
+  }
+  if (schema->asString() == "composim.bench.analysis/1") {
+    return validateAnalysis(doc);
+  }
+  return fail("unexpected schema tag: " + schema->asString());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return fail("usage: bench_json_validate <BENCH_*.json> [more...]");
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (validateFile(argv[i]) != 0) return 1;
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 //   $ ./examples/quickstart --workload BERT-L
 //   $ ./examples/quickstart --workload graph:examples/graphs/vit_base16.graph.json
 //   $ ./examples/quickstart --trace   # also writes quickstart_trace.json
+//   $ ./examples/quickstart --analyze # bottleneck attribution report
 //   $ ./examples/quickstart --faults '{"spare_gpus": 1,
 //       "gpu_falloffs": [{"gpu": 0, "at": 2.0}]}'
 //   $ ./examples/quickstart --metrics '{"alerts":
@@ -20,7 +21,10 @@
 //
 // With --trace, the span profiler records every training phase, collective
 // op, and fabric link and exports a Chrome trace_event file you can open in
-// chrome://tracing or Perfetto. With --faults <spec> (inline JSON or a
+// chrome://tracing or Perfetto. With --analyze, the bottleneck analyzer
+// (DESIGN.md §17) decomposes every iteration into compute / exposed comm /
+// overlapped comm / fabric contention / stall, prints the critical path,
+// and writes quickstart_analysis.json. With --faults <spec> (inline JSON or a
 // path to a JSON file), the run executes under a fault schedule with the
 // recovery orchestrator active; note the fault schedule targets Falcon
 // GPUs, so pair it with a Falcon-composed configuration. With --metrics
@@ -35,6 +39,7 @@
 
 #include "core/experiment.hpp"
 #include "core/experiment_config.hpp"
+#include "telemetry/analysis.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 
@@ -99,6 +104,7 @@ int main(int argc, char** argv) {
   bool export_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) opt.trace = true;
+    if (std::strcmp(argv[i], "--analyze") == 0) opt.analysis = true;
     if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
       opt.workload = argv[++i];
     }
@@ -188,6 +194,19 @@ int main(int argc, char** argv) {
     }
     std::printf("\nChrome trace (%zu records) written to %s\n",
                 result.profiler->recordCount(), path);
+  }
+
+  if (result.analysis) {
+    std::printf("\n%s", telemetry::analysis::report(*result.analysis).c_str());
+    const char* path = "quickstart_analysis.json";
+    try {
+      telemetry::writeFile(path,
+                           toJson(*result.analysis).dump(2) + "\n");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "analysis export failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("analysis written to %s\n", path);
   }
   return 0;
 }

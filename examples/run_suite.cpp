@@ -7,6 +7,7 @@
 //
 //   $ ./examples/run_suite my_suite.json /tmp/results
 //   $ ./examples/run_suite --trace my_suite.json /tmp/results
+//   $ ./examples/run_suite --analyze --workload BERT-L
 //   $ ./examples/run_suite --faults storm.json my_suite.json /tmp/results
 //   $ ./examples/run_suite --metrics slo.json my_suite.json /tmp/results
 //   $ ./examples/run_suite --jobs 4 my_suite.json /tmp/results
@@ -22,7 +23,12 @@
 //
 // With --trace, every experiment runs with the span profiler enabled and a
 // <name>_trace.json Chrome trace (open in chrome://tracing or Perfetto) is
-// written next to the CSV artifacts. With --faults <spec> (inline JSON or
+// written next to the CSV artifacts. With --analyze, every experiment also
+// runs the bottleneck analyzer (DESIGN.md §17): a per-run attribution
+// report prints after the run, <name>_analysis.json/.txt artifacts ride
+// along in the tracker export, and when at least two runs succeed the
+// first two are diffed (wall-time delta attributed to buckets and spans —
+// pair it with --workload for the paper's local-vs-falcon comparison). With --faults <spec> (inline JSON or
 // a file path), every experiment runs under that fault schedule with the
 // recovery orchestrator active; individual experiments can instead carry
 // their own "faults" object in the suite file. With --metrics <spec>
@@ -56,6 +62,7 @@
 
 #include "core/experiment_config.hpp"
 #include "core/sweep_runner.hpp"
+#include "telemetry/analysis.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/run_tracker.hpp"
@@ -102,6 +109,7 @@ std::vector<core::ExperimentSpec> workloadSuite(const std::string& ref) {
 
 int main(int argc, char** argv) {
   bool trace = false;
+  bool analyze = false;
   int jobs = 0;  // 0 = hardware_concurrency
   long warm_prefix = 0;  // 0 = run every experiment continuously
   std::string faults_spec;
@@ -111,6 +119,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace") {
       trace = true;
+    } else if (std::string(argv[i]) == "--analyze") {
+      analyze = true;
     } else if (std::string(argv[i]) == "--faults" && i + 1 < argc) {
       faults_spec = argv[++i];
     } else if (std::string(argv[i]) == "--metrics" && i + 1 < argc) {
@@ -208,13 +218,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string outdir = pos.size() > 1 ? pos[1] : ".";
-  if (pos.size() > 1 || trace || export_metrics) {
+  // Positionals are [suite.json] [outdir]; --workload replaces the suite
+  // file, so its first positional (if any) is the output directory.
+  const std::string outdir = pos.size() > 1  ? pos[1]
+                             : !workload_ref.empty() && !pos.empty() ? pos[0]
+                                                                     : ".";
+  if (outdir != "." || trace || export_metrics || analyze) {
     std::filesystem::create_directories(outdir);
   }
 
   for (auto& spec : specs) {
     if (trace) spec.options.trace = true;
+    if (analyze) spec.options.analysis = true;
     if (warm_prefix > 0 && spec.options.warm_prefix == 0) {
       spec.options.warm_prefix = warm_prefix;
     }
@@ -232,6 +247,8 @@ int main(int argc, char** argv) {
   telemetry::Table table({"Run", "Workload", "Config", "iter time",
                           "samples/s", "GPU util %"});
   bool any_failed = false;
+  // Successful analyses in suite order; the first two feed the run diff.
+  std::vector<std::shared_ptr<telemetry::analysis::RunAnalysis>> analyses;
   // Workers only simulate; every emission below — log lines, trace-file
   // writes, tracker rows — happens here on the main thread, in suite
   // order, as each run's prefix completes. Serial (--jobs 1) and parallel
@@ -276,6 +293,22 @@ int main(int argc, char** argv) {
     auto& run = tracker.run(spec.name);
     run.setConfig("workload", spec.workload);
     run.setConfig("config", core::toString(spec.config));
+    if (r.analysis) {
+      // Re-label with the suite name so reports and diffs name the run,
+      // not the model.
+      r.analysis->name = spec.name;
+      std::printf("%s", telemetry::analysis::report(*r.analysis).c_str());
+      run.addArtifact("analysis.json",
+                      toJson(*r.analysis).dump(2) + "\n");
+      run.addArtifact("analysis.txt", telemetry::analysis::report(*r.analysis));
+      run.setSummary("compute_s_mean", r.analysis->mean.compute);
+      run.setSummary("exposed_comm_s_mean", r.analysis->mean.exposed_comm);
+      run.setSummary("fabric_contention_s_mean",
+                     r.analysis->mean.fabric_contention);
+      run.setSummary("stall_s_mean", r.analysis->mean.stall);
+      run.setSummary("critical_path_coverage_pct", r.analysis->coverage_pct);
+      analyses.push_back(r.analysis);
+    }
     run.setSummary("mean_iteration_s", r.training.mean_iteration_time);
     run.setSummary("samples_per_second", r.training.samples_per_second);
     run.setSummary("gpu_util_pct", r.gpu_util_pct);
@@ -300,7 +333,22 @@ int main(int argc, char** argv) {
   });
   std::printf("\n%s", table.render().c_str());
 
-  if (pos.size() > 1) {
+  if (analyses.size() >= 2) {
+    const telemetry::analysis::RunDiff diff =
+        telemetry::analysis::diffRuns(*analyses[0], *analyses[1]);
+    std::printf("\n%s", telemetry::analysis::report(diff).c_str());
+    if (analyze) {
+      const std::string path = outdir + "/analysis_diff.json";
+      try {
+        telemetry::writeFile(path, toJson(diff).dump(2) + "\n");
+        std::printf("run diff written to %s\n", path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "diff export failed: %s\n", e.what());
+      }
+    }
+  }
+
+  if (outdir != "." || analyze) {
     tracker.exportTo(outdir);
     std::printf("\nartifacts written to %s (manifest.json + per-metric CSVs)\n",
                 outdir.c_str());

@@ -32,6 +32,9 @@ struct Communicator::Op {
   Bytes bytes_on_fabric = 0;
   Algorithm algorithm = Algorithm::Ring;
   const char* kind = "collective";
+  /// Correlation id linking this op's span to the fabric flows it injects
+  /// (0 while profiling is off). Assigned by beginOp.
+  std::uint64_t corr = 0;
 };
 
 Communicator::Communicator(Simulator& sim, fabric::FlowNetwork& net,
@@ -49,12 +52,14 @@ Communicator::Communicator(Simulator& sim, fabric::FlowNetwork& net,
            std::to_string(size());
 }
 
-void Communicator::beginOp(const Op& op) {
+void Communicator::beginOp(Op& op) {
   if (ProfileSink* sink = sim_.profiler()) {
+    op.corr = sink->newCorrelation();
     sink->beginSpan(track_, "collectives", op.kind,
                     {{"algorithm", toString(op.algorithm)},
                      {"payload_bytes", op.payload},
-                     {"ranks", size()}});
+                     {"ranks", size()},
+                     {"corr", op.corr}});
   }
 }
 
@@ -192,6 +197,7 @@ void Communicator::sendChunks(std::shared_ptr<Op> op,
     rq.options.maxRate = protocolRate(src, dst);
     rq.options.extraLatency = fabric::catalog::dmaEndpointOverhead();
     rq.options.tag = "nccl";
+    rq.options.correlation = op->corr;
     requests.push_back(std::move(rq));
   }
   net_.startFlows(std::move(requests));

@@ -136,7 +136,11 @@ class Communicator {
 
   // Profiling: ops run one at a time, so begin/end pairs nest on the
   // communicator's track; hierarchical phases nest inside the op span.
-  void beginOp(const Op& op);
+  // beginOp also draws the op's correlation id (ProfileSink::
+  // newCorrelation) and stamps it on the op span as "corr"; sendChunks
+  // threads the same id through FlowOptions::correlation, so every fabric
+  // flow of every phase links back to the collective that issued it.
+  void beginOp(Op& op);
   void beginPhase(const char* name);
   void endPhase();
 

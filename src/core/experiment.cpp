@@ -45,9 +45,11 @@ struct Stack {
 
     // Install the profiler before any component is built so
     // construction-time flows (if any) and the first iteration are
-    // captured.
+    // captured. Analysis consumes the trace, so it implies tracing.
+    if (options.analysis) options.trace = true;
     if (options.trace) {
       profiler = std::make_shared<telemetry::Profiler>(system.sim());
+      profiler->setMaxRecords(options.trace_max_records);
       system.sim().setProfiler(profiler.get());
     }
 
@@ -236,6 +238,10 @@ struct Stack {
     metrics->finalize();
     result.metrics = metrics;
     result.profiler = profiler;
+    if (options.analysis && profiler) {
+      result.analysis = std::make_shared<telemetry::analysis::RunAnalysis>(
+          telemetry::analysis::analyzeProfile(*profiler, model.name));
+    }
 
     if (orchestrator) {
       result.recovery.enabled = true;

@@ -16,6 +16,7 @@
 #include "dl/trainer.hpp"
 #include "dl/zoo.hpp"
 #include "fabric/failures.hpp"
+#include "telemetry/analysis.hpp"
 #include "telemetry/metrics_pipeline.hpp"
 #include "telemetry/profiler.hpp"
 
@@ -110,6 +111,12 @@ struct ExperimentOptions {
   /// Record a span/counter profile of the run (result.profiler holds the
   /// finalized trace, exportable as Chrome trace_event JSON).
   bool trace = false;
+  /// Run the bottleneck analyzer over the trace after the run finishes
+  /// (result.analysis: per-iteration attribution buckets, critical paths,
+  /// link contention — DESIGN.md §17). Implies trace.
+  bool analysis = false;
+  /// Cap on profiler records (Profiler::setMaxRecords); 0 = unbounded.
+  std::size_t trace_max_records = 0;
   /// Fault schedule + recovery capacity; faults.enabled = false runs the
   /// experiment exactly as before (no monitor, no orchestrator).
   FaultsConfig faults;
@@ -151,6 +158,10 @@ struct ExperimentResult {
 
   /// Finalized profiler when options.trace was set (null otherwise).
   std::shared_ptr<telemetry::Profiler> profiler;
+
+  /// Bottleneck attribution when options.analysis was set (null
+  /// otherwise): bucket decomposition, critical paths, link contention.
+  std::shared_ptr<telemetry::analysis::RunAnalysis> analysis;
 
   /// Recovery accounting when options.faults.enabled was set.
   RecoverySummary recovery;

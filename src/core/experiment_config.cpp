@@ -324,6 +324,12 @@ std::vector<ExperimentSpec> parseExperimentSuite(const falcon::Json& doc) {
     if (const auto* v = e.find("trace")) {
       s.options.trace = v->asBool();
     }
+    if (const auto* v = e.find("analysis")) {
+      s.options.analysis = v->asBool();
+    }
+    if (const auto* v = e.find("trace_max_records")) {
+      s.options.trace_max_records = static_cast<std::size_t>(v->asInt());
+    }
     if (const auto* v = e.find("warm_prefix")) {
       s.options.warm_prefix = v->asInt();
     }
@@ -411,6 +417,10 @@ std::string warmPrefixKey(const ExperimentSpec& spec) {
       << "|sample=" << spec.options.sample_interval                  //
       << "|scrape=" << spec.options.metrics.scrape_interval          //
       << "|trace=" << spec.options.trace                             //
+      // Analysis implies trace and a record cap changes what the forked
+      // profiler carries, so both are prefix-compatibility inputs.
+      << "|analyze=" << spec.options.analysis                        //
+      << "|trace_cap=" << spec.options.trace_max_records             //
       // Hierarchical routing may pick a different equal-cost path, so a
       // warmed prefix is only reusable under the same routing mode.
       << "|hier=" << spec.options.hierarchical_routing               //

@@ -140,6 +140,9 @@ void Trainer::start(std::function<void(const TrainingResult&)> done) {
   beginIteration();
 }
 
+// Phase spans carry a "bucket" arg classifying what the phase's wall time
+// is ("compute", "sync", "stall", "io") so telemetry::analysis attributes
+// iteration time without hardcoding span names (DESIGN.md §17).
 void Trainer::beginTrackSpan(const char* name, ProfileArgs args) {
   ++track_depth_;
   if (ProfileSink* sink = sim_.profiler()) {
@@ -215,17 +218,17 @@ void Trainer::startMicroStep() {
     // one's compute.
     prefetchNextInput();
     if (options_.strategy == Strategy::DataParallel) {
-      beginTrackSpan("dp-step");
+      beginTrackSpan("dp-step", {{"bucket", "compute"}});
       runDataParallelIteration();
     } else {
-      beginTrackSpan("forward");
+      beginTrackSpan("forward", {{"bucket", "compute"}});
       runForward(0);
     }
   };
   if (input_ready_) {
     proceed();
   } else {
-    beginTrackSpan("input-wait");
+    beginTrackSpan("input-wait", {{"bucket", "stall"}});
     input_waiter_ = [this, proceed] {
       endTrackSpan();  // input-wait
       proceed();
@@ -236,7 +239,7 @@ void Trainer::startMicroStep() {
 void Trainer::runForward(int group) {
   if (group == static_cast<int>(groups_.size())) {
     endTrackSpan();  // forward
-    beginTrackSpan("backward");
+    beginTrackSpan("backward", {{"bucket", "compute"}});
     runBackwardDdp(static_cast<int>(groups_.size()) - 1);
     return;
   }
@@ -269,7 +272,7 @@ void Trainer::runBackwardDdp(int group) {
     backward_done_ = true;
     backward_done_time_ = sim_.now();
     // The span covers only the all-reduce tail not hidden under backward.
-    beginTrackSpan("gradient-sync", {{"buckets_pending", pending_allreduce_}});
+    beginTrackSpan("gradient-sync", {{"bucket", "sync"}, {"buckets_pending", pending_allreduce_}});
     if (pending_allreduce_ == 0) onComputeAndCommDone();
     return;
   }
@@ -353,7 +356,7 @@ void Trainer::onComputeAndCommDone() {
 }
 
 void Trainer::optimizerStep(std::function<void()> then) {
-  beginTrackSpan("optimizer");
+  beginTrackSpan("optimizer", {{"bucket", "compute"}});
   then = [this, inner = std::move(then)] {
     endTrackSpan();  // optimizer
     inner();
@@ -387,7 +390,7 @@ void Trainer::endIteration() {
   // threads show up in the Fig 13 CPU-utilization trace.
   cpu_.submit(options_.step_overhead, nullptr);
   cpu_.submit(options_.step_overhead, nullptr);
-  beginTrackSpan("step-overhead");
+  beginTrackSpan("step-overhead", {{"bucket", "stall"}});
   sim_.schedule(options_.step_overhead, [this, gen = gen_] {
     if (gen != gen_) return;
     endTrackSpan();  // step-overhead
@@ -459,7 +462,7 @@ void Trainer::checkpoint(std::function<void()> then) {
   const SimTime started = sim_.now();
   // FP32 model state_dict (what save_pretrained-style checkpoints write).
   const Bytes ckpt = model_.totalParams() * 4;
-  beginTrackSpan("checkpoint", {{"bytes", ckpt}});
+  beginTrackSpan("checkpoint", {{"bucket", "io"}, {"bytes", ckpt}});
   auto cont = std::make_shared<std::function<void()>>(std::move(then));
   // D2H from the master GPU, then the write to (possibly Falcon-attached)
   // storage. Training is paused: this is the Fig 9 utilization dip.
@@ -602,7 +605,7 @@ bool Trainer::requestRestore(std::vector<devices::Gpu*> gpus,
   // topology-dependent like everything else.
   const SimTime restore_start = sim_.now();
   const Bytes ckpt = model_.totalParams() * 4;
-  beginTrackSpan("restore", {{"bytes", ckpt}, {"gang", gpus_.size()}});
+  beginTrackSpan("restore", {{"bucket", "io"}, {"bytes", ckpt}, {"gang", gpus_.size()}});
   auto resumed = std::make_shared<std::function<void()>>(std::move(onResumed));
   storage_.read(ckpt, host_memory_, devices::AccessPattern::Sequential,
                 [this, ckpt, restore_start, resumed,

@@ -12,13 +12,16 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 AsyncSpanId FlowNetwork::beginFlowSpan(NodeId src, NodeId dst, Bytes bytes,
-                                       const std::string& tag) {
+                                       const std::string& tag,
+                                       std::uint64_t correlation) {
   ProfileSink* sink = sim_.profiler();
   if (sink == nullptr) return kInvalidAsyncSpan;
+  ProfileArgs args{{"src", topo_.node(src).name},
+                   {"dst", topo_.node(dst).name},
+                   {"bytes", bytes}};
+  if (correlation != 0) args.emplace_back("corr", correlation);
   return sink->beginAsyncSpan("fabric", tag.empty() ? "flow" : tag,
-                              {{"src", topo_.node(src).name},
-                               {"dst", topo_.node(dst).name},
-                               {"bytes", bytes}});
+                              std::move(args));
 }
 
 FlowId FlowNetwork::admitUnroutable(NodeId src, NodeId dst, FlowCallback done) {
@@ -38,7 +41,8 @@ FlowId FlowNetwork::admitUnroutable(NodeId src, NodeId dst, FlowCallback done) {
 
 FlowId FlowNetwork::admitLatencyOnly(SimTime latency, NodeId src, NodeId dst,
                                      Bytes bytes, FlowCallback done,
-                                     const std::string& tag) {
+                                     const std::string& tag,
+                                     std::uint64_t correlation) {
   // Control message or same-node transfer: latency only. Tracked as a
   // cancellable scheduled event so the returned id stays live until the
   // callback fires (cancelFlow() revokes it and reports Failed).
@@ -48,7 +52,7 @@ FlowId FlowNetwork::admitLatencyOnly(SimTime latency, NodeId src, NodeId dst,
   lf.bytes = bytes;
   lf.start = sim_.now();
   lf.done = std::move(done);
-  lf.span = beginFlowSpan(src, dst, bytes, tag);
+  lf.span = beginFlowSpan(src, dst, bytes, tag, correlation);
   lf.event = sim_.schedule(latency, [this, id] { onLatencyFlowDone(id); });
   latency_flows_.emplace(id, std::move(lf));
   return id;
@@ -84,7 +88,15 @@ FlowId FlowNetwork::admitByteFlow(const Route& route, NodeId src, NodeId dst,
   f.tag = std::move(options.tag);
   f.heap_pos = kNoPos;
   f.active_pos = kNoPos;
-  f.span = beginFlowSpan(src, dst, bytes, f.tag);
+  f.span = beginFlowSpan(src, dst, bytes, f.tag, options.correlation);
+  if (f.span != kInvalidAsyncSpan) {
+    // Contention-free reference: the whole payload at the uncontended
+    // route bottleneck (still respecting the flow's own rate cap).
+    const Bandwidth ideal_rate = std::min(options.maxRate, route.bottleneck);
+    if (ideal_rate > 0.0 && std::isfinite(ideal_rate)) {
+      f.ideal_s = static_cast<double>(bytes) / ideal_rate;
+    }
+  }
   id_to_slot_.emplace(id, slot);
   for (LinkId l : f.links) {
     ++topo_.counters(l).flows;
@@ -101,7 +113,8 @@ FlowId FlowNetwork::startFlow(NodeId src, NodeId dst, Bytes bytes,
   if (!route) return admitUnroutable(src, dst, std::move(done));
   if (bytes <= 0 || route->links.empty()) {
     return admitLatencyOnly(route->latency + options.extraLatency, src, dst,
-                            bytes, std::move(done), options.tag);
+                            bytes, std::move(done), options.tag,
+                            options.correlation);
   }
   advanceProgress();
   ensureLinkTables();
@@ -144,7 +157,8 @@ std::vector<FlowId> FlowNetwork::startFlows(std::vector<FlowRequest> requests) {
     } else if (rq.bytes <= 0 || route->links.empty()) {
       ids.push_back(admitLatencyOnly(route->latency + rq.options.extraLatency,
                                      rq.src, rq.dst, rq.bytes,
-                                     std::move(rq.done), rq.options.tag));
+                                     std::move(rq.done), rq.options.tag,
+                                     rq.options.correlation));
     } else {
       ids.push_back(admitByteFlow(*route, rq.src, rq.dst, rq.bytes,
                                   std::move(rq.done), std::move(rq.options),
@@ -664,11 +678,17 @@ void FlowNetwork::finishFlow(std::uint32_t slot, FlowStatus status) {
                             ? f.total
                             : f.total - static_cast<Bytes>(std::llround(f.remaining));
   if (ProfileSink* sink = sim_.profiler()) {
+    // Per-flow contention accounting: time spent beyond the uncontended
+    // reference duration is time lost to sharing links with other flows.
+    const SimTime actual = sim_.now() - f.start;
+    const SimTime contended = std::max(0.0, actual - f.ideal_s);
     sink->endAsyncSpan(f.span,
                        {{"status", status == FlowStatus::Completed
                                        ? "completed"
                                        : "failed"},
-                        {"carried_bytes", carried}});
+                        {"carried_bytes", carried},
+                        {"ideal_s", f.ideal_s},
+                        {"contended_s", contended}});
   }
   FlowResult result{status, carried, f.start, sim_.now() + f.arrival_latency};
   if (f.done) {

@@ -59,6 +59,12 @@ struct FlowOptions {
   SimTime extraLatency = 0.0;
   /// Label recorded in per-flow accounting (for tests/traces).
   std::string tag;
+  /// Causal correlation id stamped on the flow's profile span as "corr":
+  /// the issuer (e.g. a Communicator op) allocates one id from
+  /// ProfileSink::newCorrelation(), records it on its own span, and
+  /// threads it here so analysis can join every flow back to the
+  /// operation that injected it. 0 (default) = uncorrelated.
+  std::uint64_t correlation = 0;
 };
 
 /// One transfer in a batched arrival (see FlowNetwork::startFlows).
@@ -194,6 +200,11 @@ class FlowNetwork {
     std::uint32_t heap_pos = kNoPos;    // position in completion_heap_
     std::uint32_t active_pos = kNoPos;  // position in active_ (rate > 0)
     AsyncSpanId span = kInvalidAsyncSpan;
+    // Contention-free reference duration (bytes at the route-bottleneck /
+    // maxRate cap): the closing span reports actual - ideal as
+    // "contended_s", the per-flow fabric-contention figure analysis
+    // aggregates. Tracked only while profiling (0 otherwise).
+    SimTime ideal_s = 0.0;
   };
 
   /// Latency-only transfer (zero bytes or same-node): a cancellable
@@ -213,14 +224,16 @@ class FlowNetwork {
   // and resolveAfterChange(seeds) after the batch.
   FlowId admitUnroutable(NodeId src, NodeId dst, FlowCallback done);
   FlowId admitLatencyOnly(SimTime latency, NodeId src, NodeId dst, Bytes bytes,
-                          FlowCallback done, const std::string& tag);
+                          FlowCallback done, const std::string& tag,
+                          std::uint64_t correlation);
   FlowId admitByteFlow(const Route& route, NodeId src, NodeId dst, Bytes bytes,
                        FlowCallback done, FlowOptions options,
                        std::vector<LinkId>& seeds);
   bool cancelLatencyFlow(FlowId id);
   /// Open a profiling span for a flow (no-op when profiling is off).
+  /// `correlation` != 0 is recorded as the span's "corr" arg.
   AsyncSpanId beginFlowSpan(NodeId src, NodeId dst, Bytes bytes,
-                            const std::string& tag);
+                            const std::string& tag, std::uint64_t correlation);
   /// Publish utilization/queue counters for the links in comp_links_.
   void profileLinkCounters(ProfileSink& sink);
   const std::string& linkCounterName(LinkId l);

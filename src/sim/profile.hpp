@@ -77,6 +77,16 @@ class ProfileSink {
   /// Zero-duration marker event.
   virtual void instant(const char* category, std::string name,
                        ProfileArgs args = {}) = 0;
+
+  /// Allocate a fresh correlation id for causal linking across spans: an
+  /// emitter stamps the same id on a parent span (e.g. a collective op)
+  /// and on every child it causes (e.g. the fabric flows the op injects,
+  /// threaded through FlowOptions::correlation), so offline analysis can
+  /// rebuild the causal chain without guessing from timestamps. Ids are
+  /// drawn from the sink's own deterministic sequence; 0 means "no
+  /// correlation" and is what the default implementation returns, so
+  /// sinks that don't analyze causality can ignore the whole mechanism.
+  virtual std::uint64_t newCorrelation() { return 0; }
 };
 
 }  // namespace composim

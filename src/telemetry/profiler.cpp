@@ -1,5 +1,6 @@
 #include "telemetry/profiler.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <utility>
 
@@ -59,19 +60,43 @@ std::uint32_t Profiler::trackId(const std::string& track) {
 void Profiler::beginSpan(const std::string& track, const char* category,
                          std::string name, ProfileArgs args) {
   if (!recording()) return;
-  records_.push_back(Record{'B', now(), trackId(track), kInvalidAsyncSpan,
+  const std::uint32_t tid = trackId(track);
+  if (atCapacity()) {
+    // Drop the whole span: remember the suppressed depth so the matching
+    // endSpan (LIFO on this track) is suppressed too.
+    ++dropped_records_;
+    ++drop_depth_[tid];
+    return;
+  }
+  records_.push_back(Record{'B', now(), tid, kInvalidAsyncSpan,
                             category, std::move(name), std::move(args)});
 }
 
 void Profiler::endSpan(const std::string& track, ProfileArgs args) {
   if (!recording()) return;
-  records_.push_back(Record{'E', now(), trackId(track), kInvalidAsyncSpan,
+  const std::uint32_t tid = trackId(track);
+  if (auto it = drop_depth_.find(tid);
+      it != drop_depth_.end() && it->second > 0) {
+    // This end matches a begin the cap suppressed.
+    --it->second;
+    ++dropped_records_;
+    return;
+  }
+  // Ends of spans recorded before the cap always append (bounded
+  // overshoot), keeping the recorded stream balanced.
+  records_.push_back(Record{'E', now(), tid, kInvalidAsyncSpan,
                             {}, {}, std::move(args)});
 }
 
 AsyncSpanId Profiler::beginAsyncSpan(const char* category, std::string name,
                                      ProfileArgs args) {
   if (!recording()) return kInvalidAsyncSpan;
+  if (atCapacity()) {
+    // Suppressed whole: the caller gets the invalid id, whose endAsyncSpan
+    // is a no-op, so no unbalanced 'e' is ever recorded.
+    ++dropped_records_;
+    return kInvalidAsyncSpan;
+  }
   const AsyncSpanId id = next_async_++;
   open_async_.emplace(id, records_.size());
   records_.push_back(Record{'b', now(), trackId(category), id, category,
@@ -107,6 +132,12 @@ void Profiler::setCounter(const std::string& counter, const std::string& series,
     s.value = value;
     s.since = t;
   }
+  // Past the cap the integral above still updates (counterMean stays
+  // exact); only the trace record is suppressed.
+  if (atCapacity()) {
+    ++dropped_records_;
+    return;
+  }
   records_.push_back(Record{'C', t, trackId(counter), kInvalidAsyncSpan,
                             "counter", counter,
                             ProfileArgs{{series, value}}});
@@ -115,6 +146,10 @@ void Profiler::setCounter(const std::string& counter, const std::string& series,
 void Profiler::instant(const char* category, std::string name,
                        ProfileArgs args) {
   if (!recording()) return;
+  if (atCapacity()) {
+    ++dropped_records_;
+    return;
+  }
   records_.push_back(Record{'i', now(), trackId(category), kInvalidAsyncSpan,
                             category, std::move(name), std::move(args)});
 }
@@ -156,6 +191,10 @@ Profiler::State Profiler::state() const {
   st.open_async = open_async_;
   st.counters = counters_;
   st.next_async = next_async_;
+  st.next_corr = next_corr_;
+  st.max_records = max_records_;
+  st.dropped_records = dropped_records_;
+  st.drop_depth = drop_depth_;
   return st;
 }
 
@@ -167,6 +206,10 @@ void Profiler::setState(const State& st) {
   open_async_ = st.open_async;
   counters_ = st.counters;
   next_async_ = st.next_async;
+  next_corr_ = st.next_corr;
+  max_records_ = st.max_records;
+  dropped_records_ = st.dropped_records;
+  drop_depth_ = st.drop_depth;
 }
 
 void Profiler::finalize() {
@@ -181,6 +224,24 @@ void Profiler::finalize() {
     }
   }
   sim_ = nullptr;
+}
+
+std::vector<std::size_t> Profiler::exportOrder() const {
+  std::vector<std::size_t> order(records_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // (time, tid, seq): recording order is already time-sorted (the sim
+  // clock is monotone), so this only canonicalizes cross-track ties at
+  // one timestamp. Per-track sequence is preserved (seq is the final
+  // key), which is what keeps B/E nesting and b/e pairing valid.
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     const Record& ra = records_[a];
+                     const Record& rb = records_[b];
+                     if (ra.time != rb.time) return ra.time < rb.time;
+                     if (ra.tid != rb.tid) return ra.tid < rb.tid;
+                     return a < b;
+                   });
+  return order;
 }
 
 falcon::Json Profiler::chromeTrace() const {
@@ -208,7 +269,8 @@ falcon::Json Profiler::chromeTrace() const {
     meta.set("args", std::move(args));
     events.push(std::move(meta));
   }
-  for (const Record& r : records_) {
+  for (const std::size_t idx : exportOrder()) {
+    const Record& r = records_[idx];
     falcon::Json ev = falcon::Json::object();
     ev.set("ph", std::string(1, r.phase));
     ev.set("ts", r.time * 1e6);  // trace_event timestamps are microseconds
@@ -226,9 +288,13 @@ falcon::Json Profiler::chromeTrace() const {
   falcon::Json doc = falcon::Json::object();
   doc.set("traceEvents", std::move(events));
   doc.set("displayTimeUnit", "ms");
-  doc.set("otherData", [] {
+  doc.set("otherData", [this] {
     falcon::Json d = falcon::Json::object();
     d.set("producer", "composim.telemetry.Profiler");
+    if (max_records_ > 0) {
+      d.set("max_records", static_cast<std::int64_t>(max_records_));
+      d.set("dropped_records", static_cast<std::int64_t>(dropped_records_));
+    }
     return d;
   }());
   return doc;

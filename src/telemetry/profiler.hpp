@@ -74,8 +74,25 @@ class Profiler final : public ProfileSink {
   void instant(const char* category, std::string name,
                ProfileArgs args = {}) override;
 
+  std::uint64_t newCorrelation() override {
+    return recording() ? next_corr_++ : 0;
+  }
+
   /// Number of records captured so far (spans count begin+end separately).
   std::size_t recordCount() const { return records_.size(); }
+
+  /// Cap the record vector at `cap` entries (0 = unbounded, the default).
+  /// Once the cap is reached, NEW spans/counters/instants are dropped
+  /// whole — a begin that would exceed the cap is suppressed together
+  /// with its matching end, so the recorded stream stays balanced — while
+  /// ends of spans that were recorded before the cap still append (a
+  /// bounded overshoot of at most the open-span depth). Counter integrals
+  /// keep updating so counterMean() stays exact even when the 'C' records
+  /// are dropped. Long serving-style runs use this to bound span memory.
+  void setMaxRecords(std::size_t cap) { max_records_ = cap; }
+  std::size_t maxRecords() const { return max_records_; }
+  /// Records suppressed by the max-record policy so far.
+  std::uint64_t droppedRecords() const { return dropped_records_; }
 
   /// Whether the counter series was ever set. counterValue/counterMean
   /// return 0.0 both for "never updated" and for a genuine 0.0; callers
@@ -95,10 +112,26 @@ class Profiler final : public ProfileSink {
   /// caller this way). Recording stops.
   void finalize();
 
-  /// The trace as a Chrome trace_event JSON document.
+  /// The trace as a Chrome trace_event JSON document. Events are emitted
+  /// in the documented deterministic export order (see exportOrder()), so
+  /// identical runs produce byte-identical traces even when many tracks
+  /// record at the same simulated timestamp.
   falcon::Json chromeTrace() const;
   /// Write chromeTrace() to `path`; Internal status on I/O failure.
   Status writeChromeTrace(const std::string& path, int indent = -1) const;
+
+  /// Deterministic export order over the records, the tie-break contract
+  /// for colliding timestamps: records sort by (start time, track id,
+  /// record sequence). Within one track the recording sequence is already
+  /// depth-correct (an end that shares its timestamp with a sibling begin
+  /// was recorded first, inner spans close before outer ones), so
+  /// preserving per-track sequence keeps every B/E and b/e pairing valid;
+  /// ordering same-timestamp records of *different* tracks by track id
+  /// removes the cross-track interleaving that used to depend on event
+  /// execution order. Track ids are assigned in first-use order and names
+  /// are fixed per track, so the full key is equivalent to the documented
+  /// (start, depth, name, seq) ordering restricted to valid traces.
+  std::vector<std::size_t> exportOrder() const;
 
   /// Opaque full-trace snapshot (records, track table, open async spans,
   /// counter integrals). A fork restores it into a fresh Profiler so the
@@ -110,7 +143,10 @@ class Profiler final : public ProfileSink {
   State state() const;
   void setState(const State& st);
 
- private:
+  /// One captured event, exposed read-only so telemetry::analysis can
+  /// replay the trace (span trees, causal joins, bucket sweeps) without a
+  /// JSON round-trip. Records are stored in recording order; use
+  /// exportOrder() for the canonical cross-track presentation order.
   struct Record {
     char phase = 'B';  // B/E nested, b/e async, C counter, i instant
     SimTime time = 0.0;
@@ -120,6 +156,14 @@ class Profiler final : public ProfileSink {
     std::string name;
     ProfileArgs args;
   };
+  const std::vector<Record>& records() const { return records_; }
+  /// Track names indexed by Record::tid.
+  const std::vector<std::string>& trackNames() const { return track_names_; }
+  /// The trace's end time once finalized (== the Simulator clock at
+  /// finalize()); 0 before that.
+  SimTime endTime() const { return end_time_; }
+
+ private:
   struct CounterState {
     double value = 0.0;
     SimTime since = 0.0;
@@ -128,6 +172,9 @@ class Profiler final : public ProfileSink {
   };
 
   bool recording() const { return enabled_ && sim_ != nullptr; }
+  bool atCapacity() const {
+    return max_records_ > 0 && records_.size() >= max_records_;
+  }
   SimTime now() const { return sim_ != nullptr ? sim_->now() : end_time_; }
   std::uint32_t trackId(const std::string& track);
 
@@ -141,6 +188,13 @@ class Profiler final : public ProfileSink {
   // Ordered so export and mean queries iterate deterministically.
   std::map<std::string, std::map<std::string, CounterState>> counters_;
   AsyncSpanId next_async_ = 1;
+  std::uint64_t next_corr_ = 1;
+  // Max-record drop policy (0 = unbounded). drop_depth_[tid] counts open
+  // track spans whose begin was suppressed, so the matching ends are
+  // suppressed too and the recorded stream stays balanced.
+  std::size_t max_records_ = 0;
+  std::uint64_t dropped_records_ = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> drop_depth_;
 };
 
 struct Profiler::State {
@@ -151,6 +205,10 @@ struct Profiler::State {
   std::unordered_map<AsyncSpanId, std::size_t> open_async;
   std::map<std::string, std::map<std::string, CounterState>> counters;
   AsyncSpanId next_async = 1;
+  std::uint64_t next_corr = 1;
+  std::size_t max_records = 0;
+  std::uint64_t dropped_records = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> drop_depth;
 };
 
 }  // namespace composim::telemetry

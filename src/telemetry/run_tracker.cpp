@@ -36,6 +36,9 @@ falcon::Json TrackedRun::manifest() const {
   falcon::Json metrics = falcon::Json::array();
   for (const auto& m : this->metrics()) metrics.push(m);
   j.set("metrics", std::move(metrics));
+  falcon::Json artifacts = falcon::Json::array();
+  for (const auto& [file, content] : artifacts_) artifacts.push(file);
+  j.set("artifacts", std::move(artifacts));
   return j;
 }
 
@@ -64,6 +67,9 @@ void RunTracker::exportTo(const std::string& dir) const {
     for (const auto& metric : run.metrics()) {
       const TimeSeries* s = run.series(metric);
       writeFile(dir + "/" + name + "_" + metric + ".csv", toCsv({s}));
+    }
+    for (const auto& [file, content] : run.artifacts()) {
+      writeFile(dir + "/" + name + "_" + file, content);
     }
   }
 }

@@ -37,7 +37,16 @@ class TrackedRun {
   const TimeSeries* series(const std::string& metric) const;
   std::vector<std::string> metrics() const;
 
-  /// JSON manifest entry (config + summary + metric names).
+  /// Attach a pre-rendered artifact file (analysis report, trace JSON):
+  /// exportTo writes it as <run>_<filename> and the manifest lists it.
+  void addArtifact(std::string filename, std::string content) {
+    artifacts_[std::move(filename)] = std::move(content);
+  }
+  const std::map<std::string, std::string>& artifacts() const {
+    return artifacts_;
+  }
+
+  /// JSON manifest entry (config + summary + metric and artifact names).
   falcon::Json manifest() const;
 
  private:
@@ -45,6 +54,7 @@ class TrackedRun {
   std::map<std::string, std::string> config_;
   std::map<std::string, TimeSeries> series_;
   std::map<std::string, double> summary_;
+  std::map<std::string, std::string> artifacts_;
 };
 
 class RunTracker {

@@ -149,6 +149,89 @@ TEST(Profiler, DisabledProfilerAddsZeroRecords) {
   EXPECT_EQ(doc.at("traceEvents").asArray().size(), 1u);  // process metadata
 }
 
+TEST(Profiler, MaxRecordsDropsNewSpansWhole) {
+  Simulator sim;
+  Profiler prof(sim);
+  prof.setMaxRecords(4);
+  sim.setProfiler(&prof);
+  prof.beginSpan("t", "c", "a");
+  prof.beginSpan("t", "c", "b");
+  prof.setCounter("lnk", "util", 50.0);
+  prof.instant("c", "mark");  // 4 records: at capacity from here on
+  EXPECT_EQ(prof.recordCount(), 4u);
+
+  // New work past the cap is dropped whole.
+  prof.beginSpan("t", "c", "dropped");
+  prof.instant("c", "late");
+  EXPECT_EQ(prof.beginAsyncSpan("c", "flow"), kInvalidAsyncSpan);
+  sim.schedule(1.0, [&] {
+    prof.setCounter("lnk", "util", 100.0);  // record dropped, integral kept
+    prof.endSpan("t");  // closes "dropped": suppressed with its begin
+    prof.endSpan("t");  // closes "b": begin was recorded, so this appends
+    prof.endSpan("t");  // closes "a": appends (bounded overshoot)
+  });
+  sim.run();
+  EXPECT_EQ(prof.recordCount(), 6u);
+  EXPECT_EQ(prof.droppedRecords(), 5u);
+  prof.finalize();
+  // Counter integral stayed exact across the dropped record: 50 held for
+  // the full [0, 1] window (the 100 landed at the finalize instant).
+  EXPECT_DOUBLE_EQ(prof.counterMean("lnk", "util"), 50.0);
+
+  // The exported stream is still balanced.
+  const falcon::Json trace = prof.chromeTrace();
+  std::map<std::int64_t, int> depth;
+  for (const auto& e : trace.at("traceEvents").asArray()) {
+    const std::string ph = e.at("ph").asString();
+    if (ph == "B") ++depth[e.at("tid").asInt()];
+    if (ph == "E") {
+      --depth[e.at("tid").asInt()];
+      EXPECT_GE(depth[e.at("tid").asInt()], 0);
+    }
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "tid " << tid;
+}
+
+TEST(ProfilerTrace, CollidingTimestampsExportInDocumentedOrder) {
+  // Two tracks interleave records at the same simulated instant; the
+  // export must group them by track (time, track id, sequence) instead
+  // of leaking the event-execution interleaving.
+  auto record = [](Profiler& prof) {
+    prof.beginSpan("beta", "c", "b1");
+    prof.beginSpan("alpha", "c", "a1");
+    prof.endSpan("beta");
+    prof.endSpan("alpha");
+    prof.beginSpan("beta", "c", "b2");
+    prof.endSpan("beta");
+  };
+  Simulator sim;
+  Profiler prof(sim);
+  sim.setProfiler(&prof);
+  sim.schedule(1.0, [&] { record(prof); });
+  sim.run();
+  ASSERT_EQ(prof.recordCount(), 6u);
+
+  const auto order = prof.exportOrder();
+  const auto& recs = prof.records();
+  std::vector<std::pair<char, std::uint32_t>> got;
+  for (const std::size_t idx : order) {
+    got.emplace_back(recs[idx].phase, recs[idx].tid);
+  }
+  // beta = tid 0 (first use), alpha = tid 1: all beta records first, in
+  // per-track recording order (depth-correct), then alpha's pair.
+  const std::vector<std::pair<char, std::uint32_t>> want = {
+      {'B', 0}, {'E', 0}, {'B', 0}, {'E', 0}, {'B', 1}, {'E', 1}};
+  EXPECT_EQ(got, want);
+
+  // Identical runs export byte-identically even with the collisions.
+  Simulator sim2;
+  Profiler prof2(sim2);
+  sim2.setProfiler(&prof2);
+  sim2.schedule(1.0, [&] { record(prof2); });
+  sim2.run();
+  EXPECT_EQ(prof.chromeTrace().dump(-1), prof2.chromeTrace().dump(-1));
+}
+
 // --- structural checks on a real 2-GPU DDP run ---
 
 struct TraceRun {
